@@ -1,0 +1,74 @@
+package hybridmr_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// Each benchmark regenerates one of the paper's figures end to end:
+// scenario construction, simulation, and table assembly. Figures are
+// listed in paper order; run a single one with e.g.
+//
+//	go test -bench BenchmarkFig8bSingleJob -benchtime 1x
+//
+// The full sweep at the paper's input sizes is produced by
+// cmd/hybridmr-bench; benchmarks default to a reduced data scale so the
+// whole suite stays in benchmark-friendly territory.
+const benchScale = 0.3
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	prev := experiments.Scale
+	experiments.Scale = benchScale
+	defer func() { experiments.Scale = prev }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outcome, err := exp.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outcome.Table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig1aVirtualizationOverhead(b *testing.B) { benchExperiment(b, "fig1a") }
+func BenchmarkFig1bDataSizeImpact(b *testing.B)         { benchExperiment(b, "fig1b") }
+func BenchmarkFig1cDFSIO(b *testing.B)                  { benchExperiment(b, "fig1c") }
+func BenchmarkFig2aCrossHost(b *testing.B)              { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bMoreCPUCycles(b *testing.B)          { benchExperiment(b, "fig2b") }
+func BenchmarkFig2cDom0(b *testing.B)                   { benchExperiment(b, "fig2c") }
+func BenchmarkFig2dSplitArchitecture(b *testing.B)      { benchExperiment(b, "fig2d") }
+func BenchmarkFig5aClusterSizeJCT(b *testing.B)         { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bMapPhase(b *testing.B)               { benchExperiment(b, "fig5b") }
+func BenchmarkFig5cReducePhase(b *testing.B)            { benchExperiment(b, "fig5c") }
+func BenchmarkFig5dDataSize(b *testing.B)               { benchExperiment(b, "fig5d") }
+func BenchmarkFig6aProfilingError(b *testing.B)         { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bCPUInterference(b *testing.B)        { benchExperiment(b, "fig6b") }
+func BenchmarkFig6cIOInterference(b *testing.B)         { benchExperiment(b, "fig6c") }
+func BenchmarkFig8aPhase1Gain(b *testing.B)             { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bSingleJob(b *testing.B)              { benchExperiment(b, "fig8b") }
+func BenchmarkFig8cMultipleJobs(b *testing.B)           { benchExperiment(b, "fig8c") }
+func BenchmarkFig8dRubisSLA(b *testing.B)               { benchExperiment(b, "fig8d") }
+func BenchmarkFig9aSLATimeline(b *testing.B)            { benchExperiment(b, "fig9a") }
+func BenchmarkFig9bCrossPlatform(b *testing.B)          { benchExperiment(b, "fig9b") }
+func BenchmarkFig9cSavings(b *testing.B)                { benchExperiment(b, "fig9c") }
+func BenchmarkFig10aUtilization(b *testing.B)           { benchExperiment(b, "fig10a") }
+func BenchmarkFig10bMigrationTime(b *testing.B)         { benchExperiment(b, "fig10b") }
+func BenchmarkFig10cDowntime(b *testing.B)              { benchExperiment(b, "fig10c") }
+func BenchmarkFig11DesignTradeoff(b *testing.B)         { benchExperiment(b, "fig11") }
+
+// Extension and ablation studies (see DESIGN.md's design-decision list
+// and the paper's Section VI future work).
+func BenchmarkExtIterativeInMemory(b *testing.B)   { benchExperiment(b, "ext-iterative") }
+func BenchmarkExtArrivalStream(b *testing.B)       { benchExperiment(b, "ext-stream") }
+func BenchmarkAblationSpeculation(b *testing.B)    { benchExperiment(b, "abl-speculation") }
+func BenchmarkAblationCapacityAware(b *testing.B)  { benchExperiment(b, "abl-capacity") }
+func BenchmarkAblationMemoryDeferral(b *testing.B) { benchExperiment(b, "abl-deferral") }

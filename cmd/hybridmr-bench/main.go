@@ -1,0 +1,77 @@
+// Command hybridmr-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hybridmr-bench [-scale 1.0] [-only fig1a,fig8b] [-list]
+//
+// Each experiment prints the same rows/series the paper plots, followed
+// by headline notes comparing measured numbers against the paper's
+// claims. Running everything at -scale 1 takes a few minutes; smaller
+// scales shrink the input data sizes proportionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridmr-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hybridmr-bench", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "input-size scale factor (1 = paper sizes)")
+	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
+	ext := fs.Bool("ext", false, "include the extension and ablation experiments")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		for _, e := range experiments.Extensions() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	experiments.Scale = *scale
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+		if *ext {
+			selected = append(selected, experiments.Extensions()...)
+		}
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		outcome, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		outcome.Fprint(os.Stdout)
+		fmt.Printf("  (%s completed in %.1fs wall time)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

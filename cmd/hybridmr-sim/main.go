@@ -1,0 +1,91 @@
+// Command hybridmr-sim runs a single MapReduce benchmark on a chosen
+// simulated cluster shape and reports the completion time and phase
+// breakdown.
+//
+// Usage:
+//
+//	hybridmr-sim -benchmark Sort -data-gb 8 -pms 12 -vms-per-pm 2
+//	hybridmr-sim -benchmark Kmeans -pms 24            # native cluster
+//	hybridmr-sim -benchmark Sort -pms 24 -dom0        # Dom-0 mode
+//	hybridmr-sim -benchmark Sort -pms 24 -vms-per-pm 2 -split
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mapred"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridmr-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hybridmr-sim", flag.ContinueOnError)
+	bench := fs.String("benchmark", "Sort", "benchmark name (Twitter, Wcount, PiEst, DistGrep, Sort, Kmeans)")
+	dataGB := fs.Float64("data-gb", 0, "input size in GB (0 = the paper's size for the benchmark)")
+	pms := fs.Int("pms", 12, "physical machines")
+	vmsPerPM := fs.Int("vms-per-pm", 0, "VMs per PM (0 = native execution)")
+	dom0 := fs.Bool("dom0", false, "run native work in the privileged domain")
+	split := fs.Bool("split", false, "split TaskTracker/DataNode architecture")
+	slotCaps := fs.Bool("slot-caps", false, "static Hadoop slot containers")
+	sched := fs.String("scheduler", "fair", "job scheduler: fair or fifo")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	if *dataGB > 0 {
+		if spec.FixedMapWork > 0 {
+			return fmt.Errorf("%s is a fixed-work benchmark; -data-gb does not apply", spec.Name)
+		}
+		spec = spec.WithInputMB(*dataGB * workload.GB)
+	}
+
+	var scheduler mapred.Scheduler
+	switch *sched {
+	case "fair":
+		scheduler = mapred.Fair{}
+	case "fifo":
+		scheduler = mapred.FIFO{}
+	default:
+		return fmt.Errorf("unknown scheduler %q", *sched)
+	}
+	mrCfg := mapred.Config{}
+	if *slotCaps {
+		mrCfg.SlotCaps = mapred.DefaultSlotCaps()
+	}
+	rig, err := testbed.New(testbed.Options{
+		PMs:          *pms,
+		VMsPerPM:     *vmsPerPM,
+		Dom0:         *dom0,
+		Split:        *split,
+		Seed:         *seed,
+		Scheduler:    scheduler,
+		MapredConfig: mrCfg,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := rig.RunJob(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmark:    %s\n", res.Name)
+	fmt.Printf("workers:      %d (%d PMs x %d VMs/PM)\n", len(rig.Workers), *pms, *vmsPerPM)
+	fmt.Printf("JCT:          %.1fs\n", res.JCT.Seconds())
+	fmt.Printf("map phase:    %.1fs\n", res.MapPhase.Seconds())
+	fmt.Printf("reduce phase: %.1fs\n", res.ReducePhase.Seconds())
+	return nil
+}

@@ -1,0 +1,145 @@
+// Cluster design: sweep hybrid splits of a fixed physical fleet — how
+// many machines to run natively versus virtualized — and compare the
+// performance/energy of each, the paper's Figure 11 analysis. Energy is
+// accounted over a common horizon, so a split that finishes early still
+// pays idle power until the slowest split is done.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	hybridmr "repro"
+)
+
+const fleetPMs = 16
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-design:", err)
+		os.Exit(1)
+	}
+}
+
+type split struct {
+	nativePMs int
+	hostPMs   int
+}
+
+type measured struct {
+	split
+	meanJCT  float64
+	energyWh float64
+	makespan time.Duration
+	servers  int
+}
+
+func run() error {
+	// Every split hosts the same two interactive services, so at least
+	// two machines are always virtualized; the rest of the fleet is
+	// divided between native and VM-hosting machines.
+	splits := []split{
+		{fleetPMs - 2, 2},                // native-maximal
+		{fleetPMs * 3 / 4, fleetPMs / 4}, // native-leaning hybrid
+		{fleetPMs / 2, fleetPMs / 2},     // balanced
+		{fleetPMs / 4, fleetPMs * 3 / 4}, // virtual-leaning hybrid
+		{0, fleetPMs},                    // all virtual
+	}
+	results := make([]measured, 0, len(splits))
+	horizon := time.Duration(0)
+	for _, sp := range splits {
+		m, err := evaluate(sp)
+		if err != nil {
+			return err
+		}
+		if m.makespan > horizon {
+			horizon = m.makespan
+		}
+		results = append(results, m)
+	}
+
+	fmt.Printf("fleet: %d PMs; workload: Sort 3GB + Kmeans 2GB + Wcount 3GB + 2 services\n\n", fleetPMs)
+	fmt.Println("native  vm-hosts  servers  meanJCT(s)  energy(Wh)  perf/energy")
+	const idleW = 150.0
+	bestIdx, bestPPE := 0, 0.0
+	for i, m := range results {
+		// Idle-account to the common horizon.
+		energy := m.energyWh + idleW*float64(m.servers)*(horizon-m.makespan).Seconds()/3600
+		ppe := 1e6 / (m.meanJCT * energy)
+		if ppe > bestPPE {
+			bestIdx, bestPPE = i, ppe
+		}
+		fmt.Printf("%6d  %8d  %7d  %10.0f  %10.0f  %11.3f\n",
+			m.nativePMs, m.hostPMs, m.servers, m.meanJCT, energy, ppe)
+	}
+	best := results[bestIdx]
+	fmt.Printf("\nbest performance/energy: %d native + %d VM-host machines\n", best.nativePMs, best.hostPMs)
+	return nil
+}
+
+func evaluate(sp split) (measured, error) {
+	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
+		NativePMs:      sp.nativePMs,
+		VirtualHostPMs: sp.hostPMs,
+		VMsPerHost:     2,
+		Seed:           23,
+	})
+	if err != nil {
+		return measured{}, err
+	}
+	defer dc.Close()
+
+	for i, spec := range []hybridmr.ServiceSpec{hybridmr.RUBiS(), hybridmr.TPCW()} {
+		svc, err := dc.DeployService(spec)
+		if err != nil {
+			return measured{}, err
+		}
+		svc.SetClients(1200 + 300*i)
+	}
+
+	specs := []hybridmr.JobSpec{
+		hybridmr.Sort().WithInputMB(3 * 1024),
+		hybridmr.Kmeans().WithInputMB(2 * 1024),
+		hybridmr.Wcount().WithInputMB(3 * 1024),
+	}
+	var jobs []*hybridmr.Job
+	for _, spec := range specs {
+		job, _, err := dc.SubmitJob(spec, 0, nil)
+		if err != nil {
+			return measured{}, err
+		}
+		jobs = append(jobs, job)
+	}
+
+	rec := dc.NewRecorder(30 * time.Second)
+	deadline := 4 * time.Hour
+	for dc.Now() < deadline {
+		dc.RunFor(time.Minute)
+		done := true
+		for _, j := range jobs {
+			if !j.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	rec.Stop()
+	var sum float64
+	for _, j := range jobs {
+		if !j.Done() {
+			return measured{}, fmt.Errorf("split %d+%d stalled", sp.nativePMs, sp.hostPMs)
+		}
+		sum += j.JCT().Seconds()
+	}
+	return measured{
+		split:    sp,
+		meanJCT:  sum / float64(len(jobs)),
+		energyWh: rec.EnergyWh(),
+		makespan: dc.Now(),
+		servers:  dc.Cluster.PoweredOnPMs(),
+	}, nil
+}

@@ -1,0 +1,113 @@
+// Consolidation: quantify the paper's core economic argument. A
+// traditional deployment isolates interactive services on dedicated,
+// over-provisioned machines; HybridMR consolidates batch VMs onto those
+// same hosts and harvests the idle capacity. With the same physical
+// fleet and the same continuous batch backlog, the consolidated cluster
+// completes more jobs, runs hotter, and wastes less energy per job.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	hybridmr "repro"
+)
+
+const (
+	fleetPMs = 12
+	window   = 45 * time.Minute
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "consolidation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	isolated, err := scenario(false)
+	if err != nil {
+		return err
+	}
+	consolidated, err := scenario(true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d physical machines, %v window, identical continuous batch backlog\n\n", fleetPMs, window)
+	fmt.Println("metric                 isolated  consolidated")
+	fmt.Printf("jobs completed        %9d  %12d\n", isolated.jobs, consolidated.jobs)
+	fmt.Printf("mean CPU utilization  %9.2f  %12.2f\n", isolated.util, consolidated.util)
+	fmt.Printf("energy (Wh)           %9.0f  %12.0f\n", isolated.energyWh, consolidated.energyWh)
+	fmt.Printf("energy per job (Wh)   %9.1f  %12.1f\n",
+		isolated.energyWh/float64(isolated.jobs), consolidated.energyWh/float64(consolidated.jobs))
+	if consolidated.jobs > isolated.jobs {
+		gain := float64(consolidated.jobs)/float64(isolated.jobs) - 1
+		fmt.Printf("\nconsolidation completed %.0f%% more batch work on the same hardware\n", gain*100)
+	}
+	return nil
+}
+
+type outcome struct {
+	jobs     int
+	util     float64
+	energyWh float64
+}
+
+func scenario(consolidated bool) (outcome, error) {
+	// Isolated: 3 of the 12 PMs are reserved for services; batch VMs
+	// live only on the other 9. Consolidated: every PM hosts batch VMs
+	// and the services share hosts with them under IPS protection.
+	hostPMs := fleetPMs
+	if !consolidated {
+		hostPMs = fleetPMs - 3
+	}
+	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
+		VirtualHostPMs: hostPMs,
+		VMsPerHost:     2,
+		Seed:           11,
+		VanillaHadoop:  !consolidated,
+	})
+	if err != nil {
+		return outcome{}, err
+	}
+	defer dc.Close()
+	if !consolidated {
+		// The reserved service hosts still draw idle power.
+		dc.Cluster.AddPMs("reserved", 3)
+	}
+
+	for i, spec := range []hybridmr.ServiceSpec{hybridmr.RUBiS(), hybridmr.TPCW(), hybridmr.Olio()} {
+		svc, err := dc.DeployService(spec)
+		if err != nil {
+			return outcome{}, err
+		}
+		svc.SetClients(1200 + 200*i)
+	}
+
+	done := 0
+	specs := []hybridmr.JobSpec{
+		hybridmr.Sort().WithInputMB(2 * 1024),
+		hybridmr.Wcount().WithInputMB(2 * 1024),
+		hybridmr.Kmeans().WithInputMB(1 * 1024),
+	}
+	for _, spec := range specs {
+		spec := spec
+		var resubmit func(*hybridmr.Job)
+		resubmit = func(*hybridmr.Job) {
+			done++
+			if dc.Now() < window-5*time.Minute {
+				_, _, _ = dc.SubmitJob(spec, 0, resubmit)
+			}
+		}
+		if _, _, err := dc.SubmitJob(spec, 0, resubmit); err != nil {
+			return outcome{}, err
+		}
+	}
+
+	rec := dc.NewRecorder(30 * time.Second)
+	dc.RunFor(window)
+	rec.Stop()
+	return outcome{jobs: done, util: rec.MeanUtil(hybridmr.CPU), energyWh: rec.EnergyWh()}, nil
+}

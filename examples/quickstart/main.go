@@ -1,0 +1,83 @@
+// Quickstart: build a hybrid data center, host an interactive service on
+// the virtual partition, submit MapReduce jobs through HybridMR's
+// two-phase scheduler, and see where Phase I placed them and how fast
+// they ran.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	hybridmr "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A hybrid data center: 8 native physical machines for
+	// performance-critical batch work, plus 8 PMs hosting 16 VMs that
+	// carry both interactive services and consolidated batch tasks.
+	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
+		NativePMs:      8,
+		VirtualHostPMs: 8,
+		VMsPerHost:     2,
+		Seed:           42,
+	})
+	if err != nil {
+		return err
+	}
+	defer dc.Close()
+
+	// An over-provisioned auction site lives on the virtual partition.
+	rubis, err := dc.DeployService(hybridmr.RUBiS())
+	if err != nil {
+		return err
+	}
+	rubis.SetClients(2500)
+
+	// Submit two very different jobs. Phase I profiles each on small
+	// training clusters and routes the I/O-heavy Sort away from the
+	// virtualization penalty, while the CPU-bound PiEst can harvest the
+	// VMs' spare cycles safely.
+	type submitted struct {
+		name      string
+		job       *hybridmr.Job
+		placement hybridmr.Placement
+	}
+	var jobs []submitted
+	for _, spec := range []hybridmr.JobSpec{
+		hybridmr.Sort().WithInputMB(4 * 1024),
+		hybridmr.PiEst(),
+	} {
+		job, placement, err := dc.SubmitJob(spec, 0, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("submitted %-8s -> %s cluster\n", spec.Name, placement)
+		jobs = append(jobs, submitted{spec.Name, job, placement})
+	}
+
+	// Drive the simulation. Interactive services run forever, so advance
+	// a fixed amount of virtual time rather than draining the queue.
+	dc.RunFor(1 * time.Hour)
+
+	fmt.Println()
+	for _, s := range jobs {
+		if !s.job.Done() {
+			fmt.Printf("%-8s (%s) did not finish within the hour\n", s.name, s.placement)
+			continue
+		}
+		fmt.Printf("%-8s (%s) JCT %6.1fs  (map %5.1fs + reduce %5.1fs)\n",
+			s.name, s.placement, s.job.JCT().Seconds(),
+			s.job.MapPhase().Seconds(), s.job.ReducePhase().Seconds())
+	}
+	fmt.Printf("\nRUBiS at %d clients: %.0f ms mean latency (SLA %.0f ms, violated: %v)\n",
+		rubis.Clients(), rubis.LatencyMs(), rubis.Spec().SLAMs, rubis.SLAViolated())
+	return nil
+}

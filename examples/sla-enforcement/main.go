@@ -1,0 +1,88 @@
+// SLA enforcement: collocate an auction site with a stream of MapReduce
+// jobs, first under plain Hadoop (no protection) and then under HybridMR,
+// and print the minute-by-minute response-time timeline. This is the
+// scenario of the paper's Figures 8(d) and 9(a): without HybridMR the
+// batch work drives latency past the 2-second SLA; with it, the IPS
+// relocates and throttles the interferers until latency recovers.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	hybridmr "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sla-enforcement:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	type result struct {
+		timeline  []float64
+		violation int
+	}
+	scenario := func(protected bool) (result, error) {
+		dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
+			VirtualHostPMs: 8,
+			VMsPerHost:     2,
+			Seed:           7,
+			VanillaHadoop:  !protected,
+		})
+		if err != nil {
+			return result{}, err
+		}
+		defer dc.Close()
+
+		rubis, err := dc.DeployService(hybridmr.RUBiS())
+		if err != nil {
+			return result{}, err
+		}
+		rubis.SetClients(3000)
+
+		// A continuous batch backlog: every finished Sort is replaced.
+		spec := hybridmr.Sort().WithInputMB(3 * 1024)
+		var resubmit func(*hybridmr.Job)
+		resubmit = func(*hybridmr.Job) {
+			_, _, _ = dc.SubmitJob(spec, 0, resubmit)
+		}
+		for i := 0; i < 2; i++ {
+			if _, _, err := dc.SubmitJob(spec, 0, resubmit); err != nil {
+				return result{}, err
+			}
+		}
+
+		var res result
+		for minute := 1; minute <= 20; minute++ {
+			dc.RunFor(time.Minute)
+			lat := rubis.LatencyMs()
+			res.timeline = append(res.timeline, lat)
+			if lat > rubis.Spec().SLAMs {
+				res.violation++
+			}
+		}
+		return res, nil
+	}
+
+	unprotected, err := scenario(false)
+	if err != nil {
+		return err
+	}
+	protected, err := scenario(true)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("RUBiS response time (ms) with a continuous Sort backlog; SLA = 2000 ms")
+	fmt.Println("minute  vanilla-hadoop  hybridmr")
+	for i := range unprotected.timeline {
+		fmt.Printf("%6d  %14.0f  %8.0f\n", i+1, unprotected.timeline[i], protected.timeline[i])
+	}
+	fmt.Printf("\nminutes above SLA: vanilla %d/20, HybridMR %d/20\n",
+		unprotected.violation, protected.violation)
+	return nil
+}

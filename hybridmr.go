@@ -1,0 +1,271 @@
+// Package hybridmr reproduces "HybridMR: A Hierarchical MapReduce
+// Scheduler for Hybrid Data Centers" (Sharma, Wood, Das — ICDCS 2013) as
+// a self-contained Go library.
+//
+// Because the paper's testbed (24 physical servers, Xen 3.4, Hadoop
+// v0.22, RUBiS/TPC-W/Olio) is not reproducible directly, every substrate
+// is rebuilt as a deterministic discrete-event simulation; see DESIGN.md
+// for the substitution inventory. This package is the public facade: it
+// re-exports the pieces a user composes — simulated clusters, the
+// MapReduce framework, interactive services, the HybridMR two-phase
+// scheduler — plus turnkey helpers for building hybrid deployments and
+// re-running the paper's experiments.
+//
+// # Quick start
+//
+//	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
+//		NativePMs: 12, VirtualHostPMs: 12, VMsPerHost: 2, Seed: 1,
+//	})
+//	...
+//	svc, _ := dc.DeployService(hybridmr.RUBiS(), 0)
+//	svc.SetClients(2000)
+//	job, placement, _ := dc.System.SubmitJob(hybridmr.Sort(), 0, nil)
+//	dc.RunFor(30 * time.Minute)
+//
+// See examples/ for runnable programs and internal/experiments for the
+// paper's full evaluation.
+package hybridmr
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/experiments"
+	"repro/internal/mapred"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// Re-exported building blocks. The facade names the pieces a downstream
+// user needs without reaching into internal packages.
+type (
+	// Cluster is the simulated data center.
+	Cluster = cluster.Cluster
+	// PM and VM are physical and virtual machines.
+	PM = cluster.PM
+	VM = cluster.VM
+	// JobSpec describes a MapReduce job's workload shape.
+	JobSpec = mapred.JobSpec
+	// Job is a submitted MapReduce job.
+	Job = mapred.Job
+	// JobTracker is the MapReduce framework instance.
+	JobTracker = mapred.JobTracker
+	// Service is a deployed interactive application.
+	Service = workload.Service
+	// ServiceSpec describes an interactive application.
+	ServiceSpec = workload.ServiceSpec
+	// System is the HybridMR two-phase scheduler.
+	System = core.System
+	// SystemConfig tunes the scheduler.
+	SystemConfig = core.Config
+	// Placement says which partition a job ran on.
+	Placement = core.Placement
+	// Recorder samples utilization and integrates energy.
+	Recorder = metrics.Recorder
+	// Rig is a pre-wired single-partition testbed.
+	Rig = testbed.Rig
+	// RigOptions shapes a Rig.
+	RigOptions = testbed.Options
+	// Experiment is one of the paper's figures.
+	Experiment = experiments.Experiment
+)
+
+// Placements.
+const (
+	PlacedNative  = core.PlacedNative
+	PlacedVirtual = core.PlacedVirtual
+)
+
+// Resource dimensions, for Recorder queries.
+const (
+	CPU    = resource.CPU
+	Memory = resource.Memory
+	DiskIO = resource.DiskIO
+	NetIO  = resource.NetIO
+)
+
+// The paper's six MapReduce benchmarks.
+var (
+	Twitter  = workload.Twitter
+	Wcount   = workload.Wcount
+	PiEst    = workload.PiEst
+	DistGrep = workload.DistGrep
+	Sort     = workload.Sort
+	Kmeans   = workload.Kmeans
+	// Benchmarks returns all six in figure order.
+	Benchmarks = workload.Benchmarks
+)
+
+// The paper's three interactive applications.
+var (
+	RUBiS = workload.RUBiS
+	TPCW  = workload.TPCW
+	Olio  = workload.Olio
+)
+
+// NewRig builds a single-partition testbed (native, virtual, Dom-0 or
+// split architecture) — the shape used by the paper's Section II
+// analyses.
+var NewRig = testbed.New
+
+// Experiments returns the paper's figure reproductions in paper order.
+var Experiments = experiments.All
+
+// ExtensionExperiments returns the beyond-the-paper studies: the named
+// future-work directions (iterative/in-memory MapReduce), an open
+// arrival-stream comparison, and ablations of HybridMR's design choices.
+var ExtensionExperiments = experiments.Extensions
+
+// ExperimentByID finds one figure reproduction, e.g. "fig8b".
+var ExperimentByID = experiments.ByID
+
+// SetExperimentScale shrinks experiment input sizes (1 = the paper's
+// sizes) for quick exploratory runs.
+func SetExperimentScale(scale float64) { experiments.Scale = scale }
+
+// ClusterSpec describes a hybrid deployment: a native MapReduce
+// partition, a virtualized partition whose VMs host both MapReduce
+// workers and interactive services, and the HybridMR scheduler over both.
+type ClusterSpec struct {
+	// NativePMs is the physical partition size (0 = virtual-only).
+	NativePMs int
+	// VirtualHostPMs is the number of PMs hosting VMs (0 = native-only).
+	VirtualHostPMs int
+	// VMsPerHost is the VM density (default 2, the paper's layout).
+	VMsPerHost int
+	// Seed fixes all randomized behaviour.
+	Seed int64
+	// Config tunes the HybridMR scheduler (zero = paper defaults).
+	Config SystemConfig
+	// VanillaHadoop disables HybridMR's Phase II behaviours on the
+	// virtual partition (static slot containers remain), for baseline
+	// comparisons.
+	VanillaHadoop bool
+}
+
+// HybridCluster is a ready-to-use hybrid data center running HybridMR.
+type HybridCluster struct {
+	// System is the HybridMR scheduler; submit jobs through it.
+	System *System
+	// Cluster is the underlying hardware model.
+	Cluster *Cluster
+	// NativeJT and VirtualJT are the two MapReduce partitions (either
+	// may be nil).
+	NativeJT  *JobTracker
+	VirtualJT *JobTracker
+	// VMs are the virtual partition's worker VMs.
+	VMs []*VM
+	// HostPMs are the PMs hosting the virtual partition.
+	HostPMs []*PM
+
+	engine  *sim.Engine
+	nextSvc int
+}
+
+// NewHybridCluster assembles a hybrid data center per the spec and wires
+// the HybridMR scheduler over it.
+func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
+	if spec.NativePMs <= 0 && spec.VirtualHostPMs <= 0 {
+		return nil, fmt.Errorf("hybridmr: cluster needs at least one partition")
+	}
+	if spec.VMsPerHost <= 0 {
+		spec.VMsPerHost = 2
+	}
+
+	hc := &HybridCluster{}
+	var engine *sim.Engine
+	var cl *cluster.Cluster
+
+	if spec.VirtualHostPMs > 0 {
+		rig, err := testbed.New(testbed.Options{
+			PMs:      spec.VirtualHostPMs,
+			VMsPerPM: spec.VMsPerHost,
+			Seed:     spec.Seed,
+			MapredConfig: mapred.Config{
+				SlotCaps:      mapred.DefaultSlotCaps(),
+				CapacityAware: !spec.VanillaHadoop,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		engine, cl = rig.Engine, rig.Cluster
+		hc.VirtualJT = rig.JT
+		hc.VMs = rig.VMs
+		hc.HostPMs = rig.PMs
+	} else {
+		engine = sim.New()
+		cl = cluster.New(engine, cluster.Config{}, spec.Seed)
+	}
+
+	if spec.NativePMs > 0 {
+		pms := cl.AddPMs("native", spec.NativePMs)
+		nativeFS := dfs.New(engine, dfs.Config{}, spec.Seed+13)
+		hc.NativeJT = mapred.NewJobTracker(engine, nativeFS, mapred.Config{}, mapred.Fair{})
+		for _, pm := range pms {
+			hc.NativeJT.AddTracker(pm)
+		}
+	}
+
+	cfg := spec.Config
+	if spec.VanillaHadoop {
+		cfg.DisableDRM = true
+		cfg.DisableIPS = true
+	}
+	sys, err := core.NewSystem(engine, cl, hc.NativeJT, hc.VirtualJT, cfg)
+	if err != nil {
+		return nil, err
+	}
+	hc.System = sys
+	hc.Cluster = cl
+	hc.engine = engine
+	return hc, nil
+}
+
+// DeployService provisions a dedicated 1-vCPU/1-GB VM on one of the
+// virtual partition's hosts (round-robin) and deploys the interactive
+// application there, registered with the IPS.
+func (hc *HybridCluster) DeployService(spec ServiceSpec) (*Service, error) {
+	if len(hc.HostPMs) == 0 {
+		return nil, fmt.Errorf("hybridmr: no virtual partition to host services")
+	}
+	pm := hc.HostPMs[hc.nextSvc%len(hc.HostPMs)]
+	vm, err := hc.Cluster.AddVM(fmt.Sprintf("svc-%s-%d", spec.Name, hc.nextSvc), pm, 1, 1024)
+	if err != nil {
+		return nil, err
+	}
+	hc.nextSvc++
+	return hc.System.DeployService(spec, vm)
+}
+
+// SubmitJob runs Phase I placement and submits the job; desiredJCT of
+// zero means no deadline.
+func (hc *HybridCluster) SubmitJob(spec JobSpec, desiredJCT time.Duration, onDone func(*Job)) (*Job, Placement, error) {
+	return hc.System.SubmitJob(spec, desiredJCT, onDone)
+}
+
+// NewRecorder starts sampling utilization and energy on the cluster.
+func (hc *HybridCluster) NewRecorder(interval time.Duration) *Recorder {
+	return metrics.NewRecorder(hc.Cluster, interval, 0)
+}
+
+// RunFor advances simulated time by d.
+func (hc *HybridCluster) RunFor(d time.Duration) {
+	hc.engine.RunUntil(hc.engine.Now() + d)
+}
+
+// RunUntilIdle drains the event queue (all finite work completes).
+// Systems with deployed services never go idle; use RunFor instead.
+func (hc *HybridCluster) RunUntilIdle() { hc.engine.Run() }
+
+// Now returns the current simulated time.
+func (hc *HybridCluster) Now() time.Duration { return hc.engine.Now() }
+
+// Close stops the scheduler's control loops.
+func (hc *HybridCluster) Close() { hc.System.Stop() }

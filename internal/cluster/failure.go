@@ -1,0 +1,49 @@
+package cluster
+
+import "fmt"
+
+// Fail crashes the physical machine: every native consumer and every
+// consumer inside a hosted VM is killed (OnKilled callbacks fire, which
+// is how MapReduce learns to re-execute the lost attempts), the VMs are
+// destroyed, and the machine powers off. It models the abrupt server
+// loss the paper's fault-tolerance arguments lean on.
+//
+// A machine with an in-flight migration cannot fail (the migration
+// stream would dangle); callers retry after it completes.
+func (pm *PM) Fail() error {
+	for _, vm := range pm.vms {
+		if vm.state == VMMigrating {
+			return fmt.Errorf("cluster: %s: cannot fail during live migration of %s", pm.name, vm.name)
+		}
+	}
+	pm.settle()
+
+	// Collect first: Kill mutates the consumer lists.
+	var victims []*Consumer
+	victims = append(victims, pm.native...)
+	for _, vm := range pm.vms {
+		victims = append(victims, vm.consumers...)
+	}
+	vms := pm.vms
+	pm.vms = nil
+	pm.off = true
+	pm.update()
+
+	for _, c := range victims {
+		// Consumers were attached to this PM; Kill routes through the
+		// normal detach path and fires OnKilled.
+		if c.state == consumerRunning {
+			c.Kill()
+		}
+	}
+	// Destroyed VMs are removed from the cluster inventory.
+	for _, vm := range vms {
+		pm.cluster.vms = removeVM(pm.cluster.vms, vm)
+		vm.host = nil
+	}
+	return nil
+}
+
+// Failed reports whether the machine is down (powered off with no way
+// back other than PowerOn after repair).
+func (pm *PM) Failed() bool { return pm.off }

@@ -1,0 +1,456 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/resource"
+)
+
+// Node is anywhere a Consumer can run: a PM (native or Dom-0 execution)
+// or a VM.
+type Node interface {
+	// Name identifies the node.
+	Name() string
+	// IsVirtual reports whether the node is a VM.
+	IsVirtual() bool
+	// Machine returns the physical machine backing the node.
+	Machine() *PM
+	// Start attaches a consumer to the node and begins executing it.
+	Start(c *Consumer) error
+	// UsefulCapacity is the node's full-speed capacity in useful units
+	// (after virtualization overhead), assuming no contention.
+	UsefulCapacity() resource.Vector
+	// Consumers returns the consumers currently attached.
+	Consumers() []*Consumer
+}
+
+var (
+	_ Node = (*PM)(nil)
+	_ Node = (*VM)(nil)
+)
+
+// PM is a physical machine. Consumers started directly on a PM run
+// natively (or in Dom-0 if a Dom-0 overhead profile is installed); VMs
+// hosted by the PM contend with them under the two-level fair-share
+// kernel.
+type PM struct {
+	name           string
+	cluster        *Cluster
+	capacity       resource.Vector
+	nativeOverhead OverheadProfile
+	vms            []*VM
+	native         []*Consumer
+	off            bool
+
+	rawUsage   resource.Vector // current total raw allocation, for accounting
+	lastSettle time.Duration
+}
+
+// Name returns the PM's name.
+func (pm *PM) Name() string { return pm.name }
+
+// IsVirtual reports false: a PM is bare metal.
+func (pm *PM) IsVirtual() bool { return false }
+
+// Machine returns the PM itself.
+func (pm *PM) Machine() *PM { return pm }
+
+// Capacity returns the raw hardware capacity.
+func (pm *PM) Capacity() resource.Vector { return pm.capacity }
+
+// UsefulCapacity returns capacity scaled by the native overhead profile
+// (identity for bare metal, slightly less for Dom-0 mode).
+func (pm *PM) UsefulCapacity() resource.Vector {
+	v := pm.capacity
+	v = v.Set(resource.CPU, v.Get(resource.CPU)*pm.nativeOverhead.CPU)
+	v = v.Set(resource.DiskIO, v.Get(resource.DiskIO)*pm.nativeOverhead.Disk)
+	v = v.Set(resource.NetIO, v.Get(resource.NetIO)*pm.nativeOverhead.Net)
+	return v
+}
+
+// SetDom0Mode switches direct execution on this PM between bare metal
+// (false) and Xen privileged-domain mode (true), which carries the small
+// Dom-0 overhead the paper measures in Figure 2(c).
+func (pm *PM) SetDom0Mode(enabled bool) {
+	pm.settle()
+	if enabled {
+		pm.nativeOverhead = Dom0Overhead()
+	} else {
+		pm.nativeOverhead = NoOverhead()
+	}
+	pm.update()
+}
+
+// VMs returns the VMs currently hosted on this PM.
+func (pm *PM) VMs() []*VM {
+	out := make([]*VM, len(pm.vms))
+	copy(out, pm.vms)
+	return out
+}
+
+// Consumers returns the native consumers attached directly to the PM.
+func (pm *PM) Consumers() []*Consumer {
+	out := make([]*Consumer, len(pm.native))
+	copy(out, pm.native)
+	return out
+}
+
+// Start begins executing a consumer natively on the PM.
+func (pm *PM) Start(c *Consumer) error {
+	if c == nil {
+		return fmt.Errorf("cluster: %s: Start(nil)", pm.name)
+	}
+	if c.state == consumerRunning {
+		return fmt.Errorf("cluster: %s: consumer %q already running on %s", pm.name, c.Name, c.node.Name())
+	}
+	if pm.off {
+		return fmt.Errorf("cluster: %s: powered off", pm.name)
+	}
+	pm.settle()
+	c.state = consumerRunning
+	c.node = pm
+	c.host = pm
+	c.vm = nil
+	c.remaining = c.Work
+	c.lastSettle = pm.cluster.engine.Now()
+	pm.native = append(pm.native, c)
+	pm.update()
+	return nil
+}
+
+// PowerOff turns the PM off. It fails if any consumer or VM is still
+// present, because powering off busy hardware is an operator error the
+// scheduler must never make.
+func (pm *PM) PowerOff() error {
+	if len(pm.native) > 0 || len(pm.vms) > 0 {
+		return fmt.Errorf("cluster: %s: cannot power off with %d consumers and %d VMs",
+			pm.name, len(pm.native), len(pm.vms))
+	}
+	pm.off = true
+	return nil
+}
+
+// PowerOn turns the PM back on.
+func (pm *PM) PowerOn() { pm.off = false }
+
+// Off reports whether the PM is powered off.
+func (pm *PM) Off() bool { return pm.off }
+
+// Utilization returns the PM's current raw usage divided by capacity,
+// per resource dimension, each in [0, 1].
+func (pm *PM) Utilization() resource.Vector {
+	u := pm.rawUsage.Div(pm.capacity)
+	one := resource.NewVector(1, 1, 1, 1)
+	return u.Min(one)
+}
+
+// PowerW returns the instantaneous power draw under the linear model
+// P(u_cpu) = idle + (peak-idle) * u_cpu; 0 when powered off.
+func (pm *PM) PowerW() float64 {
+	if pm.off {
+		return 0
+	}
+	cfg := pm.cluster.cfg
+	return cfg.PowerIdleW + (cfg.PowerPeakW-cfg.PowerIdleW)*pm.Utilization().Get(resource.CPU)
+}
+
+// allConsumers iterates native consumers and those of every hosted VM.
+func (pm *PM) allConsumers(fn func(c *Consumer)) {
+	for _, c := range pm.native {
+		fn(c)
+	}
+	for _, vm := range pm.vms {
+		for _, c := range vm.consumers {
+			fn(c)
+		}
+	}
+}
+
+// settle integrates every consumer's progress at the current speeds up to
+// the present instant. It must run before any state change that affects
+// allocations.
+func (pm *PM) settle() {
+	now := pm.cluster.engine.Now()
+	pm.allConsumers(func(c *Consumer) {
+		if c.Work < 0 {
+			c.lastSettle = now
+			return
+		}
+		dt := (now - c.lastSettle).Seconds()
+		if dt > 0 && c.speed > 0 {
+			c.remaining -= dt * c.speed
+			if c.remaining < 0 {
+				c.remaining = 0
+			}
+		}
+		c.lastSettle = now
+	})
+	pm.lastSettle = now
+}
+
+// update re-solves the two-level fair-share allocation and reschedules
+// completion events. Callers must settle first (update settles again
+// defensively; settling twice at the same instant is a no-op).
+func (pm *PM) update() {
+	pm.settle()
+	pm.resolve()
+	pm.reschedule()
+}
+
+// resolve computes allocations and speeds for every consumer on the PM.
+func (pm *PM) resolve() {
+	cfg := pm.cluster.cfg
+
+	// Count VMs actively demanding disk and network I/O: the Dom-0
+	// backend bottleneck penalizes concurrent virtual I/O streams.
+	kDisk, kNet := 0, 0
+	for _, vm := range pm.vms {
+		if vm.state != VMRunning {
+			continue
+		}
+		var disk, net float64
+		for _, c := range vm.consumers {
+			disk += c.Demand.Get(resource.DiskIO)
+			net += c.Demand.Get(resource.NetIO)
+		}
+		if disk > 0 {
+			kDisk++
+		}
+		if net > 0 {
+			kNet++
+		}
+	}
+	diskInflate := 1 + cfg.IOContentionPerVM*float64(max(kDisk-1, 0))
+	netInflate := 1 + cfg.IOContentionPerVM*float64(max(kNet-1, 0))
+
+	// Top level: one group per native consumer plus one per VM.
+	type group struct {
+		members    []*Consumer
+		vm         *VM // nil for native
+		overhead   OverheadProfile
+		inflate    resource.Vector
+		weight     float64
+		cap        resource.Vector
+		memCap     float64 // memory available to members
+		rawDemands []resource.Vector
+	}
+
+	hostMem := pm.capacity.Get(resource.Memory)
+	var vmReserved float64
+	for _, vm := range pm.vms {
+		vmReserved += vm.memMB
+	}
+	nativeMem := hostMem - vmReserved
+	if nativeMem < 0 {
+		nativeMem = 0
+	}
+
+	groups := make([]*group, 0, len(pm.native)+len(pm.vms))
+	for _, c := range pm.native {
+		groups = append(groups, &group{
+			members:  []*Consumer{c},
+			overhead: pm.nativeOverhead,
+			inflate:  resource.NewVector(1, 1, 1, 1),
+			weight:   effWeight(c.Weight),
+			memCap:   nativeMem,
+		})
+	}
+	for _, vm := range pm.vms {
+		if vm.state != VMRunning || len(vm.consumers) == 0 {
+			// Paused/migrating VMs and empty VMs get no CPU/IO share;
+			// their consumers' speeds are zeroed below.
+			continue
+		}
+		g := &group{
+			members:  vm.consumers,
+			vm:       vm,
+			overhead: vm.overhead,
+			inflate:  resource.NewVector(1, 1, diskInflate, netInflate),
+			weight:   vm.weight,
+			memCap:   vm.memMB,
+		}
+		g.cap = resource.NewVector(float64(vm.vcpus), vm.memMB, 0, 0)
+		if vm.capIO.Get(resource.DiskIO) > 0 {
+			g.cap = g.cap.Set(resource.DiskIO, vm.capIO.Get(resource.DiskIO))
+		}
+		if vm.capIO.Get(resource.NetIO) > 0 {
+			g.cap = g.cap.Set(resource.NetIO, vm.capIO.Get(resource.NetIO))
+		}
+		if vm.capIO.Get(resource.CPU) > 0 && vm.capIO.Get(resource.CPU) < g.cap.Get(resource.CPU) {
+			g.cap = g.cap.Set(resource.CPU, vm.capIO.Get(resource.CPU))
+		}
+		groups = append(groups, g)
+	}
+
+	// Raw (host-level) demand of each member: useful demand divided by
+	// efficiency, inflated by cross-VM I/O contention.
+	groupDemand := make([]resource.Vector, len(groups))
+	groupWeights := make([]float64, len(groups))
+	groupCaps := make([]resource.Vector, len(groups))
+	for gi, g := range groups {
+		g.rawDemands = make([]resource.Vector, len(g.members))
+		var total resource.Vector
+		for mi, c := range g.members {
+			raw := rawDemand(c.Demand, g.overhead, g.inflate)
+			g.rawDemands[mi] = raw
+			total = total.Add(raw)
+		}
+		// A VM reserves its full memory on the host regardless of usage.
+		if g.vm != nil {
+			total = total.Set(resource.Memory, g.vm.memMB)
+		}
+		groupDemand[gi] = total
+		groupWeights[gi] = g.weight
+		groupCaps[gi] = g.cap
+	}
+	// Seek thrashing: an oversubscribed disk loses sequential bandwidth
+	// to head movement between competing streams.
+	solveCap := pm.capacity
+	diskCap := solveCap.Get(resource.DiskIO)
+	var totalDisk float64
+	for _, gd := range groupDemand {
+		totalDisk += gd.Get(resource.DiskIO)
+	}
+	if diskCap > 0 && totalDisk > diskCap {
+		// Quadratic ramp: slight oversubscription costs almost nothing
+		// (the elevator scheduler merges nearly-sequential streams),
+		// heavy oversubscription converges to the thrash floor.
+		over := totalDisk/diskCap - 1
+		divisor := 1 + cfg.DiskSeekOverloadFactor*over*over
+		if divisor > cfg.DiskSeekMaxPenalty {
+			divisor = cfg.DiskSeekMaxPenalty
+		}
+		solveCap = solveCap.Set(resource.DiskIO, diskCap/divisor)
+	}
+	groupAlloc := resource.ShareVector(solveCap, groupDemand, groupWeights, groupCaps)
+
+	// Second level: members share their group's allocation.
+	var totalRaw resource.Vector
+	for gi, g := range groups {
+		weights := make([]float64, len(g.members))
+		caps := make([]resource.Vector, len(g.members))
+		for mi, c := range g.members {
+			weights[mi] = effWeight(c.Weight)
+			caps[mi] = rawDemand(c.Cap, g.overhead, g.inflate)
+		}
+		memberAlloc := resource.ShareVector(groupAlloc[gi], g.rawDemands, weights, caps)
+
+		// Memory pressure inside the container: overcommit causes
+		// thrashing that slows every memory-using member. A consumer
+		// with a memory cap below its demand pages on its own (self
+		// penalty) but relieves the container.
+		var memDemand float64
+		selfPenalty := make([]float64, len(g.members))
+		for mi, c := range g.members {
+			use := c.Demand.Get(resource.Memory)
+			selfPenalty[mi] = 1
+			if capMem := c.Cap.Get(resource.Memory); capMem > 0 && capMem < use {
+				selfPenalty[mi] = math.Pow(capMem/use, cfg.MemPenaltyExp)
+				use = capMem
+			}
+			memDemand += use
+		}
+		memPenalty := 1.0
+		if g.memCap > 0 && memDemand > g.memCap {
+			memPenalty = math.Pow(g.memCap/memDemand, cfg.MemPenaltyExp)
+		}
+
+		for mi, c := range g.members {
+			raw := memberAlloc[mi]
+			totalRaw = totalRaw.Add(raw)
+			useful := usefulAlloc(raw, g.overhead, g.inflate)
+			c.alloc = useful
+			c.speed = progressSpeed(c.Demand, useful)
+			if c.Demand.Get(resource.Memory) > 0 {
+				c.speed *= memPenalty * selfPenalty[mi]
+			}
+		}
+	}
+
+	// Consumers on paused or migrating VMs are frozen.
+	for _, vm := range pm.vms {
+		if vm.state == VMRunning {
+			continue
+		}
+		for _, c := range vm.consumers {
+			c.alloc = resource.Vector{}
+			c.speed = 0
+		}
+		totalRaw = totalRaw.Set(resource.Memory,
+			totalRaw.Get(resource.Memory)+vm.memMB)
+	}
+	pm.rawUsage = totalRaw
+}
+
+// reschedule cancels and re-creates the completion event of every finite
+// consumer, using the freshly computed speeds.
+func (pm *PM) reschedule() {
+	engine := pm.cluster.engine
+	pm.allConsumers(func(c *Consumer) {
+		if c.completion != nil {
+			engine.Cancel(c.completion)
+			c.completion = nil
+		}
+		if c.Work < 0 || c.state != consumerRunning {
+			return
+		}
+		if c.speed <= 0 {
+			return // stalled: a future update will reschedule
+		}
+		c.completion = engine.AfterSeconds(c.remaining/c.speed, c.complete)
+	})
+}
+
+// rawDemand converts a useful demand vector into host-level raw demand
+// under an overhead profile and I/O contention inflation. Zero components
+// stay zero, so Cap vectors pass through correctly.
+func rawDemand(d resource.Vector, o OverheadProfile, inflate resource.Vector) resource.Vector {
+	d = d.Set(resource.CPU, d.Get(resource.CPU)/o.CPU*inflate.Get(resource.CPU))
+	d = d.Set(resource.DiskIO, d.Get(resource.DiskIO)/o.Disk*inflate.Get(resource.DiskIO))
+	d = d.Set(resource.NetIO, d.Get(resource.NetIO)/o.Net*inflate.Get(resource.NetIO))
+	return d
+}
+
+// usefulAlloc converts a raw host allocation back into useful units.
+func usefulAlloc(a resource.Vector, o OverheadProfile, inflate resource.Vector) resource.Vector {
+	a = a.Set(resource.CPU, a.Get(resource.CPU)*o.CPU/inflate.Get(resource.CPU))
+	a = a.Set(resource.DiskIO, a.Get(resource.DiskIO)*o.Disk/inflate.Get(resource.DiskIO))
+	a = a.Set(resource.NetIO, a.Get(resource.NetIO)*o.Net/inflate.Get(resource.NetIO))
+	return a
+}
+
+// progressSpeed is the Leontief rate: the minimum allocation/demand ratio
+// over the rate dimensions the consumer actually uses.
+func progressSpeed(demand, alloc resource.Vector) float64 {
+	speed := 1.0
+	for _, k := range [...]resource.Kind{resource.CPU, resource.DiskIO, resource.NetIO} {
+		d := demand.Get(k)
+		if d <= 0 {
+			continue
+		}
+		r := alloc.Get(k) / d
+		if r < speed {
+			speed = r
+		}
+	}
+	if speed < 0 {
+		return 0
+	}
+	return speed
+}
+
+func effWeight(w float64) float64 {
+	if w <= 0 {
+		return 1
+	}
+	return w
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

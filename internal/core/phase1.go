@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/mapred"
+	"repro/internal/profiler"
+)
+
+// Placement says which partition of the hybrid cluster a job runs on.
+type Placement int
+
+// Placements.
+const (
+	PlacedNative Placement = iota + 1
+	PlacedVirtual
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	if p == PlacedNative {
+		return "native"
+	}
+	return "virtual"
+}
+
+// Placer decides the initial placement of a batch job (Phase I).
+type Placer interface {
+	// Place returns where the job should start. desiredJCT of zero means
+	// the submitter expressed no deadline.
+	Place(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, error)
+}
+
+// ProfilingPlacer is HybridMR's Phase I scheduler (Algorithm 2): profile
+// the job, estimate its virtual-cluster completion time, and keep it on
+// the virtual cluster only when that estimate meets the job's desired
+// completion time (or, with no deadline, when the virtualization overhead
+// versus native execution is acceptable).
+type ProfilingPlacer struct {
+	// Profiler supplies Algorithm 1 estimates.
+	Profiler *profiler.Profiler
+	// NativeNodes and VirtualNodes are the sizes of the two partitions
+	// the estimates are scaled to.
+	NativeNodes  int
+	VirtualNodes int
+	// OverheadThreshold is the acceptable virtual/native JCT inflation
+	// when no deadline is given (default 0.25).
+	OverheadThreshold float64
+}
+
+var _ Placer = (*ProfilingPlacer)(nil)
+
+// Place implements Algorithm 2 for batch jobs.
+func (p *ProfilingPlacer) Place(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, error) {
+	if p.Profiler == nil {
+		return 0, fmt.Errorf("core: ProfilingPlacer has no profiler")
+	}
+	if p.VirtualNodes <= 0 {
+		return PlacedNative, nil
+	}
+	if p.NativeNodes <= 0 {
+		return PlacedVirtual, nil
+	}
+	estVirtual, err := p.Profiler.EstimateJCT(spec, profiler.Virtual, p.VirtualNodes)
+	if err != nil {
+		return 0, fmt.Errorf("core: estimate virtual JCT of %s: %w", spec.Name, err)
+	}
+	if desiredJCT > 0 {
+		if estVirtual >= desiredJCT.Seconds() {
+			return PlacedNative, nil
+		}
+		return PlacedVirtual, nil
+	}
+	estNative, err := p.Profiler.EstimateJCT(spec, profiler.Native, p.NativeNodes)
+	if err != nil {
+		return 0, fmt.Errorf("core: estimate native JCT of %s: %w", spec.Name, err)
+	}
+	threshold := p.OverheadThreshold
+	if threshold <= 0 {
+		threshold = 0.25
+	}
+	if estNative > 0 && estVirtual/estNative-1 > threshold {
+		return PlacedNative, nil
+	}
+	return PlacedVirtual, nil
+}
+
+// RandomPlacer is the paper's baseline for Figure 8(a): first-come-first-
+// served placement with no profiling, flipping a seeded coin between the
+// partitions.
+type RandomPlacer struct {
+	rng *rand.Rand
+}
+
+var _ Placer = (*RandomPlacer)(nil)
+
+// NewRandomPlacer builds the baseline placer.
+func NewRandomPlacer(seed int64) *RandomPlacer {
+	return &RandomPlacer{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Place ignores the job entirely.
+func (r *RandomPlacer) Place(mapred.JobSpec, time.Duration) (Placement, error) {
+	if r.rng.Intn(2) == 0 {
+		return PlacedNative, nil
+	}
+	return PlacedVirtual, nil
+}
+
+// StaticPlacer always answers the same partition; it provides the
+// native-only and virtual-only design points of Figure 9.
+type StaticPlacer Placement
+
+var _ Placer = StaticPlacer(0)
+
+// Place returns the fixed partition.
+func (s StaticPlacer) Place(mapred.JobSpec, time.Duration) (Placement, error) {
+	return Placement(s), nil
+}

@@ -1,0 +1,56 @@
+// Package core implements the paper's contribution: HybridMR, the
+// 2-phase hierarchical scheduler for hybrid data centers.
+//
+// Phase I (phase1.go) profiles incoming MapReduce jobs on small training
+// clusters, estimates their completion times under native and virtual
+// execution (Algorithm 1, via internal/profiler), and steers each job to
+// the physical or the virtual cluster (Algorithm 2).
+//
+// Phase II (drm.go, ips.go) manages the virtual cluster at run time: the
+// Dynamic Resource Manager (DRM) replaces Hadoop's static slot containers
+// with orchestrated per-task resource allocations, and the Interference
+// Prevention System (IPS) tracks interactive applications' SLAs and
+// evicts, throttles, pauses or migrates interfering map/reduce work
+// (Algorithm 3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mapred"
+	"repro/internal/profiler"
+	"repro/internal/testbed"
+)
+
+// SimRunner returns a profiler.Runner that executes training jobs on
+// freshly built simulated mini-clusters — the "small training cluster
+// containing both physical and virtual environments" of the paper's
+// Figure 4. The base options fix hardware and framework parameters;
+// environment and node count come from the profiler.
+func SimRunner(base testbed.Options) profiler.Runner {
+	return func(spec mapred.JobSpec, env profiler.Environment, nodes int, seed int64) (profiler.RunResult, error) {
+		opts := base
+		opts.Seed = base.Seed + seed*7919
+		if env == profiler.Native {
+			opts.PMs = nodes
+			opts.VMsPerPM = 0
+		} else {
+			// The standard virtual shape: 2 single-vCPU VMs per PM.
+			opts.VMsPerPM = 2
+			opts.PMs = (nodes + 1) / 2
+		}
+		rig, err := testbed.New(opts)
+		if err != nil {
+			return profiler.RunResult{}, fmt.Errorf("core: training rig: %w", err)
+		}
+		res, err := rig.RunJob(spec)
+		if err != nil {
+			return profiler.RunResult{}, fmt.Errorf("core: training run: %w", err)
+		}
+		return profiler.RunResult{
+			JCTSec:    res.JCT.Seconds(),
+			MapSec:    res.MapPhase.Seconds(),
+			ReduceSec: res.ReducePhase.Seconds(),
+		}, nil
+	}
+}

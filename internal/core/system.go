@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mapred"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// Config tunes the HybridMR system. Zero values take defaults matching
+// the paper's setup.
+type Config struct {
+	// Epoch is the DRM control period (default 5 s).
+	Epoch time.Duration
+	// SLAInterval is the IPS monitoring period (default 5 s).
+	SLAInterval time.Duration
+	// Modes selects the DRM-managed resources (default all).
+	Modes ResourceModes
+	// DisableDRM turns Phase II resource orchestration off (the
+	// "JCTdefault" baseline of Figure 8(b)).
+	DisableDRM bool
+	// DisableIPS turns SLA enforcement off (the "RUBiS+MapReduce"
+	// baseline of Figure 8(d)).
+	DisableIPS bool
+	// OverheadThreshold is Phase I's acceptable virtual JCT inflation
+	// for jobs without deadlines (default 0.25).
+	OverheadThreshold float64
+	// TrainingSeed parameterizes the Phase I training simulations.
+	TrainingSeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epoch <= 0 {
+		c.Epoch = 5 * time.Second
+	}
+	if c.SLAInterval <= 0 {
+		c.SLAInterval = 5 * time.Second
+	}
+	if c.Modes == (ResourceModes{}) {
+		c.Modes = AllModes()
+	}
+	if c.OverheadThreshold <= 0 {
+		c.OverheadThreshold = 0.25
+	}
+	return c
+}
+
+// System is a running HybridMR deployment over a hybrid cluster: a
+// native MapReduce partition, a virtual partition shared with interactive
+// services, the Phase I placer, and the Phase II DRM and IPS.
+type System struct {
+	engine  *sim.Engine
+	cluster *cluster.Cluster
+	cfg     Config
+
+	// NativeJT and VirtualJT are the two MapReduce partitions; either
+	// (but not both) may be nil.
+	NativeJT  *mapred.JobTracker
+	VirtualJT *mapred.JobTracker
+
+	// Placer decides Phase I placement; defaults to ProfilingPlacer.
+	Placer Placer
+
+	drm      *DRM
+	ips      *IPS
+	prof     *profiler.Profiler
+	services []*workload.Service
+
+	placements map[*mapred.Job]Placement
+}
+
+// NewSystem wires a HybridMR instance. nativeJT or virtualJT may be nil
+// when the corresponding partition does not exist (the Figure 9 design
+// points). The profiler's training runner defaults to SimRunner with the
+// cluster's hardware profile.
+func NewSystem(engine *sim.Engine, cl *cluster.Cluster, nativeJT, virtualJT *mapred.JobTracker, cfg Config) (*System, error) {
+	if nativeJT == nil && virtualJT == nil {
+		return nil, fmt.Errorf("core: NewSystem: need at least one partition")
+	}
+	cfg = cfg.withDefaults()
+	s := &System{
+		engine:     engine,
+		cluster:    cl,
+		cfg:        cfg,
+		NativeJT:   nativeJT,
+		VirtualJT:  virtualJT,
+		placements: make(map[*mapred.Job]Placement),
+	}
+	s.prof = profiler.New(SimRunner(testbed.Options{
+		Seed:          cfg.TrainingSeed,
+		ClusterConfig: cl.Config(),
+	}))
+	nativeNodes, virtualNodes := 0, 0
+	if nativeJT != nil {
+		nativeNodes = len(nativeJT.Trackers())
+	}
+	if virtualJT != nil {
+		virtualNodes = len(virtualJT.Trackers())
+	}
+	s.Placer = &ProfilingPlacer{
+		Profiler:          s.prof,
+		NativeNodes:       nativeNodes,
+		VirtualNodes:      virtualNodes,
+		OverheadThreshold: cfg.OverheadThreshold,
+	}
+	if virtualJT != nil {
+		if !cfg.DisableDRM {
+			s.drm = NewDRM(engine, virtualJT, cfg.Modes, cfg.Epoch)
+		}
+		if !cfg.DisableIPS {
+			s.ips = NewIPS(engine, cl, virtualJT)
+		}
+	}
+	return s, nil
+}
+
+// Engine returns the simulation engine.
+func (s *System) Engine() *sim.Engine { return s.engine }
+
+// Profiler exposes the Phase I profiler (e.g. for pre-training or
+// accuracy experiments).
+func (s *System) Profiler() *profiler.Profiler { return s.prof }
+
+// DRM returns the Phase II resource manager, nil when disabled.
+func (s *System) DRM() *DRM { return s.drm }
+
+// IPS returns the Phase II interference prevention system, nil when
+// disabled.
+func (s *System) IPS() *IPS { return s.ips }
+
+// DeployService places an interactive application on a VM of the virtual
+// cluster and registers it for SLA monitoring. Per Algorithm 2,
+// transactional workloads always land on the virtual partition.
+func (s *System) DeployService(spec workload.ServiceSpec, vm *cluster.VM) (*workload.Service, error) {
+	svc, err := workload.Deploy(spec, vm)
+	if err != nil {
+		return nil, err
+	}
+	s.services = append(s.services, svc)
+	if s.ips != nil {
+		s.ips.Watch(svc)
+		s.ips.Start(s.cfg.SLAInterval)
+	}
+	return svc, nil
+}
+
+// Services returns the deployed interactive applications.
+func (s *System) Services() []*workload.Service {
+	out := make([]*workload.Service, len(s.services))
+	copy(out, s.services)
+	return out
+}
+
+// SubmitJob runs Phase I placement for a batch job and submits it to the
+// chosen partition. desiredJCT of zero means no deadline. The returned
+// placement says where it went.
+func (s *System) SubmitJob(spec mapred.JobSpec, desiredJCT time.Duration, onDone func(*mapred.Job)) (*mapred.Job, Placement, error) {
+	placement, err := s.Placer.Place(spec, desiredJCT)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Degrade gracefully when the chosen partition does not exist.
+	if placement == PlacedNative && s.NativeJT == nil {
+		placement = PlacedVirtual
+	}
+	if placement == PlacedVirtual && s.VirtualJT == nil {
+		placement = PlacedNative
+	}
+	jt := s.VirtualJT
+	env := profiler.Virtual
+	if placement == PlacedNative {
+		jt = s.NativeJT
+		env = profiler.Native
+	}
+	nodes := len(jt.Trackers())
+	job, err := jt.Submit(spec, func(j *mapred.Job) {
+		// Online profiling: fold the production run back into the Phase I
+		// database so future placement decisions use real history.
+		s.prof.Observe(spec, env, nodes, profiler.RunResult{
+			JCTSec:    j.JCT().Seconds(),
+			MapSec:    j.MapPhase().Seconds(),
+			ReduceSec: j.ReducePhase().Seconds(),
+		})
+		if onDone != nil {
+			onDone(j)
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	s.placements[job] = placement
+	if placement == PlacedVirtual && s.drm != nil {
+		s.drm.Start()
+	}
+	return job, placement, nil
+}
+
+// PlacementOf reports where a job was placed.
+func (s *System) PlacementOf(job *mapred.Job) (Placement, bool) {
+	p, ok := s.placements[job]
+	return p, ok
+}
+
+// Stop halts the Phase II control loops.
+func (s *System) Stop() {
+	if s.drm != nil {
+		s.drm.Stop()
+	}
+	if s.ips != nil {
+		s.ips.Stop()
+	}
+	if s.NativeJT != nil {
+		s.NativeJT.Close()
+	}
+	if s.VirtualJT != nil {
+		s.VirtualJT.Close()
+	}
+}

@@ -1,0 +1,388 @@
+// Package dfs simulates an HDFS-like distributed filesystem: a namespace
+// of files split into fixed-size blocks, replicated across DataNodes that
+// live on cluster nodes. Reads and writes become resource consumers on
+// the involved nodes, so DFS traffic contends with MapReduce tasks and
+// interactive services exactly as on the paper's testbed. The package
+// also provides the TestDFSIO benchmark used for Figure 1(c).
+package dfs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the filesystem. Zero values take the Hadoop v0.22
+// defaults used in the paper (64 MB blocks, 2 replicas).
+type Config struct {
+	// BlockMB is the block size.
+	BlockMB float64
+	// Replication is the number of replicas per block.
+	Replication int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockMB <= 0 {
+		c.BlockMB = 64
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	return c
+}
+
+// DataNode stores block replicas on a cluster node.
+type DataNode struct {
+	node   cluster.Node
+	blocks map[string]struct{}
+	usedMB float64
+}
+
+// Node returns the cluster node backing this DataNode.
+func (d *DataNode) Node() cluster.Node { return d.node }
+
+// UsedMB returns the bytes stored.
+func (d *DataNode) UsedMB() float64 { return d.usedMB }
+
+// BlockCount returns the number of replicas resident.
+func (d *DataNode) BlockCount() int { return len(d.blocks) }
+
+// Block is one block of a file.
+type Block struct {
+	// ID is unique within the filesystem.
+	ID string
+	// SizeMB is the block's size (the last block may be short).
+	SizeMB float64
+	// Replicas are the DataNodes holding a copy.
+	Replicas []*DataNode
+}
+
+// File is a named sequence of blocks.
+type File struct {
+	// Name is the file's path.
+	Name string
+	// SizeMB is the total size.
+	SizeMB float64
+	// Blocks lists the file's blocks in order.
+	Blocks []*Block
+}
+
+// FileSystem is the NameNode: namespace plus block placement.
+type FileSystem struct {
+	engine    *sim.Engine
+	cfg       Config
+	rng       *rand.Rand
+	datanodes []*DataNode
+	byNode    map[cluster.Node]*DataNode
+	files     map[string]*File
+	nextBlock int
+}
+
+// New creates an empty filesystem on the given engine.
+func New(engine *sim.Engine, cfg Config, seed int64) *FileSystem {
+	return &FileSystem{
+		engine: engine,
+		cfg:    cfg.withDefaults(),
+		rng:    rand.New(rand.NewSource(seed)),
+		byNode: make(map[cluster.Node]*DataNode),
+		files:  make(map[string]*File),
+	}
+}
+
+// Config returns the effective configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// AddDataNode registers a cluster node as block storage. Adding the same
+// node twice returns the existing DataNode.
+func (fs *FileSystem) AddDataNode(n cluster.Node) *DataNode {
+	if d, ok := fs.byNode[n]; ok {
+		return d
+	}
+	d := &DataNode{node: n, blocks: make(map[string]struct{})}
+	fs.datanodes = append(fs.datanodes, d)
+	fs.byNode[n] = d
+	return d
+}
+
+// DataNodes returns the registered DataNodes.
+func (fs *FileSystem) DataNodes() []*DataNode {
+	out := make([]*DataNode, len(fs.datanodes))
+	copy(out, fs.datanodes)
+	return out
+}
+
+// File looks up a file by name.
+func (fs *FileSystem) File(name string) (*File, bool) {
+	f, ok := fs.files[name]
+	return f, ok
+}
+
+// CreateFile lays out a file's blocks and replicas instantly, without
+// simulating the write traffic. Workload setup uses it to pre-load input
+// data sets, mirroring how the paper's inputs exist in HDFS before the
+// measured runs begin.
+func (fs *FileSystem) CreateFile(name string, sizeMB float64, preferred cluster.Node) (*File, error) {
+	if _, exists := fs.files[name]; exists {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	if sizeMB <= 0 {
+		return nil, fmt.Errorf("dfs: file %q: size must be positive", name)
+	}
+	if len(fs.datanodes) == 0 {
+		return nil, fmt.Errorf("dfs: no DataNodes registered")
+	}
+	f := &File{Name: name, SizeMB: sizeMB}
+	remaining := sizeMB
+	for remaining > 0 {
+		size := math.Min(fs.cfg.BlockMB, remaining)
+		remaining -= size
+		b := &Block{
+			ID:     fmt.Sprintf("blk-%d", fs.nextBlock),
+			SizeMB: size,
+		}
+		fs.nextBlock++
+		b.Replicas = fs.placeReplicas(preferred)
+		for _, d := range b.Replicas {
+			d.blocks[b.ID] = struct{}{}
+			d.usedMB += size
+		}
+		f.Blocks = append(f.Blocks, b)
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Delete removes a file and frees its replicas.
+func (fs *FileSystem) Delete(name string) error {
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("dfs: file %q not found", name)
+	}
+	for _, b := range f.Blocks {
+		for _, d := range b.Replicas {
+			if _, has := d.blocks[b.ID]; has {
+				delete(d.blocks, b.ID)
+				d.usedMB -= b.SizeMB
+			}
+		}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// placeReplicas implements the HDFS default policy: first replica on the
+// writer's DataNode when it is one, remaining replicas on randomly chosen
+// DataNodes — preferring distinct physical machines so a single server
+// failure cannot take out every copy, falling back to merely distinct
+// DataNodes when the cluster is too small for machine diversity.
+func (fs *FileSystem) placeReplicas(preferred cluster.Node) []*DataNode {
+	want := fs.cfg.Replication
+	if want > len(fs.datanodes) {
+		want = len(fs.datanodes)
+	}
+	chosen := make([]*DataNode, 0, want)
+	used := make(map[*DataNode]struct{}, want)
+	usedMachines := make(map[*cluster.PM]struct{}, want)
+	add := func(d *DataNode) {
+		chosen = append(chosen, d)
+		used[d] = struct{}{}
+		usedMachines[d.node.Machine()] = struct{}{}
+	}
+	if preferred != nil {
+		if d, ok := fs.byNode[preferred]; ok {
+			add(d)
+		}
+	}
+	// Two passes: machine-diverse first, then any distinct DataNode.
+	for _, machineDiverse := range [...]bool{true, false} {
+		attempts := 0
+		for len(chosen) < want && attempts < 8*len(fs.datanodes) {
+			attempts++
+			d := fs.datanodes[fs.rng.Intn(len(fs.datanodes))]
+			if _, dup := used[d]; dup {
+				continue
+			}
+			if machineDiverse {
+				if _, dup := usedMachines[d.node.Machine()]; dup {
+					continue
+				}
+			}
+			add(d)
+		}
+	}
+	return chosen
+}
+
+// FailureReport summarizes the namespace damage after a DataNode loss.
+type FailureReport struct {
+	// ReReplicated counts blocks that lost one replica and were copied
+	// to a new holder.
+	ReReplicated int
+	// Lost counts blocks whose every replica was on failed nodes; their
+	// files are unreadable.
+	Lost int
+}
+
+// HandleNodeFailure removes the DataNode on n from the namespace and
+// repairs the damage; see HandleNodeFailures.
+func (fs *FileSystem) HandleNodeFailure(n cluster.Node) FailureReport {
+	return fs.HandleNodeFailures([]cluster.Node{n})
+}
+
+// HandleNodeFailures removes the DataNodes on every given node from the
+// namespace, then re-replicates blocks that lost replicas onto surviving
+// DataNodes (charging best-effort background copy traffic to the new
+// holders, as the NameNode's re-replication queue would), and reports
+// blocks whose last replica died. Correlated failures — a physical
+// machine taking all of its VMs down — must be passed as one batch so no
+// doomed node is chosen as a re-replication target.
+func (fs *FileSystem) HandleNodeFailures(nodes []cluster.Node) FailureReport {
+	failedSet := make(map[*DataNode]struct{}, len(nodes))
+	for _, n := range nodes {
+		failed, ok := fs.byNode[n]
+		if !ok {
+			continue
+		}
+		failedSet[failed] = struct{}{}
+		delete(fs.byNode, n)
+		for i, d := range fs.datanodes {
+			if d == failed {
+				fs.datanodes = append(fs.datanodes[:i], fs.datanodes[i+1:]...)
+				break
+			}
+		}
+	}
+	if len(failedSet) == 0 {
+		return FailureReport{}
+	}
+
+	var report FailureReport
+	for _, f := range fs.files {
+		for _, b := range f.Blocks {
+			kept := b.Replicas[:0]
+			lostOne := false
+			for _, r := range b.Replicas {
+				if _, dead := failedSet[r]; dead {
+					lostOne = true
+					continue
+				}
+				kept = append(kept, r)
+			}
+			b.Replicas = kept
+			if !lostOne {
+				continue
+			}
+			if len(b.Replicas) == 0 {
+				report.Lost++
+				continue
+			}
+			if len(fs.datanodes) <= len(b.Replicas) {
+				continue // nowhere new to copy
+			}
+			target := fs.pickNewReplica(b)
+			if target == nil {
+				continue
+			}
+			b.Replicas = append(b.Replicas, target)
+			target.blocks[b.ID] = struct{}{}
+			target.usedMB += b.SizeMB
+			report.ReReplicated++
+			// Background copy: disk+net load on the new holder for the
+			// block's transfer, best effort.
+			copyRate := 20.0
+			_ = target.node.Start(&cluster.Consumer{
+				Name:   fmt.Sprintf("dfs-rereplicate:%s@%s", b.ID, target.node.Name()),
+				Demand: resourceVectorForCopy(copyRate),
+				Work:   b.SizeMB / copyRate,
+			})
+		}
+	}
+	return report
+}
+
+// pickNewReplica chooses a surviving DataNode not already holding the
+// block.
+func (fs *FileSystem) pickNewReplica(b *Block) *DataNode {
+	holders := make(map[*DataNode]struct{}, len(b.Replicas))
+	for _, r := range b.Replicas {
+		holders[r] = struct{}{}
+	}
+	// Deterministic seeded choice among candidates.
+	var candidates []*DataNode
+	for _, d := range fs.datanodes {
+		if _, dup := holders[d]; !dup {
+			candidates = append(candidates, d)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[fs.rng.Intn(len(candidates))]
+}
+
+// Locality describes how close a block replica is to a reader.
+type Locality int
+
+// Locality levels, from best to worst.
+const (
+	NodeLocal Locality = iota + 1
+	HostLocal
+	Remote
+)
+
+// String names the locality level.
+func (l Locality) String() string {
+	switch l {
+	case NodeLocal:
+		return "node-local"
+	case HostLocal:
+		return "host-local"
+	case Remote:
+		return "remote"
+	default:
+		return fmt.Sprintf("locality(%d)", int(l))
+	}
+}
+
+// BlockLocality returns the best locality of any replica of b relative to
+// the reader: on the same node, on a different node of the same physical
+// host (VMs sharing a PM exchange data without the NIC), or remote.
+func (fs *FileSystem) BlockLocality(b *Block, reader cluster.Node) Locality {
+	best := Remote
+	for _, d := range b.Replicas {
+		if d.node == reader {
+			return NodeLocal
+		}
+		if d.node.Machine() == reader.Machine() && best > HostLocal {
+			best = HostLocal
+		}
+	}
+	return best
+}
+
+// LocalityFractions returns the fraction of a file's blocks at each
+// locality level for the given reader.
+func (fs *FileSystem) LocalityFractions(name string, reader cluster.Node) (nodeLocal, hostLocal, remote float64, err error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("dfs: file %q not found", name)
+	}
+	if len(f.Blocks) == 0 {
+		return 0, 0, 0, nil
+	}
+	for _, b := range f.Blocks {
+		switch fs.BlockLocality(b, reader) {
+		case NodeLocal:
+			nodeLocal++
+		case HostLocal:
+			hostLocal++
+		default:
+			remote++
+		}
+	}
+	n := float64(len(f.Blocks))
+	return nodeLocal / n, hostLocal / n, remote / n, nil
+}

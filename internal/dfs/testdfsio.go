@@ -1,0 +1,78 @@
+package dfs
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// DFSIOResult aggregates a TestDFSIO run the way the Hadoop benchmark
+// reports it, matching the two metrics of Figure 1(c).
+type DFSIOResult struct {
+	// Files is the number of files processed.
+	Files int
+	// FileSizeMB is the size of each file.
+	FileSizeMB float64
+	// AvgIORateMBps is the mean of per-file rates ("average IO rate").
+	AvgIORateMBps float64
+	// ThroughputMBps is total bytes over the sum of per-file processing
+	// times ("throughput").
+	ThroughputMBps float64
+}
+
+// TestDFSIOWrite writes one file per node concurrently and reports the
+// aggregate statistics. It runs the simulation to completion.
+func TestDFSIOWrite(fs *FileSystem, nodes []cluster.Node, fileSizeMB float64) (DFSIOResult, error) {
+	stats := make([]TransferStats, 0, len(nodes))
+	for i, n := range nodes {
+		name := fmt.Sprintf("/benchmarks/TestDFSIO/write-%d", i)
+		err := fs.Write(name, fileSizeMB, n, WriteOptions{}, func(s TransferStats) {
+			stats = append(stats, s)
+		})
+		if err != nil {
+			return DFSIOResult{}, err
+		}
+	}
+	fs.engine.Run()
+	return summarizeDFSIO(stats, len(nodes), fileSizeMB)
+}
+
+// TestDFSIORead reads the files produced by TestDFSIOWrite, one per node,
+// and reports aggregate statistics. It runs the simulation to completion.
+func TestDFSIORead(fs *FileSystem, nodes []cluster.Node, fileSizeMB float64) (DFSIOResult, error) {
+	stats := make([]TransferStats, 0, len(nodes))
+	for i, n := range nodes {
+		name := fmt.Sprintf("/benchmarks/TestDFSIO/write-%d", i)
+		if _, ok := fs.File(name); !ok {
+			if _, err := fs.CreateFile(name, fileSizeMB, n); err != nil {
+				return DFSIOResult{}, err
+			}
+		}
+		err := fs.Read(name, n, ReadOptions{}, func(s TransferStats) {
+			stats = append(stats, s)
+		})
+		if err != nil {
+			return DFSIOResult{}, err
+		}
+	}
+	fs.engine.Run()
+	return summarizeDFSIO(stats, len(nodes), fileSizeMB)
+}
+
+func summarizeDFSIO(stats []TransferStats, files int, fileSizeMB float64) (DFSIOResult, error) {
+	if len(stats) != files {
+		return DFSIOResult{}, fmt.Errorf("dfs: TestDFSIO: %d of %d transfers completed", len(stats), files)
+	}
+	var rateSum, timeSum, bytes float64
+	for _, s := range stats {
+		rateSum += s.RateMBps
+		timeSum += s.Elapsed.Seconds()
+		bytes += s.SizeMB
+	}
+	res := DFSIOResult{Files: files, FileSizeMB: fileSizeMB}
+	res.AvgIORateMBps = rateSum / float64(files)
+	if timeSum > 0 {
+		res.ThroughputMBps = bytes / timeSum
+	}
+	return res, nil
+}

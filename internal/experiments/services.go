@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/testbed"
+)
+
+// addServiceVM provisions a dedicated 1-vCPU/1-GB VM for an interactive
+// application on the given PM of a rig. The paper runs interactive
+// tenants in their own VMs (and adopts the split Hadoop architecture), so
+// service VMs are never TaskTrackers or DataNodes — interference with
+// batch work happens at the physical-host level.
+func addServiceVM(rig *testbed.Rig, pmIndex int, name string) (*cluster.VM, error) {
+	pm := rig.PMs[pmIndex%len(rig.PMs)]
+	return rig.Cluster.AddVM(fmt.Sprintf("svc-%s-%d", name, pmIndex), pm, 1, 1024)
+}

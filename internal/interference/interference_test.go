@@ -1,0 +1,176 @@
+package interference
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPredictorNeedsMinimumSamples(t *testing.T) {
+	p := NewPredictor(LinearFamily)
+	if _, ok := p.Predict(1); ok {
+		t.Error("prediction available with zero samples")
+	}
+	p.Observe(1, 1)
+	if _, ok := p.Predict(1); ok {
+		t.Error("linear prediction available with one sample")
+	}
+	p.Observe(2, 2)
+	if _, ok := p.Predict(3); !ok {
+		t.Error("linear prediction unavailable with two samples")
+	}
+}
+
+func TestLinearPredictorLearnsSlowdown(t *testing.T) {
+	p := NewPredictor(LinearFamily)
+	// Ground truth: slowdown = 1 + 0.6 * collocated CPU.
+	for x := 0.0; x <= 4; x += 0.5 {
+		p.Observe(x, 1+0.6*x)
+	}
+	got, ok := p.Predict(6)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if math.Abs(got-4.6) > 1e-6 {
+		t.Errorf("Predict(6) = %v, want 4.6", got)
+	}
+}
+
+func TestExponentialPredictorLearnsIOInterference(t *testing.T) {
+	p := NewPredictor(ExponentialFamily)
+	// Ground truth: slowdown = exp(0.05 * ioRate), the paper's
+	// exponential JCT blowup under I/O contention.
+	for x := 0.0; x <= 60; x += 5 {
+		p.Observe(x, math.Exp(0.05*x))
+	}
+	got, ok := p.Predict(80)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	want := math.Exp(0.05 * 80)
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("Predict(80) = %v, want %v", got, want)
+	}
+}
+
+func TestExponentialFallsBackOnLinear(t *testing.T) {
+	p := NewPredictor(ExponentialFamily)
+	p.Observe(1, 0) // clamped to tiny positive, not rejected
+	p.Observe(2, 2)
+	p.Observe(3, 3)
+	if _, ok := p.Predict(4); !ok {
+		t.Error("no prediction despite fallback path")
+	}
+}
+
+func TestPiecewisePredictorFindsKnee(t *testing.T) {
+	p := NewPredictor(PiecewiseFamily)
+	// Memory interference: flat until the working set exceeds RAM, then
+	// steep.
+	for x := 0.0; x <= 2; x += 0.125 {
+		y := 1.0
+		if x > 1 {
+			y = 1 + 4*(x-1)
+		}
+		p.Observe(x, y)
+	}
+	low, ok := p.Predict(0.5)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	high, _ := p.Predict(1.9)
+	if math.Abs(low-1) > 0.3 {
+		t.Errorf("Predict(0.5) = %v, want ~1", low)
+	}
+	if high < 3 {
+		t.Errorf("Predict(1.9) = %v, want > 3", high)
+	}
+}
+
+func TestPiecewiseFallsBackWithFewSamples(t *testing.T) {
+	p := NewPredictor(PiecewiseFamily)
+	p.Observe(0, 1)
+	p.Observe(1, 2)
+	p.Observe(2, 3)
+	if _, ok := p.Predict(1.5); ok {
+		t.Error("piecewise predicted below its 4-sample minimum")
+	}
+	p.Observe(3, 4)
+	got, ok := p.Predict(4)
+	if !ok {
+		t.Fatal("no prediction with 4 samples")
+	}
+	if math.Abs(got-5) > 0.5 {
+		t.Errorf("Predict(4) = %v, want ~5", got)
+	}
+}
+
+func TestObservationWindowSlides(t *testing.T) {
+	p := NewPredictor(LinearFamily)
+	p.MaxSamples = 10
+	// Old regime: flat at 1.
+	for i := 0; i < 50; i++ {
+		p.Observe(float64(i%5), 1)
+	}
+	// New regime: steep.
+	for i := 0; i < 10; i++ {
+		x := float64(i % 5)
+		p.Observe(x, 1+2*x)
+	}
+	if p.Len() != 10 {
+		t.Fatalf("window length = %d, want 10", p.Len())
+	}
+	got, ok := p.Predict(4)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if math.Abs(got-9) > 0.5 {
+		t.Errorf("Predict(4) = %v, want ~9 (new regime)", got)
+	}
+}
+
+func TestNoisyFitStillReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewPredictor(LinearFamily)
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 8
+		p.Observe(x, 1+0.5*x+rng.NormFloat64()*0.2)
+	}
+	got, ok := p.Predict(4)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if math.Abs(got-3) > 0.3 {
+		t.Errorf("Predict(4) = %v, want ~3", got)
+	}
+}
+
+func TestNewModelsFamilies(t *testing.T) {
+	m := NewModels()
+	if m.CPU.Family() != LinearFamily {
+		t.Errorf("CPU family = %v, want linear (paper Section III-B)", m.CPU.Family())
+	}
+	if m.Memory.Family() != PiecewiseFamily {
+		t.Errorf("Memory family = %v, want piecewise", m.Memory.Family())
+	}
+	if m.IO.Family() != ExponentialFamily {
+		t.Errorf("IO family = %v, want exponential", m.IO.Family())
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	tests := []struct {
+		f    Family
+		want string
+	}{
+		{LinearFamily, "linear"},
+		{PiecewiseFamily, "piecewise-linear"},
+		{ExponentialFamily, "exponential"},
+		{Family(9), "family(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.f.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

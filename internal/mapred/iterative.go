@@ -1,0 +1,140 @@
+package mapred
+
+import (
+	"fmt"
+	"time"
+)
+
+// IterativeSpec describes a Twister-style iterative MapReduce
+// computation — the paper's named future work. The base job runs
+// Iterations times; each iteration's output becomes the next iteration's
+// input.
+type IterativeSpec struct {
+	// Base is the per-iteration job shape.
+	Base JobSpec
+	// Iterations is the number of rounds (e.g. Kmeans until
+	// convergence).
+	Iterations int
+	// OutputGrowth scales the next iteration's input relative to the
+	// current one (1 for Kmeans-style relabeling, <1 for shrinking
+	// frontiers). Default 1.
+	OutputGrowth float64
+}
+
+// Validate reports structural problems.
+func (s IterativeSpec) Validate() error {
+	if err := s.Base.Validate(); err != nil {
+		return err
+	}
+	if s.Iterations <= 0 {
+		return fmt.Errorf("mapred: iterative %s: Iterations must be positive", s.Base.Name)
+	}
+	if s.OutputGrowth < 0 {
+		return fmt.Errorf("mapred: iterative %s: negative OutputGrowth", s.Base.Name)
+	}
+	return nil
+}
+
+// IterativeJob is a chain of per-iteration jobs.
+type IterativeJob struct {
+	// Spec is the iterative description.
+	Spec IterativeSpec
+	// OnComplete fires when the last iteration finishes.
+	OnComplete func(*IterativeJob)
+
+	jt          *JobTracker
+	jobs        []*Job
+	submittedAt time.Duration
+	doneAt      time.Duration
+	done        bool
+	failed      error
+}
+
+// Jobs returns the per-iteration jobs launched so far.
+func (ij *IterativeJob) Jobs() []*Job {
+	out := make([]*Job, len(ij.jobs))
+	copy(out, ij.jobs)
+	return out
+}
+
+// Done reports whether every iteration completed.
+func (ij *IterativeJob) Done() bool { return ij.done }
+
+// Err returns the error that aborted the chain, if any.
+func (ij *IterativeJob) Err() error { return ij.failed }
+
+// JCT is the end-to-end completion time across all iterations, zero
+// until done.
+func (ij *IterativeJob) JCT() time.Duration {
+	if !ij.done {
+		return 0
+	}
+	return ij.doneAt - ij.submittedAt
+}
+
+// CompletedIterations counts finished rounds.
+func (ij *IterativeJob) CompletedIterations() int {
+	n := 0
+	for _, j := range ij.jobs {
+		if j.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// SubmitIterative runs an iterative computation: iteration i+1 is
+// submitted from iteration i's completion callback with the scaled input
+// size, exactly as Twister re-feeds intermediate results. Fixed-work
+// jobs repeat unchanged.
+func (jt *JobTracker) SubmitIterative(spec IterativeSpec, onDone func(*IterativeJob)) (*IterativeJob, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.OutputGrowth == 0 {
+		spec.OutputGrowth = 1
+	}
+	ij := &IterativeJob{Spec: spec, OnComplete: onDone, jt: jt, submittedAt: jt.engine.Now()}
+	if err := ij.submitRound(0, spec.Base.InputMB); err != nil {
+		return nil, err
+	}
+	return ij, nil
+}
+
+func (ij *IterativeJob) submitRound(round int, inputMB float64) error {
+	spec := ij.Spec.Base
+	spec.Name = fmt.Sprintf("%s-iter%d", ij.Spec.Base.Name, round)
+	if spec.FixedMapWork <= 0 {
+		spec.InputMB = inputMB
+		if spec.InputMB < 64 {
+			spec.InputMB = 64
+		}
+	}
+	job, err := ij.jt.Submit(spec, func(j *Job) { ij.roundDone(round, j) })
+	if err != nil {
+		ij.failed = err
+		return err
+	}
+	ij.jobs = append(ij.jobs, job)
+	return nil
+}
+
+func (ij *IterativeJob) roundDone(round int, j *Job) {
+	if round+1 >= ij.Spec.Iterations {
+		ij.done = true
+		ij.doneAt = ij.jt.engine.Now()
+		if ij.OnComplete != nil {
+			ij.OnComplete(ij)
+		}
+		return
+	}
+	next := j.Spec.InputMB * ij.Spec.OutputGrowth
+	if err := ij.submitRound(round+1, next); err != nil {
+		// The chain aborts; Err exposes the cause.
+		ij.done = true
+		ij.doneAt = ij.jt.engine.Now()
+		if ij.OnComplete != nil {
+			ij.OnComplete(ij)
+		}
+	}
+}

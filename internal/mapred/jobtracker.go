@@ -1,0 +1,649 @@
+package mapred
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the framework. Zero values take the paper's Hadoop
+// configuration: 2 map and 2 reduce slots per node, speculative execution
+// on.
+type Config struct {
+	// MapSlots is the number of concurrent map tasks per TaskTracker.
+	MapSlots int
+	// ReduceSlots is the number of concurrent reduce tasks per
+	// TaskTracker.
+	ReduceSlots int
+	// DisableSpeculation turns straggler backups off.
+	DisableSpeculation bool
+	// SpeculationInterval is how often the straggler detector scans
+	// (default 10 s).
+	SpeculationInterval time.Duration
+	// SpeculationSlowdown is the fraction of the median attempt speed
+	// below which a task is considered a straggler (default 0.5).
+	SpeculationSlowdown float64
+	// SlotCaps, when non-nil, installs static per-task resource caps on
+	// every attempt, modeling vanilla Hadoop's rigid slot containers.
+	// HybridMR's Phase II DRM replaces these with dynamically
+	// orchestrated caps; the gap between the two is the paper's
+	// Figure 8(b,c) improvement.
+	SlotCaps *SlotCapPolicy
+	// CapacityAware fills slots on the least-loaded physical machines
+	// first, the DRM's capacity-guided in-cluster placement. Vanilla
+	// Hadoop (the baseline configurations) visits trackers in fixed
+	// heartbeat order.
+	CapacityAware bool
+}
+
+// SlotCapPolicy fixes each task's resource cap as a fraction of its
+// node's useful capacity, regardless of what the task actually needs —
+// the static containers of slot-based Hadoop.
+type SlotCapPolicy struct {
+	// CPUFrac caps CPU at this fraction of node capacity per task.
+	CPUFrac float64
+	// MemFrac caps resident memory likewise.
+	MemFrac float64
+	// DiskFrac and NetFrac cap the I/O dimensions.
+	DiskFrac float64
+	NetFrac  float64
+}
+
+// DefaultSlotCaps mirrors a 2-map/2-reduce-slot Hadoop node: fixed
+// fractions of CPU and memory per task container, and a coarser share of
+// each I/O channel (Hadoop never partitioned I/O as strictly as CPU and
+// memory).
+func DefaultSlotCaps() *SlotCapPolicy {
+	return &SlotCapPolicy{CPUFrac: 0.75, MemFrac: 0.25, DiskFrac: 0.45, NetFrac: 0.45}
+}
+
+func (c Config) withDefaults() Config {
+	if c.MapSlots <= 0 {
+		c.MapSlots = 2
+	}
+	if c.ReduceSlots <= 0 {
+		c.ReduceSlots = 2
+	}
+	if c.SpeculationInterval <= 0 {
+		c.SpeculationInterval = 10 * time.Second
+	}
+	if c.SpeculationSlowdown <= 0 {
+		c.SpeculationSlowdown = 0.5
+	}
+	return c
+}
+
+// TaskTracker is one worker node of the framework. In the combined
+// architecture Compute and Storage are the same node; in the split
+// architecture (Figure 3) Compute is a TaskTracker VM and Storage a
+// DataNode VM, usually on the same physical machine.
+type TaskTracker struct {
+	// Compute is the node running task attempts.
+	Compute cluster.Node
+	// Storage is the node holding the tracker's DFS blocks.
+	Storage cluster.Node
+
+	jt          *JobTracker
+	mapRunning  int
+	redsRunning int
+	disabled    bool
+}
+
+// SetDisabled excludes the tracker from task assignment (the IPS
+// blacklists trackers on hosts whose interactive tenants are violating
+// their SLA). Running attempts are unaffected.
+func (tr *TaskTracker) SetDisabled(disabled bool) {
+	tr.disabled = disabled
+	if !disabled {
+		tr.jt.schedule()
+	}
+}
+
+// Disabled reports whether the tracker is blacklisted.
+func (tr *TaskTracker) Disabled() bool { return tr.disabled }
+
+func (tr *TaskTracker) split() bool { return tr.Compute != tr.Storage }
+
+// FreeSlots returns the tracker's free slots of the kind.
+func (tr *TaskTracker) FreeSlots(kind TaskKind) int {
+	if kind == MapTask {
+		return tr.jt.cfg.MapSlots - tr.mapRunning
+	}
+	return tr.jt.cfg.ReduceSlots - tr.redsRunning
+}
+
+// JobTracker owns the job queue, slot scheduling, the map→reduce barrier
+// and speculative execution.
+type JobTracker struct {
+	engine   *sim.Engine
+	fs       *dfs.FileSystem
+	cfg      Config
+	sched    Scheduler
+	trackers []*TaskTracker
+	jobs     []*Job
+	nextID   int
+	specTick *sim.Ticker
+	// attempts holds every running attempt for DRM/IPS introspection.
+	attempts map[*Attempt]struct{}
+}
+
+// NewJobTracker creates a framework instance over the given DFS. A nil
+// scheduler defaults to FIFO.
+func NewJobTracker(engine *sim.Engine, fs *dfs.FileSystem, cfg Config, sched Scheduler) *JobTracker {
+	if sched == nil {
+		sched = FIFO{}
+	}
+	return &JobTracker{
+		engine:   engine,
+		fs:       fs,
+		cfg:      cfg.withDefaults(),
+		sched:    sched,
+		attempts: make(map[*Attempt]struct{}),
+	}
+}
+
+// ensureSpecTicker starts the straggler scanner while jobs are active; it
+// stops itself when the queue drains so that simulations can run the
+// event queue dry.
+func (jt *JobTracker) ensureSpecTicker() {
+	if jt.cfg.DisableSpeculation || (jt.specTick != nil && !jt.specTick.Stopped()) {
+		return
+	}
+	jt.specTick = sim.NewTicker(jt.engine, jt.cfg.SpeculationInterval, func(time.Duration) {
+		if len(jt.Jobs()) == 0 {
+			jt.specTick.Stop()
+			return
+		}
+		jt.speculate()
+	})
+}
+
+// Close stops the background speculation scanner.
+func (jt *JobTracker) Close() {
+	if jt.specTick != nil {
+		jt.specTick.Stop()
+	}
+}
+
+// Engine returns the simulation engine.
+func (jt *JobTracker) Engine() *sim.Engine { return jt.engine }
+
+// FS returns the underlying filesystem.
+func (jt *JobTracker) FS() *dfs.FileSystem { return jt.fs }
+
+// AddTracker registers a combined-architecture worker: one node acting as
+// both TaskTracker and DataNode.
+func (jt *JobTracker) AddTracker(node cluster.Node) *TaskTracker {
+	return jt.AddSplitTracker(node, node)
+}
+
+// AddSplitTracker registers a split-architecture worker with separate
+// compute and storage nodes. The storage node is registered as a DFS
+// DataNode.
+func (jt *JobTracker) AddSplitTracker(compute, storage cluster.Node) *TaskTracker {
+	tr := &TaskTracker{Compute: compute, Storage: storage, jt: jt}
+	jt.fs.AddDataNode(storage)
+	jt.trackers = append(jt.trackers, tr)
+	return tr
+}
+
+// Trackers returns the registered workers.
+func (jt *JobTracker) Trackers() []*TaskTracker {
+	out := make([]*TaskTracker, len(jt.trackers))
+	copy(out, jt.trackers)
+	return out
+}
+
+// Jobs returns jobs that are not yet complete.
+func (jt *JobTracker) Jobs() []*Job {
+	out := make([]*Job, 0, len(jt.jobs))
+	for _, j := range jt.jobs {
+		if !j.Done() {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// RunningAttempts returns every attempt currently executing; the Phase II
+// DRM and IPS iterate this to observe and control MapReduce load.
+func (jt *JobTracker) RunningAttempts() []*Attempt {
+	out := make([]*Attempt, 0, len(jt.attempts))
+	for a := range jt.attempts {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Submit enqueues a job. Input data is materialized in the DFS
+// (spread across DataNodes) if this spec's input file does not exist yet.
+// OnComplete fires when the job finishes.
+func (jt *JobTracker) Submit(spec JobSpec, onComplete func(*Job)) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(jt.trackers) == 0 {
+		return nil, fmt.Errorf("mapred: no TaskTrackers registered")
+	}
+	job := &Job{
+		ID:          jt.nextID,
+		Spec:        spec,
+		Weight:      1,
+		OnComplete:  onComplete,
+		jt:          jt,
+		state:       JobMapPhase,
+		submittedAt: jt.engine.Now(),
+		mapOutputMB: make(map[*cluster.PM]float64),
+		rateStats:   make(map[TaskKind]*rateStat),
+	}
+	jt.nextID++
+
+	if spec.FixedMapWork > 0 {
+		for i := 0; i < spec.FixedMapTasks; i++ {
+			job.maps = append(job.maps, &Task{Job: job, Kind: MapTask, Index: i, state: TaskPending})
+		}
+	} else {
+		job.inputName = fmt.Sprintf("/jobs/%s-%d/input", spec.Name, job.ID)
+		file, ok := jt.fs.File(job.inputName)
+		if !ok {
+			var err error
+			file, err = jt.fs.CreateFile(job.inputName, spec.InputMB, nil)
+			if err != nil {
+				return nil, fmt.Errorf("mapred: materialize input: %w", err)
+			}
+		}
+		for i, b := range file.Blocks {
+			job.maps = append(job.maps, &Task{Job: job, Kind: MapTask, Index: i, Block: b, state: TaskPending})
+		}
+	}
+	job.mapsRemaining = len(job.maps)
+	for i := 0; i < spec.Reduces; i++ {
+		job.reduces = append(job.reduces, &Task{Job: job, Kind: ReduceTask, Index: i, state: TaskPending})
+	}
+	job.redsRemaining = len(job.reduces)
+
+	jt.jobs = append(jt.jobs, job)
+	jt.ensureSpecTicker()
+	jt.schedule()
+	return job, nil
+}
+
+// schedule fills free slots until no assignable work remains. Trackers
+// are visited least-loaded first, so batch tasks flow toward VMs with
+// spare capacity before touching nodes already busy with interactive
+// tenants — the capacity-guided placement of HybridMR's DRM.
+func (jt *JobTracker) schedule() {
+	ordered := make([]*TaskTracker, len(jt.trackers))
+	copy(ordered, jt.trackers)
+	if jt.cfg.CapacityAware {
+		sort.SliceStable(ordered, func(i, j int) bool {
+			return trackerPressure(ordered[i]) < trackerPressure(ordered[j])
+		})
+	}
+	for {
+		assigned := false
+		for _, tr := range ordered {
+			if tr.disabled {
+				continue
+			}
+			for _, kind := range [...]TaskKind{MapTask, ReduceTask} {
+				if tr.FreeSlots(kind) <= 0 {
+					continue
+				}
+				task := jt.sched.NextTask(jt, tr, kind)
+				if task == nil {
+					continue
+				}
+				if err := jt.launch(task, tr, false); err == nil {
+					assigned = true
+				}
+			}
+		}
+		if !assigned {
+			return
+		}
+	}
+}
+
+// trackerPressure estimates how contended the physical machine behind a
+// tracker is: the sum over every resident consumer (tasks, services, DFS
+// streams, on any VM of the host and natively) of its dominant demand
+// relative to the machine's capacity. Counting the whole machine matters:
+// a VM can look idle while its sibling VM runs a latency-critical
+// service on the same spindle and cores.
+func trackerPressure(tr *TaskTracker) float64 {
+	pm := tr.Compute.Machine()
+	cap := pm.Capacity()
+	var p float64
+	add := func(c *cluster.Consumer) {
+		best := 0.0
+		for _, k := range resource.Kinds() {
+			if cv := cap.Get(k); cv > 0 {
+				if r := c.Demand.Get(k) / cv; r > best {
+					best = r
+				}
+			}
+		}
+		p += best
+	}
+	for _, c := range pm.Consumers() {
+		add(c)
+	}
+	for _, vm := range pm.VMs() {
+		for _, c := range vm.Consumers() {
+			add(c)
+		}
+	}
+	return p
+}
+
+// launch starts an attempt of task on tracker.
+func (jt *JobTracker) launch(task *Task, tr *TaskTracker, speculative bool) error {
+	demand, work, serveDisk := demandAndWork(task, tr)
+	a := &Attempt{
+		Task:        task,
+		Tracker:     tr,
+		Speculative: speculative,
+		StartedAt:   jt.engine.Now(),
+	}
+	a.consumer = &cluster.Consumer{
+		Name:   fmt.Sprintf("%s@%s", task.ID(), tr.Compute.Name()),
+		Demand: demand,
+		Work:   work,
+	}
+	if p := jt.cfg.SlotCaps; p != nil {
+		cap := tr.Compute.UsefulCapacity()
+		a.consumer.Cap = resource.NewVector(
+			cap.Get(resource.CPU)*p.CPUFrac,
+			cap.Get(resource.Memory)*p.MemFrac,
+			cap.Get(resource.DiskIO)*p.DiskFrac,
+			cap.Get(resource.NetIO)*p.NetFrac,
+		)
+	}
+	a.consumer.OnComplete = func() { jt.attemptFinished(a) }
+	a.consumer.OnKilled = func() { jt.attemptKilled(a) }
+	if err := tr.Compute.Start(a.consumer); err != nil {
+		return err
+	}
+	if serveDisk > 0 && tr.split() {
+		a.serve = &cluster.Consumer{
+			Name:   fmt.Sprintf("%s-serve@%s", task.ID(), tr.Storage.Name()),
+			Demand: demandServe(serveDisk),
+			Work:   work,
+		}
+		// Best effort: storage-side stream failure does not fail the task.
+		_ = tr.Storage.Start(a.serve)
+	}
+	task.attempts = append(task.attempts, a)
+	task.state = TaskRunning
+	if task.Kind == MapTask {
+		tr.mapRunning++
+	} else {
+		tr.redsRunning++
+	}
+	jt.attempts[a] = struct{}{}
+	return nil
+}
+
+// attemptFinished handles a completed attempt: the first completion wins
+// the task; other attempts are cancelled.
+func (jt *JobTracker) attemptFinished(a *Attempt) {
+	if a.finished || a.killed {
+		return
+	}
+	a.finished = true
+	jt.releaseSlot(a)
+	if a.serve != nil && a.serve.Running() {
+		a.serve.Stop()
+	}
+	if elapsed := (jt.engine.Now() - a.StartedAt).Seconds(); elapsed > 0 && a.consumer != nil {
+		a.Task.Job.recordAttemptRate(a.Task.Kind, a.consumer.Work/elapsed)
+	}
+	task := a.Task
+	if task.state == TaskDone {
+		jt.schedule()
+		return
+	}
+	task.state = TaskDone
+	// Cancel losing attempts.
+	for _, other := range task.attempts {
+		if other != a && other.Running() {
+			other.killed = true
+			jt.releaseSlot(other)
+			if other.consumer != nil && other.consumer.Running() {
+				other.consumer.OnKilled = nil
+				other.consumer.Stop()
+			}
+			if other.serve != nil && other.serve.Running() {
+				other.serve.Stop()
+			}
+		}
+	}
+	job := task.Job
+	if task.Kind == MapTask {
+		job.recordMapOutput(task, a.Tracker)
+		job.mapsRemaining--
+		if job.mapsRemaining == 0 {
+			job.mapsDoneAt = jt.engine.Now()
+			if len(job.reduces) == 0 {
+				jt.finishJob(job)
+			} else {
+				job.state = JobReducePhase
+			}
+		}
+	} else {
+		job.redsRemaining--
+		if job.redsRemaining == 0 {
+			jt.finishJob(job)
+		}
+	}
+	jt.schedule()
+}
+
+// attemptKilled handles an externally killed attempt (IPS action or VM
+// failure): the task returns to the pending queue, as Hadoop's
+// re-execution machinery guarantees.
+func (jt *JobTracker) attemptKilled(a *Attempt) {
+	if a.finished || a.killed {
+		return
+	}
+	a.killed = true
+	jt.releaseSlot(a)
+	if a.serve != nil && a.serve.Running() {
+		a.serve.Stop()
+	}
+	task := a.Task
+	if task.state == TaskRunning && task.runningAttempts() == 0 {
+		task.state = TaskPending
+	}
+	jt.schedule()
+}
+
+func (jt *JobTracker) releaseSlot(a *Attempt) {
+	if _, live := jt.attempts[a]; !live {
+		return
+	}
+	delete(jt.attempts, a)
+	if a.Task.Kind == MapTask {
+		a.Tracker.mapRunning--
+	} else {
+		a.Tracker.redsRunning--
+	}
+}
+
+func (jt *JobTracker) finishJob(job *Job) {
+	job.state = JobDone
+	job.doneAt = jt.engine.Now()
+	if len(jt.Jobs()) == 0 && jt.specTick != nil {
+		jt.specTick.Stop()
+	}
+	if job.OnComplete != nil {
+		job.OnComplete(job)
+	}
+}
+
+// Relocate moves a running attempt to another tracker: the original
+// attempt is cancelled (its progress is lost, as in Hadoop task
+// re-execution) and a fresh attempt starts on the destination. The
+// Phase II IPS uses this to evict interfering map/reduce tasks from VMs
+// whose interactive tenants are violating their SLA.
+func (jt *JobTracker) Relocate(a *Attempt, dst *TaskTracker) error {
+	if a == nil || dst == nil {
+		return fmt.Errorf("mapred: Relocate: nil attempt or destination")
+	}
+	if !a.Running() {
+		return fmt.Errorf("mapred: Relocate(%s): attempt not running", a.Task.ID())
+	}
+	if dst == a.Tracker {
+		return fmt.Errorf("mapred: Relocate(%s): already on %s", a.Task.ID(), dst.Compute.Name())
+	}
+	if dst.FreeSlots(a.Task.Kind) <= 0 {
+		return fmt.Errorf("mapred: Relocate(%s): no free %s slot on %s", a.Task.ID(), a.Task.Kind, dst.Compute.Name())
+	}
+	a.killed = true
+	jt.releaseSlot(a)
+	if a.consumer != nil && a.consumer.Running() {
+		a.consumer.OnKilled = nil
+		a.consumer.Stop()
+	}
+	if a.serve != nil && a.serve.Running() {
+		a.serve.Stop()
+	}
+	a.Task.state = TaskPending
+	return jt.launch(a.Task, dst, false)
+}
+
+// offHostFraction is the probability that a random DataNode lives on a
+// different physical machine than n — the share of replication traffic
+// that crosses the wire.
+func (jt *JobTracker) offHostFraction(n cluster.Node) float64 {
+	dns := jt.fs.DataNodes()
+	if len(dns) == 0 {
+		return 1
+	}
+	off := 0
+	for _, d := range dns {
+		if d.Node().Machine() != n.Machine() {
+			off++
+		}
+	}
+	return float64(off) / float64(len(dns))
+}
+
+// HandleMachineFailure disables every tracker whose compute or storage
+// node lived on the failed machine, returning how many were disabled.
+// Their running attempts have already been killed through the cluster's
+// consumer callbacks and re-queued; disabled trackers simply stop
+// receiving new work.
+func (jt *JobTracker) HandleMachineFailure(pm *cluster.PM) int {
+	n := 0
+	for _, tr := range jt.trackers {
+		if tr.disabled {
+			continue
+		}
+		cm, sm := tr.Compute.Machine(), tr.Storage.Machine()
+		// A nil machine means the node's VM was already destroyed by the
+		// failure.
+		if cm == pm || sm == pm || cm == nil || sm == nil {
+			tr.disabled = true
+			n++
+		}
+	}
+	if n > 0 {
+		jt.schedule()
+	}
+	return n
+}
+
+// TrackerFor returns the tracker whose compute node is n, if any.
+func (jt *JobTracker) TrackerFor(n cluster.Node) (*TaskTracker, bool) {
+	for _, tr := range jt.trackers {
+		if tr.Compute == n {
+			return tr, true
+		}
+	}
+	return nil, false
+}
+
+// speculate launches backup attempts for stragglers: running attempts
+// whose speed is well below the median of their job's running attempts of
+// the same kind.
+func (jt *JobTracker) speculate() {
+	byJobKind := make(map[*Job]map[TaskKind][]*Attempt)
+	for a := range jt.attempts {
+		m, ok := byJobKind[a.Task.Job]
+		if !ok {
+			m = make(map[TaskKind][]*Attempt)
+			byJobKind[a.Task.Job] = m
+		}
+		m[a.Task.Kind] = append(m[a.Task.Kind], a)
+	}
+	for job, kinds := range byJobKind {
+		for kind, attempts := range kinds {
+			// Reference rate: the job's completed-attempt history when
+			// available (so a tail of uniformly slow stragglers is
+			// still detected), otherwise the running median.
+			reference, ok := job.historicalRate(kind)
+			if !ok {
+				if len(attempts) < 2 {
+					continue
+				}
+				reference = medianSpeed(attempts)
+			}
+			if reference <= 0 {
+				continue
+			}
+			for _, a := range attempts {
+				if a.Speculative || a.Task.runningAttempts() > 1 {
+					continue
+				}
+				if a.Progress() > 0.9 {
+					continue
+				}
+				if a.Speed() >= reference*jt.cfg.SpeculationSlowdown {
+					continue
+				}
+				if tr := jt.freeTrackerExcluding(a.Tracker, a.Task.Kind); tr != nil {
+					_ = jt.launch(a.Task, tr, true)
+				}
+			}
+		}
+	}
+}
+
+// freeTrackerExcluding picks the least-loaded tracker with a free slot —
+// a speculative backup on a node as contended as the straggler's would
+// only double the pain.
+func (jt *JobTracker) freeTrackerExcluding(exclude *TaskTracker, kind TaskKind) *TaskTracker {
+	var best *TaskTracker
+	bestPressure := 0.0
+	for _, tr := range jt.trackers {
+		if tr == exclude || tr.disabled || tr.FreeSlots(kind) <= 0 {
+			continue
+		}
+		p := trackerPressure(tr)
+		if best == nil || p < bestPressure {
+			best, bestPressure = tr, p
+		}
+	}
+	return best
+}
+
+func medianSpeed(attempts []*Attempt) float64 {
+	speeds := make([]float64, len(attempts))
+	for i, a := range attempts {
+		speeds[i] = a.Speed()
+	}
+	// Insertion sort: attempt lists are small.
+	for i := 1; i < len(speeds); i++ {
+		for k := i; k > 0 && speeds[k] < speeds[k-1]; k-- {
+			speeds[k], speeds[k-1] = speeds[k-1], speeds[k]
+		}
+	}
+	return speeds[len(speeds)/2]
+}

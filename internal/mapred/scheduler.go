@@ -1,0 +1,93 @@
+package mapred
+
+import "repro/internal/resource"
+
+// Scheduler picks the next task for a free slot. Implementations mirror
+// the two Hadoop schedulers used in the paper: plain FIFO (the default
+// MapReduce scheduler of Figure 8(d)'s baseline) and the Fair Scheduler
+// the testbed runs.
+type Scheduler interface {
+	// Name identifies the policy.
+	Name() string
+	// NextTask returns a pending task of the kind for the tracker, or
+	// nil when nothing is assignable.
+	NextTask(jt *JobTracker, tr *TaskTracker, kind TaskKind) *Task
+}
+
+// FIFO serves jobs strictly in submission order.
+type FIFO struct{}
+
+var _ Scheduler = FIFO{}
+
+// Name returns "fifo".
+func (FIFO) Name() string { return "fifo" }
+
+// NextTask returns the first pending task of the oldest job that has one.
+func (FIFO) NextTask(jt *JobTracker, tr *TaskTracker, kind TaskKind) *Task {
+	for _, j := range jt.jobs {
+		if j.Done() {
+			continue
+		}
+		if t := j.pendingTask(kind, tr); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// Fair approximates the Hadoop Fair Scheduler: the job whose running task
+// count is furthest below its weighted fair share is served first.
+type Fair struct{}
+
+var _ Scheduler = Fair{}
+
+// Name returns "fair".
+func (Fair) Name() string { return "fair" }
+
+// NextTask picks the most under-served job with pending work.
+func (Fair) NextTask(jt *JobTracker, tr *TaskTracker, kind TaskKind) *Task {
+	var best *Job
+	bestDeficit := 0.0
+	var totalWeight float64
+	active := 0
+	for _, j := range jt.jobs {
+		if j.Done() {
+			continue
+		}
+		w := j.Weight
+		if w <= 0 {
+			w = 1
+		}
+		totalWeight += w
+		active++
+	}
+	if active == 0 {
+		return nil
+	}
+	totalSlots := float64(len(jt.trackers) * (jt.cfg.MapSlots + jt.cfg.ReduceSlots))
+	for _, j := range jt.jobs {
+		if j.Done() || !j.hasPending(kind) {
+			continue
+		}
+		w := j.Weight
+		if w <= 0 {
+			w = 1
+		}
+		share := totalSlots * w / totalWeight
+		deficit := share - float64(j.runningTasks())
+		if best == nil || deficit > bestDeficit {
+			best = j
+			bestDeficit = deficit
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.pendingTask(kind, tr)
+}
+
+// demandServe is the storage-side demand of a split-architecture input
+// stream.
+func demandServe(diskRate float64) resource.Vector {
+	return resource.NewVector(0.03, 32, diskRate, diskRate*0.15)
+}

@@ -1,0 +1,171 @@
+// Package metrics records cluster utilization, power and energy over
+// simulated time, and aggregates job-completion statistics — the
+// accounting behind the paper's utilization, energy and
+// performance-per-energy results (Figures 9(c) and 10(a)).
+package metrics
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Sample is one utilization/power observation.
+type Sample struct {
+	// At is the simulation time of the observation.
+	At time.Duration
+	// Util holds mean per-resource utilization across powered-on PMs.
+	Util resource.Vector
+	// PowerW is the instantaneous total power draw.
+	PowerW float64
+	// PMsOn is the number of powered-on PMs.
+	PMsOn int
+}
+
+// Recorder samples a cluster periodically and integrates energy. Stop it
+// before draining the event queue, or give it a horizon.
+type Recorder struct {
+	engine  *sim.Engine
+	cluster *cluster.Cluster
+	ticker  *sim.Ticker
+	samples []Sample
+	energyJ float64
+	lastAt  time.Duration
+	lastW   float64
+}
+
+// NewRecorder starts sampling every interval (default 10 s). If horizon
+// is positive the recorder stops itself at that time, letting the event
+// queue drain naturally.
+func NewRecorder(c *cluster.Cluster, interval, horizon time.Duration) *Recorder {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	r := &Recorder{
+		engine:  c.Engine(),
+		cluster: c,
+		lastAt:  c.Engine().Now(),
+		lastW:   c.TotalPowerW(),
+	}
+	r.ticker = sim.NewTicker(r.engine, interval, func(now time.Duration) {
+		r.sample(now)
+		if horizon > 0 && now >= horizon {
+			r.ticker.Stop()
+		}
+	})
+	return r
+}
+
+func (r *Recorder) sample(now time.Duration) {
+	w := r.cluster.TotalPowerW()
+	// Trapezoidal integration of power into energy.
+	dt := (now - r.lastAt).Seconds()
+	if dt > 0 {
+		r.energyJ += (w + r.lastW) / 2 * dt
+	}
+	r.lastAt = now
+	r.lastW = w
+	var util resource.Vector
+	for _, k := range resource.Kinds() {
+		util = util.Set(k, r.cluster.MeanUtilization(k))
+	}
+	r.samples = append(r.samples, Sample{At: now, Util: util, PowerW: w, PMsOn: r.cluster.PoweredOnPMs()})
+}
+
+// Stop halts sampling, taking one final sample so that energy accounting
+// covers the full interval.
+func (r *Recorder) Stop() {
+	if r.ticker.Stopped() {
+		return
+	}
+	r.ticker.Stop()
+	r.sample(r.engine.Now())
+}
+
+// Samples returns the recorded observations.
+func (r *Recorder) Samples() []Sample {
+	out := make([]Sample, len(r.samples))
+	copy(out, r.samples)
+	return out
+}
+
+// EnergyWh returns the integrated energy in watt-hours.
+func (r *Recorder) EnergyWh() float64 { return r.energyJ / 3600 }
+
+// EnergyJ returns the integrated energy in joules.
+func (r *Recorder) EnergyJ() float64 { return r.energyJ }
+
+// MeanUtil returns the average sampled utilization of a resource.
+func (r *Recorder) MeanUtil(kind resource.Kind) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(r.samples))
+	for i, s := range r.samples {
+		vals[i] = s.Util.Get(kind)
+	}
+	return stats.Mean(vals)
+}
+
+// MeanPowerW returns the average sampled power draw.
+func (r *Recorder) MeanPowerW() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(r.samples))
+	for i, s := range r.samples {
+		vals[i] = s.PowerW
+	}
+	return stats.Mean(vals)
+}
+
+// Series extracts the (time, utilization) series of one resource, for the
+// Figure 10(a) timelines.
+func (r *Recorder) Series(kind resource.Kind) ([]time.Duration, []float64) {
+	ts := make([]time.Duration, len(r.samples))
+	us := make([]float64, len(r.samples))
+	for i, s := range r.samples {
+		ts[i] = s.At
+		us[i] = s.Util.Get(kind)
+	}
+	return ts, us
+}
+
+// JobStats aggregates completion times of a batch of jobs.
+type JobStats struct {
+	// JCTs holds each job's completion time in seconds.
+	JCTs []float64
+}
+
+// Add records one completion time.
+func (j *JobStats) Add(jct time.Duration) { j.JCTs = append(j.JCTs, jct.Seconds()) }
+
+// Mean returns the mean JCT in seconds.
+func (j *JobStats) Mean() float64 { return stats.Mean(j.JCTs) }
+
+// Max returns the largest JCT in seconds.
+func (j *JobStats) Max() float64 {
+	m := 0.0
+	for _, v := range j.JCTs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Count returns the number of recorded jobs.
+func (j *JobStats) Count() int { return len(j.JCTs) }
+
+// PerfPerEnergy is the paper's design metric: work rate per unit energy,
+// computed as jobs-per-second-per-kilowatt-hour scaled for readability.
+// Larger is better. Zero mean JCT or energy yields zero.
+func PerfPerEnergy(meanJCTSec, energyWh float64) float64 {
+	if meanJCTSec <= 0 || energyWh <= 0 {
+		return 0
+	}
+	return 1e6 / (meanJCTSec * energyWh)
+}

@@ -1,0 +1,396 @@
+// Package profiler implements HybridMR's Phase I job profiling
+// (Algorithm 1): a database of past job executions keyed by environment,
+// cluster size and input size, trained by running jobs at small scale,
+// and an estimator that extrapolates job completion time — linearly in
+// data size, and per map/reduce phase in cluster size (inverse relation
+// for the map phase, piece-wise for the reduce phase), exactly as the
+// paper's Figure 5 analysis prescribes.
+package profiler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/mapred"
+	"repro/internal/stats"
+)
+
+// Environment distinguishes where a profiled run executed.
+type Environment int
+
+// Environments.
+const (
+	Native Environment = iota + 1
+	Virtual
+)
+
+// String names the environment.
+func (e Environment) String() string {
+	if e == Native {
+		return "native"
+	}
+	return "virtual"
+}
+
+// RunResult is one profiled execution.
+type RunResult struct {
+	// JCTSec is end-to-end job completion time in seconds.
+	JCTSec float64
+	// MapSec and ReduceSec are the phase durations.
+	MapSec    float64
+	ReduceSec float64
+}
+
+// ErrNoProfile is returned when the database lacks the observations an
+// estimate would need.
+var ErrNoProfile = errors.New("profiler: insufficient profile data")
+
+type entry struct {
+	nodes  int
+	dataMB float64
+	result RunResult
+}
+
+// DB is the profile database: per (job, environment), the history of
+// observed runs.
+type DB struct {
+	entries map[string][]entry
+}
+
+// NewDB creates an empty profile database.
+func NewDB() *DB {
+	return &DB{entries: make(map[string][]entry)}
+}
+
+func dbKey(job string, env Environment) string {
+	return fmt.Sprintf("%s/%s", job, env)
+}
+
+// Add records an observation.
+func (db *DB) Add(job string, env Environment, nodes int, dataMB float64, r RunResult) {
+	k := dbKey(job, env)
+	db.entries[k] = append(db.entries[k], entry{nodes: nodes, dataMB: dataMB, result: r})
+}
+
+// Len returns the number of observations for a job/environment.
+func (db *DB) Len(job string, env Environment) int {
+	return len(db.entries[dbKey(job, env)])
+}
+
+// Lookup returns an exact match if one exists.
+func (db *DB) Lookup(job string, env Environment, nodes int, dataMB float64) (RunResult, bool) {
+	for _, e := range db.entries[dbKey(job, env)] {
+		if e.nodes == nodes && almostEqual(e.dataMB, dataMB) {
+			return e.result, true
+		}
+	}
+	return RunResult{}, false
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	return d < 1e-6 && d > -1e-6
+}
+
+// Estimate implements Algorithm 1. Resolution order:
+//
+//  1. exact (cluster size, data size) match;
+//  2. same cluster size with other data sizes: linear extrapolation in
+//     data size (Figure 5(d));
+//  3. same data size with other cluster sizes: inverse-linear
+//     extrapolation of the map phase and piece-wise extrapolation of the
+//     reduce phase in cluster size (Figures 5(a)-(c));
+//  4. both differ: data-size extrapolation at the nearest profiled
+//     cluster size, rescaled by the cluster-size model.
+func (db *DB) Estimate(job string, env Environment, nodes int, dataMB float64) (RunResult, error) {
+	all := db.entries[dbKey(job, env)]
+	if len(all) == 0 {
+		return RunResult{}, fmt.Errorf("%w: no runs of %s on %s", ErrNoProfile, job, env)
+	}
+	if r, ok := db.Lookup(job, env, nodes, dataMB); ok {
+		return r, nil
+	}
+
+	if r, err := db.extrapolateData(all, nodes, dataMB); err == nil {
+		return r, nil
+	}
+	if r, err := db.extrapolateCluster(all, nodes, dataMB); err == nil {
+		return r, nil
+	}
+
+	// Combined: fit each phase linearly in data size at the nearest
+	// profiled cluster size n0, then carry the slope (the per-MB work
+	// term) across cluster sizes by the paper's inverse model: a phase
+	// is a constant plus work/n, so phase(n, d) = intercept + slope*d*n0/n.
+	nearest, ok := nearestNodes(all, nodes)
+	if !ok {
+		return RunResult{}, fmt.Errorf("%w: no usable runs of %s", ErrNoProfile, job)
+	}
+	return db.combinedEstimate(all, nearest, nodes, dataMB)
+}
+
+func (db *DB) combinedEstimate(all []entry, n0, nodes int, dataMB float64) (RunResult, error) {
+	var xs, ms, rs []float64
+	for _, e := range all {
+		if e.nodes != n0 {
+			continue
+		}
+		xs = append(xs, e.dataMB)
+		ms = append(ms, e.result.MapSec)
+		rs = append(rs, e.result.ReduceSec)
+	}
+	if len(xs) < 2 {
+		return RunResult{}, ErrNoProfile
+	}
+	mapM, err := stats.FitLinear(xs, ms)
+	if err != nil {
+		return RunResult{}, err
+	}
+	redM, err := stats.FitLinear(xs, rs)
+	if err != nil {
+		return RunResult{}, err
+	}
+	ratio := float64(n0) / float64(nodes)
+	r := RunResult{
+		MapSec:    mapM.Intercept + mapM.Slope*dataMB*ratio,
+		ReduceSec: redM.Intercept + redM.Slope*dataMB*ratio,
+	}
+	r.JCTSec = r.MapSec + r.ReduceSec
+	return clampResult(r), nil
+}
+
+// extrapolateData fits JCT (and phases) linearly against data size using
+// runs at exactly the requested cluster size.
+func (db *DB) extrapolateData(all []entry, nodes int, dataMB float64) (RunResult, error) {
+	var xs, jct, ms, rs []float64
+	for _, e := range all {
+		if e.nodes != nodes {
+			continue
+		}
+		xs = append(xs, e.dataMB)
+		jct = append(jct, e.result.JCTSec)
+		ms = append(ms, e.result.MapSec)
+		rs = append(rs, e.result.ReduceSec)
+	}
+	if len(xs) < 2 {
+		return RunResult{}, ErrNoProfile
+	}
+	jctM, err := stats.FitLinear(xs, jct)
+	if err != nil {
+		return RunResult{}, err
+	}
+	mapM, err := stats.FitLinear(xs, ms)
+	if err != nil {
+		return RunResult{}, err
+	}
+	redM, err := stats.FitLinear(xs, rs)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return clampResult(RunResult{
+		JCTSec:    jctM.Predict(dataMB),
+		MapSec:    mapM.Predict(dataMB),
+		ReduceSec: redM.Predict(dataMB),
+	}), nil
+}
+
+// extrapolateCluster fits the map phase as an inverse-linear function of
+// cluster size and the reduce phase piece-wise, using runs at exactly the
+// requested data size.
+func (db *DB) extrapolateCluster(all []entry, nodes int, dataMB float64) (RunResult, error) {
+	var xs, ms, rs []float64
+	for _, e := range all {
+		if !almostEqual(e.dataMB, dataMB) {
+			continue
+		}
+		xs = append(xs, float64(e.nodes))
+		ms = append(ms, e.result.MapSec)
+		rs = append(rs, e.result.ReduceSec)
+	}
+	if len(xs) < 2 {
+		return RunResult{}, ErrNoProfile
+	}
+	mapM, err := stats.FitInverseLinear(xs, ms)
+	if err != nil {
+		return RunResult{}, err
+	}
+	var reduceAt float64
+	if pw, err := stats.FitPiecewiseLinear(xs, rs); err == nil {
+		reduceAt = pw.Predict(float64(nodes))
+	} else if inv, err := stats.FitInverseLinear(xs, rs); err == nil {
+		reduceAt = inv.Predict(float64(nodes))
+	} else {
+		return RunResult{}, err
+	}
+	mapAt := mapM.Predict(float64(nodes))
+	return clampResult(RunResult{
+		JCTSec:    mapAt + reduceAt,
+		MapSec:    mapAt,
+		ReduceSec: reduceAt,
+	}), nil
+}
+
+func clampResult(r RunResult) RunResult {
+	if r.MapSec < 0 {
+		r.MapSec = 0
+	}
+	if r.ReduceSec < 0 {
+		r.ReduceSec = 0
+	}
+	if r.JCTSec < r.MapSec+r.ReduceSec {
+		r.JCTSec = r.MapSec + r.ReduceSec
+	}
+	return r
+}
+
+func nearestNodes(all []entry, nodes int) (int, bool) {
+	// Prefer cluster sizes that have at least two data points (needed
+	// for data extrapolation).
+	counts := make(map[int]int)
+	for _, e := range all {
+		counts[e.nodes]++
+	}
+	candidates := make([]int, 0, len(counts))
+	for n, c := range counts {
+		if c >= 2 {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	sort.Ints(candidates)
+	best, bestDist := candidates[0], abs(candidates[0]-nodes)
+	for _, n := range candidates[1:] {
+		if d := abs(n - nodes); d < bestDist {
+			best, bestDist = n, d
+		}
+	}
+	return best, true
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Runner executes a job spec on a given environment and cluster size and
+// reports phase timings. The core package provides a simulation-backed
+// runner; tests may use analytic ones. The seed varies across the
+// paper's "3 runs averaged" repetitions.
+type Runner func(spec mapred.JobSpec, env Environment, nodes int, seed int64) (RunResult, error)
+
+// Profiler trains and queries the profile database for Phase I.
+type Profiler struct {
+	// DB is the underlying profile database.
+	DB *DB
+	// Run executes training jobs.
+	Run Runner
+	// TrainNodes are the training-cluster sizes (default {4, 8}).
+	TrainNodes []int
+	// TrainFractions are the input-size fractions profiled per cluster
+	// size (default {0.05, 0.10}).
+	TrainFractions []float64
+	// Repeats is how many seeded runs are averaged per point (default 3,
+	// as in the paper).
+	Repeats int
+}
+
+// New creates a profiler over a fresh database.
+func New(run Runner) *Profiler {
+	return &Profiler{
+		DB:             NewDB(),
+		Run:            run,
+		TrainNodes:     []int{4, 8},
+		TrainFractions: []float64{0.05, 0.10},
+		Repeats:        3,
+	}
+}
+
+// Train profiles the spec at small scale in the environment, filling the
+// database. Already-profiled points are not re-run.
+func (p *Profiler) Train(spec mapred.JobSpec, env Environment) error {
+	if p.Run == nil {
+		return errors.New("profiler: no runner configured")
+	}
+	for _, nodes := range p.TrainNodes {
+		for fi, frac := range p.TrainFractions {
+			var dataMB float64
+			var small mapred.JobSpec
+			if spec.FixedMapWork > 0 {
+				// Fixed-work jobs use the task count as their "data
+				// size"; keep the training counts distinct.
+				tasks := maxInt(fi+1, int(float64(spec.FixedMapTasks)*frac))
+				dataMB = float64(tasks)
+				small = spec
+				small.FixedMapTasks = tasks
+			} else {
+				dataMB = spec.InputMB * frac
+				if dataMB < 64 {
+					dataMB = 64 * float64(fi+1)
+				}
+				small = spec.WithInputMB(dataMB)
+			}
+			if _, ok := p.DB.Lookup(spec.Name, env, nodes, dataMB); ok {
+				continue
+			}
+			avg := RunResult{}
+			repeats := p.Repeats
+			if repeats <= 0 {
+				repeats = 1
+			}
+			for r := 0; r < repeats; r++ {
+				res, err := p.Run(small, env, nodes, int64(r+1))
+				if err != nil {
+					return fmt.Errorf("profiler: train %s on %s/%d: %w", spec.Name, env, nodes, err)
+				}
+				avg.JCTSec += res.JCTSec / float64(repeats)
+				avg.MapSec += res.MapSec / float64(repeats)
+				avg.ReduceSec += res.ReduceSec / float64(repeats)
+			}
+			p.DB.Add(spec.Name, env, nodes, dataMB, avg)
+		}
+	}
+	return nil
+}
+
+// Observe records an actual production run into the profile database —
+// the online-profiling extension the paper cites ([12], [33]). Later
+// estimates then interpolate over real history at full scale instead of
+// relying on small-cluster extrapolation alone.
+func (p *Profiler) Observe(spec mapred.JobSpec, env Environment, nodes int, r RunResult) {
+	dataMB := spec.InputMB
+	if spec.FixedMapWork > 0 {
+		dataMB = float64(spec.FixedMapTasks)
+	}
+	p.DB.Add(spec.Name, env, nodes, dataMB, r)
+}
+
+// EstimateJCT trains the spec if needed and estimates the completion time
+// at the full input size on a cluster of the given size.
+func (p *Profiler) EstimateJCT(spec mapred.JobSpec, env Environment, nodes int) (float64, error) {
+	dataMB := spec.InputMB
+	if spec.FixedMapWork > 0 {
+		dataMB = float64(spec.FixedMapTasks)
+	}
+	if _, err := p.DB.Estimate(spec.Name, env, nodes, dataMB); errors.Is(err, ErrNoProfile) {
+		if trainErr := p.Train(spec, env); trainErr != nil {
+			return 0, trainErr
+		}
+	}
+	r, err := p.DB.Estimate(spec.Name, env, nodes, dataMB)
+	if err != nil {
+		return 0, err
+	}
+	return r.JCTSec, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

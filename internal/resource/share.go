@@ -1,0 +1,118 @@
+package resource
+
+import "sort"
+
+// Claim is one consumer's request in a fair-share round for a single
+// resource dimension.
+type Claim struct {
+	// Demand is how much the consumer wants (same units as capacity).
+	Demand float64
+	// Weight scales the consumer's fair share. Non-positive weights are
+	// treated as 1.
+	Weight float64
+	// Cap is a hard upper bound on the allocation (for example a VM's
+	// vCPU limit, or a cgroup throttle installed by the DRM). Zero or
+	// negative means "no cap".
+	Cap float64
+}
+
+func (c Claim) effWeight() float64 {
+	if c.Weight <= 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+func (c Claim) bound() float64 {
+	b := c.Demand
+	if c.Cap > 0 && c.Cap < b {
+		b = c.Cap
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// FairShare divides capacity among claims by weighted max-min fairness
+// (progressive filling): every claim is granted min(bound, weighted share),
+// and capacity freed by claims that need less than their share is
+// redistributed to the rest. The returned slice is parallel to claims and
+// sums to at most capacity.
+//
+// The algorithm sorts claims by bound/weight and fills in one pass, which
+// is O(n log n) and exact for the water-filling solution.
+func FairShare(capacity float64, claims []Claim) []float64 {
+	alloc := make([]float64, len(claims))
+	if capacity <= 0 || len(claims) == 0 {
+		return alloc
+	}
+
+	type entry struct {
+		idx     int
+		bound   float64
+		weight  float64
+		perUnit float64 // bound / weight: the water level at which it saturates
+	}
+	entries := make([]entry, 0, len(claims))
+	totalWeight := 0.0
+	for i, c := range claims {
+		b := c.bound()
+		if b <= 0 {
+			continue
+		}
+		w := c.effWeight()
+		entries = append(entries, entry{idx: i, bound: b, weight: w, perUnit: b / w})
+		totalWeight += w
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].perUnit < entries[j].perUnit })
+
+	remaining := capacity
+	for i, e := range entries {
+		// Water level if the remaining capacity were spread over the
+		// still-unsaturated claims.
+		level := remaining / totalWeight
+		if e.perUnit <= level {
+			// Claim saturates below the water level: give it its bound.
+			alloc[e.idx] = e.bound
+			remaining -= e.bound
+			totalWeight -= e.weight
+			if remaining <= 0 {
+				remaining = 0
+			}
+			continue
+		}
+		// All remaining claims are capacity-limited: split by weight.
+		for _, e2 := range entries[i:] {
+			alloc[e2.idx] = level * e2.weight
+		}
+		return alloc
+	}
+	return alloc
+}
+
+// ShareVector solves FairShare independently on each resource dimension.
+// demands, weights and caps are parallel slices: weights applies to all
+// dimensions of a consumer, caps may be the zero Vector for "no cap".
+func ShareVector(capacity Vector, demands []Vector, weights []float64, caps []Vector) []Vector {
+	out := make([]Vector, len(demands))
+	claims := make([]Claim, len(demands))
+	for _, k := range Kinds() {
+		for i := range demands {
+			var w float64 = 1
+			if weights != nil {
+				w = weights[i]
+			}
+			var cap float64
+			if caps != nil {
+				cap = caps[i].Get(k)
+			}
+			claims[i] = Claim{Demand: demands[i].Get(k), Weight: w, Cap: cap}
+		}
+		allocs := FairShare(capacity.Get(k), claims)
+		for i := range out {
+			out[i] = out[i].Set(k, allocs[i])
+		}
+	}
+	return out
+}

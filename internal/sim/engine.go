@@ -1,0 +1,202 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an ordered queue of events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, which makes every simulation that uses a seeded random source
+// fully reproducible. All of the data-center substrates in this repository
+// (cluster, DFS, MapReduce, interactive services) advance on a shared
+// Engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so that callers can cancel it before it fires.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once removed
+	cancel bool
+}
+
+// At returns the virtual time at which the event fires.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// New.
+type Engine struct {
+	now    time.Duration
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// New returns an Engine with its clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events processed so far. It is useful in
+// tests and for detecting runaway simulations.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is an error that indicates a logic bug in the caller; the event is
+// clamped to Now so the simulation remains monotonic, and the returned
+// event fires immediately on the next step.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative durations are clamped to
+// zero.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// AfterSeconds schedules fn after the given number of (possibly fractional)
+// virtual seconds. Infinite or NaN delays are never scheduled and return
+// nil; callers use this to express "no completion in sight" without special
+// cases.
+func (e *Engine) AfterSeconds(sec float64, fn func()) *Event {
+	if math.IsNaN(sec) || math.IsInf(sec, 0) {
+		return nil
+	}
+	return e.After(DurationFromSeconds(sec), fn)
+}
+
+// Cancel removes a pending event. Cancelling nil, an already-fired, or an
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step fires the next event, advancing the clock. It returns false when the
+// queue is empty or the engine has been halted.
+func (e *Engine) Step() bool {
+	if e.halted || len(e.queue) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&e.queue).(*Event)
+	if !ok {
+		return false
+	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock
+// to exactly t (even if no event fires there).
+func (e *Engine) RunUntil(t time.Duration) {
+	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Halt stops Run / RunUntil after the current event. Pending events remain
+// queued.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt was called.
+func (e *Engine) Halted() bool { return e.halted }
+
+// String describes the engine state, for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%s pending=%d fired=%d}", e.now, len(e.queue), e.fired)
+}
+
+// Seconds converts a virtual duration to float seconds.
+func Seconds(d time.Duration) float64 { return d.Seconds() }
+
+// DurationFromSeconds converts float seconds into a duration, saturating at
+// the maximum representable duration instead of overflowing.
+func DurationFromSeconds(sec float64) time.Duration {
+	if sec <= 0 {
+		return 0
+	}
+	const maxSec = float64(math.MaxInt64) / float64(time.Second)
+	if sec >= maxSec {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,52 @@
+package sim
+
+import "time"
+
+// Ticker invokes a callback at a fixed virtual-time period. It is the
+// backbone of the periodic controllers in the system (the Phase II DRM
+// epoch loop, the IPS SLA monitor, and the metrics samplers).
+type Ticker struct {
+	engine *Engine
+	period time.Duration
+	fn     func(now time.Duration)
+	ev     *Event
+	done   bool
+}
+
+// NewTicker schedules fn every period, with the first firing one period
+// from now. A non-positive period yields a stopped ticker, since a
+// zero-period ticker would never let the simulation advance.
+func NewTicker(engine *Engine, period time.Duration, fn func(now time.Duration)) *Ticker {
+	t := &Ticker{engine: engine, period: period, fn: fn}
+	if period <= 0 {
+		t.done = true
+		return t
+	}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.engine.After(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.done {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future firings. It is safe to call multiple times and from
+// within the callback itself.
+func (t *Ticker) Stop() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.engine.Cancel(t.ev)
+}
+
+// Stopped reports whether the ticker has been stopped.
+func (t *Ticker) Stopped() bool { return t.done }

@@ -1,0 +1,208 @@
+// Package testbed assembles ready-to-run simulated clusters — native,
+// virtual (k VMs per PM), Dom-0, split-architecture and hybrid — wired
+// with a DFS and a MapReduce JobTracker. The HybridMR core and every
+// experiment build their scenarios from these rigs, mirroring the paper's
+// testbed of 24 physical nodes and 48 VMs.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+	"repro/internal/sim"
+)
+
+// Options selects a rig shape. Zero values mean: native cluster, paper
+// hardware, FIFO-free (Fair) scheduling off — i.e. FIFO.
+type Options struct {
+	// PMs is the number of physical machines (default 4).
+	PMs int
+	// VMsPerPM > 0 builds a virtual cluster with that many VMs on each
+	// PM; 0 runs tasks natively on the PMs.
+	VMsPerPM int
+	// VMMemoryMB sizes each VM (default 1024, the paper's 1 GB guests).
+	VMMemoryMB float64
+	// VMCPUs is vCPUs per VM (default 1).
+	VMCPUs int
+	// Dom0 runs "native" execution in the privileged domain, with its
+	// small overhead (Figure 2(c)).
+	Dom0 bool
+	// Split deploys the split architecture of Figure 3: VMsPerPM
+	// TaskTracker (compute) VMs per PM plus one DataNode (storage) VM
+	// per PM that all of the PM's TaskTrackers read through. Compute
+	// parallelism matches the combined layout; data stays put when
+	// compute VMs move.
+	Split bool
+	// Seed fixes all randomized decisions.
+	Seed int64
+	// ClusterConfig overrides hardware parameters (zero fields default).
+	ClusterConfig cluster.Config
+	// MapredConfig overrides framework parameters (zero fields default).
+	MapredConfig mapred.Config
+	// Scheduler overrides the job scheduler (default mapred.Fair, as on
+	// the paper's testbed).
+	Scheduler mapred.Scheduler
+}
+
+func (o Options) withDefaults() Options {
+	if o.PMs <= 0 {
+		o.PMs = 4
+	}
+	if o.VMMemoryMB <= 0 {
+		o.VMMemoryMB = 1024
+	}
+	if o.VMCPUs <= 0 {
+		o.VMCPUs = 1
+	}
+	if o.Scheduler == nil {
+		o.Scheduler = mapred.Fair{}
+	}
+	return o
+}
+
+// Rig is an assembled simulation environment.
+type Rig struct {
+	// Engine is the shared discrete-event engine.
+	Engine *sim.Engine
+	// Cluster holds the PMs and VMs.
+	Cluster *cluster.Cluster
+	// FS is the distributed filesystem.
+	FS *dfs.FileSystem
+	// JT is the MapReduce framework.
+	JT *mapred.JobTracker
+	// Workers are the compute nodes registered as TaskTrackers.
+	Workers []cluster.Node
+	// PMs are the physical machines backing the rig.
+	PMs []*cluster.PM
+	// VMs are all provisioned VMs (empty for native rigs).
+	VMs []*cluster.VM
+}
+
+// New assembles a rig.
+func New(opts Options) (*Rig, error) {
+	opts = opts.withDefaults()
+	engine := sim.New()
+	cl := cluster.New(engine, opts.ClusterConfig, opts.Seed)
+	fs := dfs.New(engine, dfs.Config{}, opts.Seed+1)
+	jt := mapred.NewJobTracker(engine, fs, opts.MapredConfig, opts.Scheduler)
+
+	rig := &Rig{Engine: engine, Cluster: cl, FS: fs, JT: jt}
+	rig.PMs = cl.AddPMs("pm", opts.PMs)
+
+	switch {
+	case opts.VMsPerPM <= 0:
+		for _, pm := range rig.PMs {
+			if opts.Dom0 {
+				pm.SetDom0Mode(true)
+			}
+			jt.AddTracker(pm)
+			rig.Workers = append(rig.Workers, pm)
+		}
+	case opts.Split:
+		for pi, pm := range rig.PMs {
+			dn, err := cl.AddVM(fmt.Sprintf("dn-%d", pi), pm, opts.VMCPUs, opts.VMMemoryMB)
+			if err != nil {
+				return nil, err
+			}
+			rig.VMs = append(rig.VMs, dn)
+			for k := 0; k < opts.VMsPerPM; k++ {
+				tt, err := cl.AddVM(fmt.Sprintf("tt-%d-%d", pi, k), pm, opts.VMCPUs, opts.VMMemoryMB)
+				if err != nil {
+					return nil, err
+				}
+				jt.AddSplitTracker(tt, dn)
+				rig.Workers = append(rig.Workers, tt)
+				rig.VMs = append(rig.VMs, tt)
+			}
+		}
+	default:
+		vms, err := cl.SpreadVMs("vm", opts.PMs*opts.VMsPerPM, rig.PMs, opts.VMCPUs, opts.VMMemoryMB)
+		if err != nil {
+			return nil, err
+		}
+		rig.VMs = vms
+		for _, vm := range vms {
+			jt.AddTracker(vm)
+			rig.Workers = append(rig.Workers, vm)
+		}
+	}
+	return rig, nil
+}
+
+// JobResult summarizes one completed job.
+type JobResult struct {
+	// Name is the job's benchmark name.
+	Name string
+	// JCT is the completion time.
+	JCT time.Duration
+	// MapPhase and ReducePhase split the completion time.
+	MapPhase    time.Duration
+	ReducePhase time.Duration
+}
+
+func resultOf(j *mapred.Job) JobResult {
+	return JobResult{
+		Name:        j.Spec.Name,
+		JCT:         j.JCT(),
+		MapPhase:    j.MapPhase(),
+		ReducePhase: j.ReducePhase(),
+	}
+}
+
+// FailPM crashes one of the rig's physical machines and propagates the
+// failure through every layer: trackers on the machine stop receiving
+// work, running attempts are killed (MapReduce re-executes them
+// elsewhere), and the DFS re-replicates the blocks that lost a copy. It
+// returns the DFS damage report.
+func (r *Rig) FailPM(pm *cluster.PM) (dfs.FailureReport, error) {
+	// Disable trackers first so re-queued tasks don't land back on the
+	// dying machine, then snapshot the affected storage nodes.
+	r.JT.HandleMachineFailure(pm)
+	affected := make([]cluster.Node, 0, 4)
+	affected = append(affected, pm)
+	for _, vm := range pm.VMs() {
+		affected = append(affected, vm)
+	}
+	if err := pm.Fail(); err != nil {
+		return dfs.FailureReport{}, err
+	}
+	return r.FS.HandleNodeFailures(affected), nil
+}
+
+// RunJob submits a job and drives the simulation until it completes.
+func (r *Rig) RunJob(spec mapred.JobSpec) (JobResult, error) {
+	job, err := r.JT.Submit(spec, nil)
+	if err != nil {
+		return JobResult{}, err
+	}
+	r.Engine.Run()
+	if !job.Done() {
+		return JobResult{}, fmt.Errorf("testbed: job %s stalled (deadlock or starvation)", spec.Name)
+	}
+	return resultOf(job), nil
+}
+
+// RunJobs submits all jobs at once and drives the simulation until every
+// one completes.
+func (r *Rig) RunJobs(specs []mapred.JobSpec) ([]JobResult, error) {
+	jobs := make([]*mapred.Job, 0, len(specs))
+	for _, spec := range specs {
+		job, err := r.JT.Submit(spec, nil)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job)
+	}
+	r.Engine.Run()
+	out := make([]JobResult, 0, len(jobs))
+	for _, j := range jobs {
+		if !j.Done() {
+			return nil, fmt.Errorf("testbed: job %s stalled", j.Spec.Name)
+		}
+		out = append(out, resultOf(j))
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+	"repro/internal/workload"
+)
+
+func TestNativeRig(t *testing.T) {
+	rig, err := New(Options{PMs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rig.Workers) != 4 || len(rig.VMs) != 0 {
+		t.Fatalf("native rig: %d workers, %d VMs", len(rig.Workers), len(rig.VMs))
+	}
+	res, err := rig.RunJob(workload.Sort().WithInputMB(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JCT <= 0 || res.Name != "Sort" {
+		t.Errorf("bad result: %+v", res)
+	}
+}
+
+func TestVirtualRigSlowerThanNative(t *testing.T) {
+	run := func(vmsPerPM int) float64 {
+		rig, err := New(Options{PMs: 4, VMsPerPM: vmsPerPM, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rig.RunJob(workload.Sort().WithInputMB(2048))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.JCT.Seconds()
+	}
+	native := run(0)
+	virtual := run(1) // same worker count, one VM per PM
+	if virtual <= native {
+		t.Errorf("virtual Sort (%v) not slower than native (%v)", virtual, native)
+	}
+	overhead := virtual/native - 1
+	if overhead < 0.05 || overhead > 0.60 {
+		t.Errorf("virtual overhead %.0f%% outside plausible band", overhead*100)
+	}
+}
+
+func TestDom0Rig(t *testing.T) {
+	run := func(dom0 bool) float64 {
+		rig, err := New(Options{PMs: 4, Dom0: dom0, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rig.RunJob(workload.Sort().WithInputMB(2048))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.JCT.Seconds()
+	}
+	native := run(false)
+	dom0 := run(true)
+	// Figure 2(c): Dom-0 is near-native, under ~5% on average across
+	// benchmarks. Sort is the worst case (fully disk-bound), so allow a
+	// little slack above the average here.
+	overhead := dom0/native - 1
+	if overhead < 0 || overhead > 0.065 {
+		t.Errorf("Dom-0 overhead %.1f%%, want (0, 6.5%%]", overhead*100)
+	}
+}
+
+func TestSplitRig(t *testing.T) {
+	rig, err := New(Options{PMs: 4, VMsPerPM: 2, Split: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rig.Workers) != 8 {
+		t.Fatalf("split rig workers = %d, want 8 (two TTs per PM)", len(rig.Workers))
+	}
+	if len(rig.VMs) != 12 {
+		t.Fatalf("split rig VMs = %d, want 12 (2 TT + 1 DN per PM)", len(rig.VMs))
+	}
+	if _, err := rig.RunJob(workload.Sort().WithInputMB(1024)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJobsConcurrent(t *testing.T) {
+	rig, err := New(Options{PMs: 6, VMsPerPM: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := rig.RunJobs([]mapred.JobSpec{
+		workload.Sort().WithInputMB(512),
+		workload.Wcount().WithInputMB(512),
+		workload.PiEst(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.JCT <= 0 {
+			t.Errorf("%s JCT = %v", r.Name, r.JCT)
+		}
+	}
+}
+
+func TestJobSurvivesPMFailure(t *testing.T) {
+	rig, err := New(Options{PMs: 6, VMsPerPM: 2, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := rig.JT.Submit(workload.Sort().WithInputMB(2048), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report dfs.FailureReport
+	rig.Engine.After(10*time.Second, func() {
+		report, err = rig.FailPM(rig.PMs[2])
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	rig.Engine.Run()
+	if !job.Done() {
+		t.Fatal("job did not survive the machine failure")
+	}
+	if report.Lost > 0 {
+		t.Errorf("%d blocks lost despite 2-way replication across 12 nodes", report.Lost)
+	}
+	if report.ReReplicated == 0 {
+		t.Error("no blocks re-replicated after losing two DataNodes")
+	}
+	// The failed machine must be empty and off.
+	if !rig.PMs[2].Failed() || len(rig.PMs[2].VMs()) != 0 {
+		t.Error("failed PM still hosts work")
+	}
+	// No attempt may still reference the failed machine.
+	for _, a := range rig.JT.RunningAttempts() {
+		if a.Node().Machine() == rig.PMs[2] {
+			t.Errorf("attempt %s still on the failed machine", a.Task.ID())
+		}
+	}
+}
+
+func TestFailureDuringMigrationRefused(t *testing.T) {
+	rig, err := New(Options{PMs: 3, VMsPerPM: 1, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := rig.VMs[0]
+	if err := rig.Cluster.Migrate(vm, rig.PMs[1], nil); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-migration: the source machine cannot fail.
+	if _, err := rig.FailPM(rig.PMs[0]); err == nil {
+		t.Error("failing a machine with an in-flight migration succeeded")
+	}
+	rig.Engine.Run()
+	// After it lands, failure works.
+	if _, err := rig.FailPM(rig.PMs[0]); err != nil {
+		t.Errorf("post-migration failure: %v", err)
+	}
+}
+
+func TestNativeClusterFailure(t *testing.T) {
+	rig, err := New(Options{PMs: 6, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := rig.JT.Submit(workload.Wcount().WithInputMB(2048), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.Engine.After(8*time.Second, func() {
+		if _, err := rig.FailPM(rig.PMs[0]); err != nil {
+			t.Error(err)
+		}
+	})
+	rig.Engine.Run()
+	if !job.Done() {
+		t.Fatal("native job did not survive the failure")
+	}
+}

@@ -1,0 +1,155 @@
+// Package workload defines the paper's workload mix: the six MapReduce
+// benchmarks of Section IV (Twitter, Wcount, PiEst, DistGrep, Sort,
+// Kmeans) with their published input sizes and resource characters, and
+// the three interactive services (RUBiS, TPC-W, Olio) with an M/M/1-style
+// latency model and SLA bounds.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mapred"
+)
+
+// GB converts gigabytes to the MB units used throughout.
+const GB = 1024.0
+
+// Twitter ranks users over 25 GB of twitter traces; the paper classes it
+// memory + I/O bound.
+func Twitter() mapred.JobSpec {
+	return mapred.JobSpec{
+		Name:             "Twitter",
+		InputMB:          25 * GB,
+		Reduces:          24,
+		MapStreamMBps:    42,
+		MapCPUPerMB:      0.010,
+		MapMemMB:         300,
+		ShuffleRatio:     0.45,
+		ReduceStreamMBps: 36,
+		ReduceCPUPerMB:   0.012,
+		ReduceMemMB:      330,
+		OutputRatio:      0.30,
+	}
+}
+
+// Wcount computes word frequencies over 20 GB of text; memory + I/O
+// bound.
+func Wcount() mapred.JobSpec {
+	return mapred.JobSpec{
+		Name:             "Wcount",
+		InputMB:          20 * GB,
+		Reduces:          24,
+		MapStreamMBps:    48,
+		MapCPUPerMB:      0.012,
+		MapMemMB:         260,
+		ShuffleRatio:     0.18,
+		ReduceStreamMBps: 38,
+		ReduceCPUPerMB:   0.010,
+		ReduceMemMB:      300,
+		OutputRatio:      0.25,
+	}
+}
+
+// PiEst estimates Pi from 10 million points; pure CPU with negligible
+// data.
+func PiEst() mapred.JobSpec {
+	return mapred.JobSpec{
+		Name:          "PiEst",
+		Reduces:       1,
+		FixedMapWork:  55,
+		FixedMapTasks: 48,
+		MapMemMB:      150,
+		ReduceMemMB:   120,
+	}
+}
+
+// DistGrep matches regular expressions over 20 GB of text; I/O bound with
+// a tiny shuffle.
+func DistGrep() mapred.JobSpec {
+	return mapred.JobSpec{
+		Name:             "DistGrep",
+		InputMB:          20 * GB,
+		Reduces:          1,
+		MapStreamMBps:    62,
+		MapCPUPerMB:      0.006,
+		MapMemMB:         150,
+		ShuffleRatio:     0.002,
+		ReduceStreamMBps: 40,
+		ReduceCPUPerMB:   0.004,
+		ReduceMemMB:      150,
+		OutputRatio:      1,
+	}
+}
+
+// Sort sorts 20 GB of text; the canonical I/O- and shuffle-heavy job.
+func Sort() mapred.JobSpec {
+	return mapred.JobSpec{
+		Name:             "Sort",
+		InputMB:          20 * GB,
+		Reduces:          24,
+		MapStreamMBps:    55,
+		MapCPUPerMB:      0.004,
+		MapMemMB:         200,
+		ShuffleRatio:     1,
+		ReduceStreamMBps: 38,
+		ReduceCPUPerMB:   0.005,
+		ReduceMemMB:      280,
+		OutputRatio:      1,
+	}
+}
+
+// Kmeans clusters 10 GB of numeric data; CPU bound.
+func Kmeans() mapred.JobSpec {
+	return mapred.JobSpec{
+		Name:             "Kmeans",
+		InputMB:          10 * GB,
+		Reduces:          12,
+		MapStreamMBps:    40,
+		MapCPUPerMB:      0.055, // CPU bound: one core sustains ~18 MB/s
+		MapMemMB:         280,
+		ShuffleRatio:     0.06,
+		ReduceStreamMBps: 30,
+		ReduceCPUPerMB:   0.030,
+		ReduceMemMB:      260,
+		OutputRatio:      0.5,
+	}
+}
+
+// Benchmarks returns all six MapReduce benchmarks in the paper's figure
+// order.
+func Benchmarks() []mapred.JobSpec {
+	return []mapred.JobSpec{Twitter(), Wcount(), PiEst(), DistGrep(), Sort(), Kmeans()}
+}
+
+// BenchmarkNames lists the benchmark names in figure order.
+func BenchmarkNames() []string {
+	specs := Benchmarks()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName returns the benchmark spec with the given name.
+func ByName(name string) (mapred.JobSpec, error) {
+	for _, s := range Benchmarks() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return mapred.JobSpec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// IsCPUBound reports whether a benchmark is CPU bound (PiEst, Kmeans) as
+// opposed to I/O or memory bound; several figures split on this.
+func IsCPUBound(spec mapred.JobSpec) bool {
+	if spec.FixedMapWork > 0 {
+		return true
+	}
+	if spec.MapCPUPerMB <= 0 {
+		return false
+	}
+	// CPU bound when one core limits the stream below the I/O rate.
+	return 1/spec.MapCPUPerMB < spec.MapStreamMBps
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/resource"
+)
+
+// ServiceSpec describes an interactive (transactional) application tier.
+// Per-client demands are calibrated so that a single 1-vCPU, 1 GB VM
+// saturates in the low thousands of clients, matching the RUBiS curves in
+// the paper's Figure 8(d).
+type ServiceSpec struct {
+	// Name identifies the application.
+	Name string
+	// CPUPerClient is cores consumed per concurrent client.
+	CPUPerClient float64
+	// DiskPerClientMBps and NetPerClientMBps are per-client I/O rates.
+	DiskPerClientMBps float64
+	NetPerClientMBps  float64
+	// BaseMemMB is the tier's resident footprint; MemPerClientMB adds
+	// session state.
+	BaseMemMB      float64
+	MemPerClientMB float64
+	// BaseLatencyMs is the unloaded response time.
+	BaseLatencyMs float64
+	// SLAMs is the response-time bound (the paper uses 2000 ms).
+	SLAMs float64
+	// Headroom is the over-provisioning factor: the service requests
+	// Headroom x its current need, and the spare is what HybridMR
+	// harvests for batch work.
+	Headroom float64
+}
+
+func (s ServiceSpec) withDefaults() ServiceSpec {
+	if s.SLAMs <= 0 {
+		s.SLAMs = 2000
+	}
+	if s.Headroom <= 1 {
+		s.Headroom = 1.6
+	}
+	if s.BaseLatencyMs <= 0 {
+		s.BaseLatencyMs = 60
+	}
+	return s
+}
+
+// RUBiS models the online auction site used throughout the paper.
+func RUBiS() ServiceSpec {
+	return ServiceSpec{
+		Name:              "RUBiS",
+		CPUPerClient:      0.00010,
+		DiskPerClientMBps: 0.008,
+		NetPerClientMBps:  0.006,
+		BaseMemMB:         320,
+		MemPerClientMB:    0.05,
+		BaseLatencyMs:     55,
+		SLAMs:             2000,
+		Headroom:          1.6,
+	}
+}
+
+// TPCW models the three-tier online book store.
+func TPCW() ServiceSpec {
+	return ServiceSpec{
+		Name:              "TPC-W",
+		CPUPerClient:      0.00018,
+		DiskPerClientMBps: 0.012,
+		NetPerClientMBps:  0.005,
+		BaseMemMB:         380,
+		MemPerClientMB:    0.06,
+		BaseLatencyMs:     70,
+		SLAMs:             2000,
+		Headroom:          1.6,
+	}
+}
+
+// Olio models the Web 2.0 social-events application.
+func Olio() ServiceSpec {
+	return ServiceSpec{
+		Name:              "Olio",
+		CPUPerClient:      0.00015,
+		DiskPerClientMBps: 0.009,
+		NetPerClientMBps:  0.008,
+		BaseMemMB:         300,
+		MemPerClientMB:    0.07,
+		BaseLatencyMs:     65,
+		SLAMs:             2000,
+		Headroom:          1.6,
+	}
+}
+
+// Services returns the three interactive applications.
+func Services() []ServiceSpec {
+	return []ServiceSpec{RUBiS(), TPCW(), Olio()}
+}
+
+// Service is a deployed interactive application instance on a node
+// (normally a VM). It runs as an open-ended consumer whose demand tracks
+// the client count; response time follows an M/M/1-style curve on the
+// utilization of its bottleneck resource.
+type Service struct {
+	spec     ServiceSpec
+	node     cluster.Node
+	consumer *cluster.Consumer
+	clients  int
+}
+
+// Deploy starts a service on the node with zero clients.
+func Deploy(spec ServiceSpec, node cluster.Node) (*Service, error) {
+	if node == nil {
+		return nil, fmt.Errorf("workload: deploy %s: nil node", spec.Name)
+	}
+	s := &Service{spec: spec.withDefaults(), node: node}
+	s.consumer = &cluster.Consumer{
+		Name:   fmt.Sprintf("svc:%s@%s", spec.Name, node.Name()),
+		Demand: s.demandFor(0),
+		Work:   cluster.OpenEnded,
+		Weight: 4, // interactive tiers run at elevated priority
+	}
+	if err := node.Start(s.consumer); err != nil {
+		return nil, fmt.Errorf("workload: deploy %s: %w", spec.Name, err)
+	}
+	return s, nil
+}
+
+// Spec returns the service's specification.
+func (s *Service) Spec() ServiceSpec { return s.spec }
+
+// Node returns where the service runs.
+func (s *Service) Node() cluster.Node { return s.node }
+
+// Consumer exposes the underlying consumer for scheduler introspection.
+func (s *Service) Consumer() *cluster.Consumer { return s.consumer }
+
+// Clients returns the current client count.
+func (s *Service) Clients() int { return s.clients }
+
+// SetClients updates the offered load.
+func (s *Service) SetClients(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.clients = n
+	s.consumer.SetDemand(s.demandFor(n))
+}
+
+// Stop removes the service from its node.
+func (s *Service) Stop() { s.consumer.Stop() }
+
+// demandFor is the resource request for n clients including the
+// over-provisioning headroom the paper's premise rests on.
+func (s *Service) demandFor(n int) resource.Vector {
+	h := s.spec.Headroom
+	fn := float64(n)
+	return resource.NewVector(
+		math.Max(0.02, fn*s.spec.CPUPerClient*h),
+		s.spec.BaseMemMB+fn*s.spec.MemPerClientMB,
+		fn*s.spec.DiskPerClientMBps*h,
+		fn*s.spec.NetPerClientMBps*h,
+	)
+}
+
+// Rho returns the service's effective utilization: the largest ratio of
+// required rate (without headroom) to the capacity actually available to
+// the service, across the CPU, disk and network dimensions. When the
+// service's (over-provisioned) demand is fully granted, the available
+// capacity is the node's capacity minus what collocated consumers hold;
+// when the kernel squeezes the service below its demand, the grant itself
+// is the ceiling.
+func (s *Service) Rho() float64 {
+	_, rho := s.Bottleneck()
+	return rho
+}
+
+// Bottleneck returns the resource dimension currently limiting the
+// service most, together with its utilization. The Phase II IPS throttles
+// interferers in exactly this dimension.
+func (s *Service) Bottleneck() (resource.Kind, float64) {
+	if s.clients == 0 {
+		return resource.CPU, 0
+	}
+	need := resource.NewVector(
+		float64(s.clients)*s.spec.CPUPerClient,
+		0,
+		float64(s.clients)*s.spec.DiskPerClientMBps,
+		float64(s.clients)*s.spec.NetPerClientMBps,
+	)
+	alloc := s.consumer.Alloc()
+	demand := s.consumer.Demand
+	cap := s.node.UsefulCapacity()
+	var others resource.Vector
+	for _, c := range s.node.Consumers() {
+		if c != s.consumer {
+			others = others.Add(c.Alloc())
+		}
+	}
+	kind, rho := resource.CPU, 0.0
+	for _, k := range [...]resource.Kind{resource.CPU, resource.DiskIO, resource.NetIO} {
+		d := need.Get(k)
+		if d <= 0 {
+			continue
+		}
+		a := alloc.Get(k)
+		avail := a
+		if a >= demand.Get(k)*0.999 {
+			if free := cap.Get(k) - others.Get(k); free > avail {
+				avail = free
+			}
+		}
+		if avail <= 0 {
+			return k, 10 // starved outright
+		}
+		if r := d / avail; r > rho {
+			kind, rho = k, r
+		}
+	}
+	return kind, rho
+}
+
+// maxLatencyMs caps the reported latency, mirroring client timeouts.
+const maxLatencyMs = 60_000
+
+// LatencyMs returns the current mean response time under the M/M/1-style
+// model latency = base / (1 - rho), saturating once rho approaches or
+// exceeds 1.
+func (s *Service) LatencyMs() float64 {
+	rho := s.Rho()
+	if rho >= 0.995 {
+		// Saturated: queue grows with the overload factor.
+		l := s.spec.BaseLatencyMs/0.005 + (rho-1)*20_000
+		return math.Min(l, maxLatencyMs)
+	}
+	return math.Min(s.spec.BaseLatencyMs/(1-rho), maxLatencyMs)
+}
+
+// SLAViolated reports whether the current latency exceeds the SLA bound.
+func (s *Service) SLAViolated() bool { return s.LatencyMs() > s.spec.SLAMs }
