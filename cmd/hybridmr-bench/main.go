@@ -2,15 +2,20 @@
 //
 // Usage:
 //
-//	hybridmr-bench [-scale 1.0] [-only fig1a,fig8b] [-list]
+//	hybridmr-bench [-scale 1.0] [-only fig1a,fig8b] [-list] [-json]
 //
 // Each experiment prints the same rows/series the paper plots, followed
 // by headline notes comparing measured numbers against the paper's
 // claims. Running everything at -scale 1 takes a few minutes; smaller
 // scales shrink the input data sizes proportionally.
+//
+// With -json, each experiment additionally writes a BENCH_<id>.json file
+// recording its wall-clock time, simulation events fired and events per
+// second, so the performance trajectory can be tracked across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +23,26 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
+
+// benchRecord is the machine-readable per-experiment performance report
+// written by -json.
+type benchRecord struct {
+	Name         string  `json:"name"`
+	Scale        float64 `json:"scale"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsFired  uint64  `json:"events_fired"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func writeBenchJSON(rec benchRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_"+rec.Name+".json", append(data, '\n'), 0o644)
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -33,6 +57,7 @@ func run(args []string) error {
 	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
 	ext := fs.Bool("ext", false, "include the extension and ablation experiments")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	jsonOut := fs.Bool("json", false, "write BENCH_<id>.json perf records")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,12 +91,24 @@ func run(args []string) error {
 
 	for _, e := range selected {
 		start := time.Now()
+		firedBefore := sim.ProcessEvents()
 		outcome, err := e.Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		wall := time.Since(start).Seconds()
+		fired := sim.ProcessEvents() - firedBefore
 		outcome.Fprint(os.Stdout)
-		fmt.Printf("  (%s completed in %.1fs wall time)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("  (%s completed in %.1fs wall time)\n\n", e.ID, wall)
+		if *jsonOut {
+			rec := benchRecord{Name: e.ID, Scale: *scale, WallSeconds: wall, EventsFired: fired}
+			if wall > 0 {
+				rec.EventsPerSec = float64(fired) / wall
+			}
+			if err := writeBenchJSON(rec); err != nil {
+				return fmt.Errorf("%s: write bench json: %w", e.ID, err)
+			}
+		}
 	}
 	return nil
 }

@@ -1,79 +1,269 @@
-// Command hybridmr-sim runs a single MapReduce benchmark on a chosen
-// simulated cluster shape and reports the completion time and phase
-// breakdown.
+// Command hybridmr-sim drives the simulated hybrid data center and can
+// record a structured trace of everything that happens inside it.
+//
+// Two modes:
+//
+//   - The default "quickstart" scenario assembles a hybrid cluster
+//     (native + virtual partitions), deploys RUBiS, runs Sort and PiEst
+//     through the two-phase scheduler, consolidates the VMs of one host
+//     via live migration and powers the freed machine off — exercising
+//     every traced subsystem in one run.
+//   - "job" mode (selected with -scenario job, or implied by an explicit
+//     -benchmark flag) runs a single MapReduce benchmark on a chosen
+//     cluster shape, as before.
 //
 // Usage:
 //
+//	hybridmr-sim -trace out.json -trace-format chrome -metrics
 //	hybridmr-sim -benchmark Sort -data-gb 8 -pms 12 -vms-per-pm 2
 //	hybridmr-sim -benchmark Kmeans -pms 24            # native cluster
 //	hybridmr-sim -benchmark Sort -pms 24 -dom0        # Dom-0 mode
 //	hybridmr-sim -benchmark Sort -pms 24 -vms-per-pm 2 -split
+//
+// The trace file loads directly into Perfetto (ui.perfetto.dev) or
+// chrome://tracing when written in the default chrome format; -trace-format
+// jsonl writes one JSON event per line for ad-hoc processing. Traces
+// contain only simulated timestamps, so two runs with the same seed
+// produce byte-identical files.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
+	hybridmr "repro"
 	"repro/internal/mapred"
+	"repro/internal/sim"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridmr-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hybridmr-sim", flag.ContinueOnError)
+	scenario := fs.String("scenario", "", "scenario: quickstart (default) or job")
 	bench := fs.String("benchmark", "Sort", "benchmark name (Twitter, Wcount, PiEst, DistGrep, Sort, Kmeans)")
 	dataGB := fs.Float64("data-gb", 0, "input size in GB (0 = the paper's size for the benchmark)")
-	pms := fs.Int("pms", 12, "physical machines")
-	vmsPerPM := fs.Int("vms-per-pm", 0, "VMs per PM (0 = native execution)")
+	pms := fs.Int("pms", 12, "physical machines (job mode)")
+	vmsPerPM := fs.Int("vms-per-pm", 0, "VMs per PM (0 = native execution; job mode)")
 	dom0 := fs.Bool("dom0", false, "run native work in the privileged domain")
 	split := fs.Bool("split", false, "split TaskTracker/DataNode architecture")
 	slotCaps := fs.Bool("slot-caps", false, "static Hadoop slot containers")
 	sched := fs.String("scheduler", "fair", "job scheduler: fair or fifo")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	traceFile := fs.String("trace", "", "write a structured event trace to this file")
+	traceFormat := fs.String("trace-format", "chrome", "trace encoding: chrome (Perfetto-loadable) or jsonl")
+	metricsOn := fs.Bool("metrics", false, "print the metrics registry after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	spec, err := workload.ByName(*bench)
+	// An explicit -benchmark keeps the pre-scenario CLI working: it
+	// implies job mode unless the user also picked a scenario.
+	mode := *scenario
+	if mode == "" {
+		mode = "quickstart"
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "benchmark" {
+				mode = "job"
+			}
+		})
+	}
+
+	var tracer *trace.Tracer
+	var reg *trace.Registry
+	if *traceFile != "" {
+		tracer = trace.New(nil)
+	}
+	if *metricsOn || *traceFile != "" {
+		reg = trace.NewRegistry()
+	}
+
+	firedBefore := sim.ProcessEvents()
+	wallStart := time.Now()
+
+	var err error
+	switch mode {
+	case "quickstart":
+		err = runQuickstart(*seed, tracer, reg, out)
+	case "job":
+		err = runJob(jobOptions{
+			bench: *bench, dataGB: *dataGB, pms: *pms, vmsPerPM: *vmsPerPM,
+			dom0: *dom0, split: *split, slotCaps: *slotCaps, sched: *sched, seed: *seed,
+		}, tracer, reg, out)
+	default:
+		return fmt.Errorf("unknown scenario %q (quickstart or job)", mode)
+	}
 	if err != nil {
 		return err
 	}
-	if *dataGB > 0 {
+
+	// Wall-clock throughput goes to the registry only — never into the
+	// trace file, which must stay deterministic across runs.
+	if wall := time.Since(wallStart).Seconds(); wall > 0 {
+		reg.Gauge("engine.events_per_sec").Set(float64(sim.ProcessEvents()-firedBefore) / wall)
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		if err := tracer.Write(f, trace.ExportFormat(*traceFormat)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrace: %d events -> %s (%s format)\n", tracer.Len(), *traceFile, *traceFormat)
+	}
+	if *metricsOn {
+		fmt.Fprintf(out, "\nmetrics:\n")
+		reg.Fprint(out)
+	}
+	return nil
+}
+
+// runQuickstart exercises every traced subsystem: hybrid placement, task
+// execution with data locality, interactive-service SLA monitoring, live
+// VM migration and PM power management.
+func runQuickstart(seed int64, tracer *trace.Tracer, reg *trace.Registry, out io.Writer) error {
+	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
+		NativePMs:      4,
+		VirtualHostPMs: 4,
+		VMsPerHost:     2,
+		Seed:           seed,
+		Tracer:         tracer,
+		Metrics:        reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer dc.Close()
+
+	svc, err := dc.DeployService(hybridmr.RUBiS())
+	if err != nil {
+		return err
+	}
+	svc.SetClients(1500)
+
+	type submitted struct {
+		job       *hybridmr.Job
+		placement hybridmr.Placement
+	}
+	var jobs []submitted
+	for _, spec := range []hybridmr.JobSpec{
+		hybridmr.Sort().WithInputMB(2 * 1024),
+		hybridmr.PiEst(),
+	} {
+		job, placement, err := dc.SubmitJob(spec, 0, nil)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, submitted{job, placement})
+	}
+	dc.RunFor(10 * time.Minute)
+
+	// Consolidate: pm-1's two worker VMs move to pm-2 and pm-3, then the
+	// emptied machine powers down.
+	var migErr error
+	for _, move := range []struct{ vm, pm string }{{"vm-1", "pm-2"}, {"vm-5", "pm-3"}} {
+		vm := vmByName(dc.VMs, move.vm)
+		pm := pmByName(dc.HostPMs, move.pm)
+		if vm == nil || pm == nil {
+			return fmt.Errorf("quickstart: %s or %s not found", move.vm, move.pm)
+		}
+		if err := dc.Cluster.Migrate(vm, pm, func(st hybridmr.MigrationStats) {
+			fmt.Fprintf(out, "migrated %-5s %s -> %s in %.1fs (downtime %.2fs, %.0f MB moved)\n",
+				st.VM, st.From, st.To, st.TotalTime.Seconds(), st.Downtime.Seconds(), st.TransferredMB)
+		}); err != nil {
+			migErr = err
+		}
+	}
+	if migErr != nil {
+		return migErr
+	}
+	dc.RunFor(2 * time.Minute)
+
+	if pm := pmByName(dc.HostPMs, "pm-1"); pm != nil {
+		if err := pm.PowerOff(); err != nil {
+			return fmt.Errorf("quickstart: power off pm-1: %w", err)
+		}
+		fmt.Fprintf(out, "powered off pm-1 (%d/%d PMs on)\n",
+			dc.Cluster.PoweredOnPMs(), len(dc.Cluster.PMs()))
+	}
+	dc.RunFor(8 * time.Minute)
+
+	fmt.Fprintf(out, "\nquickstart after %s simulated:\n", dc.Now())
+	for _, s := range jobs {
+		status := "running"
+		if s.job.Done() {
+			status = fmt.Sprintf("done, JCT %.1fs", s.job.JCT().Seconds())
+		}
+		fmt.Fprintf(out, "  %-8s -> %-7s partition  (%s)\n", s.job.Spec.Name, s.placement, status)
+	}
+	fmt.Fprintf(out, "  RUBiS    -> %.0f ms mean response (%d clients)\n",
+		svc.LatencyMs(), svc.Clients())
+	return nil
+}
+
+type jobOptions struct {
+	bench         string
+	dataGB        float64
+	pms, vmsPerPM int
+	dom0, split   bool
+	slotCaps      bool
+	sched         string
+	seed          int64
+}
+
+// runJob is the original single-benchmark mode.
+func runJob(o jobOptions, tracer *trace.Tracer, reg *trace.Registry, out io.Writer) error {
+	spec, err := workload.ByName(o.bench)
+	if err != nil {
+		return err
+	}
+	if o.dataGB > 0 {
 		if spec.FixedMapWork > 0 {
 			return fmt.Errorf("%s is a fixed-work benchmark; -data-gb does not apply", spec.Name)
 		}
-		spec = spec.WithInputMB(*dataGB * workload.GB)
+		spec = spec.WithInputMB(o.dataGB * workload.GB)
 	}
 
 	var scheduler mapred.Scheduler
-	switch *sched {
+	switch o.sched {
 	case "fair":
 		scheduler = mapred.Fair{}
 	case "fifo":
 		scheduler = mapred.FIFO{}
 	default:
-		return fmt.Errorf("unknown scheduler %q", *sched)
+		return fmt.Errorf("unknown scheduler %q", o.sched)
 	}
 	mrCfg := mapred.Config{}
-	if *slotCaps {
+	if o.slotCaps {
 		mrCfg.SlotCaps = mapred.DefaultSlotCaps()
 	}
 	rig, err := testbed.New(testbed.Options{
-		PMs:          *pms,
-		VMsPerPM:     *vmsPerPM,
-		Dom0:         *dom0,
-		Split:        *split,
-		Seed:         *seed,
+		PMs:          o.pms,
+		VMsPerPM:     o.vmsPerPM,
+		Dom0:         o.dom0,
+		Split:        o.split,
+		Seed:         o.seed,
 		Scheduler:    scheduler,
 		MapredConfig: mrCfg,
+		Tracer:       tracer,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return err
@@ -82,10 +272,28 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("benchmark:    %s\n", res.Name)
-	fmt.Printf("workers:      %d (%d PMs x %d VMs/PM)\n", len(rig.Workers), *pms, *vmsPerPM)
-	fmt.Printf("JCT:          %.1fs\n", res.JCT.Seconds())
-	fmt.Printf("map phase:    %.1fs\n", res.MapPhase.Seconds())
-	fmt.Printf("reduce phase: %.1fs\n", res.ReducePhase.Seconds())
+	fmt.Fprintf(out, "benchmark:    %s\n", res.Name)
+	fmt.Fprintf(out, "workers:      %d (%d PMs x %d VMs/PM)\n", len(rig.Workers), o.pms, o.vmsPerPM)
+	fmt.Fprintf(out, "JCT:          %.1fs\n", res.JCT.Seconds())
+	fmt.Fprintf(out, "map phase:    %.1fs\n", res.MapPhase.Seconds())
+	fmt.Fprintf(out, "reduce phase: %.1fs\n", res.ReducePhase.Seconds())
+	return nil
+}
+
+func vmByName(vms []*hybridmr.VM, name string) *hybridmr.VM {
+	for _, vm := range vms {
+		if vm.Name() == name {
+			return vm
+		}
+	}
+	return nil
+}
+
+func pmByName(pms []*hybridmr.PM, name string) *hybridmr.PM {
+	for _, pm := range pms {
+		if pm.Name() == name {
+			return pm
+		}
+	}
 	return nil
 }

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runToTrace runs the quickstart scenario writing a trace, and returns
+// the trace bytes.
+func runToTrace(t *testing.T, name, format string) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	var out bytes.Buffer
+	args := []string{"-trace", path, "-trace-format", format, "-seed", "7"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	return data
+}
+
+func TestQuickstartChromeTraceIsValidAndComplete(t *testing.T) {
+	data := runToTrace(t, "trace.json", "chrome")
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	// The quickstart must exercise every traced subsystem.
+	cats := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Cat != "" {
+			cats[e.Cat] = true
+		}
+	}
+	for _, want := range []string{"job", "task", "migration", "power", "placement", "dfs"} {
+		if !cats[want] {
+			t.Errorf("trace lacks any %q events (have %v)", want, cats)
+		}
+	}
+
+	// Spans for specific expected activity.
+	sawMigration, sawPowerOff, sawAttempt := false, false, false
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Cat == "migration" && e.Ph == "X" && e.Name == "migrate":
+			sawMigration = true
+		case e.Cat == "power" && e.Name == "powered-off":
+			sawPowerOff = true
+		case e.Cat == "task" && e.Ph == "X":
+			sawAttempt = true
+		}
+	}
+	if !sawMigration {
+		t.Error("no completed VM-migration span")
+	}
+	if !sawPowerOff {
+		t.Error("no PM powered-off span")
+	}
+	if !sawAttempt {
+		t.Error("no task-attempt span")
+	}
+}
+
+func TestQuickstartTraceIsDeterministic(t *testing.T) {
+	for _, format := range []string{"chrome", "jsonl"} {
+		a := runToTrace(t, "a-"+format, format)
+		b := runToTrace(t, "b-"+format, format)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: two same-seed runs produced different traces (%d vs %d bytes)",
+				format, len(a), len(b))
+		}
+	}
+}
+
+func TestQuickstartJSONLLinesParse(t *testing.T) {
+	data := runToTrace(t, "trace.jsonl", "jsonl")
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("jsonl trace is empty")
+	}
+	for i, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i+1, err)
+		}
+		if _, ok := ev["type"]; !ok {
+			t.Fatalf("line %d lacks a type field: %s", i+1, line)
+		}
+	}
+}
+
+func TestMetricsSummaryIncludesEngineThroughput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-metrics", "-seed", "7"}, &out); err != nil {
+		t.Fatalf("run -metrics: %v", err)
+	}
+	for _, want := range []string{
+		"metrics:",
+		"engine.events_per_sec",
+		"mapred.task.slot_wait_sec",
+		"cluster.migration.downtime_sec",
+		"dfs.reads.node_local",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("metrics summary lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestJobModeStillWorks(t *testing.T) {
+	var out bytes.Buffer
+	// Explicit -benchmark implies job mode even without -scenario.
+	if err := run([]string{"-benchmark", "PiEst", "-pms", "4"}, &out); err != nil {
+		t.Fatalf("job mode: %v", err)
+	}
+	if !strings.Contains(out.String(), "benchmark:    PiEst") {
+		t.Errorf("job mode output missing benchmark line:\n%s", out.String())
+	}
+}
+
+func TestUnknownScenarioRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "nope"}, &out); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

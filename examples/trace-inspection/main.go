@@ -1,0 +1,119 @@
+// Trace inspection: run a small mixed workload with the tracer on, then
+// analyze the recorded events instead of the simulator's in-memory state —
+// the same workflow you would apply to a trace file saved by
+// `hybridmr-sim -trace`. The program ranks the five slowest task attempts
+// and shows, for each, how long the task waited for a slot versus how
+// long it actually ran, alongside each job's map/reduce phase split.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	hybridmr "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trace-inspection:", err)
+		os.Exit(1)
+	}
+}
+
+// event mirrors the tracer's JSONL schema.
+type event struct {
+	Type  string         `json:"type"`
+	TsUs  int64          `json:"ts_us"`
+	DurUs int64          `json:"dur_us"`
+	Track string         `json:"track"`
+	Cat   string         `json:"cat"`
+	Name  string         `json:"name"`
+	Args  map[string]any `json:"args"`
+}
+
+func run() error {
+	tracer := hybridmr.NewTracer()
+	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
+		NativePMs:      2,
+		VirtualHostPMs: 2,
+		VMsPerHost:     2,
+		Seed:           3,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		return err
+	}
+	defer dc.Close()
+
+	// A mixed workload: a shuffle-heavy sort, a scan, and a CPU-bound
+	// estimator, all competing for the same slots.
+	for _, spec := range []hybridmr.JobSpec{
+		hybridmr.Sort().WithInputMB(1024),
+		hybridmr.DistGrep().WithInputMB(1024),
+		hybridmr.PiEst(),
+	} {
+		if _, _, err := dc.SubmitJob(spec, 0, nil); err != nil {
+			return err
+		}
+	}
+	dc.RunFor(30 * time.Minute)
+
+	// From here on, only the trace speaks.
+	var buf bytes.Buffer
+	if err := tracer.Write(&buf, hybridmr.TraceFormatJSONL); err != nil {
+		return err
+	}
+	var attempts, phases []event
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var ev event
+		if err := dec.Decode(&ev); err != nil {
+			return err
+		}
+		switch {
+		case ev.Type == "span" && ev.Cat == "task":
+			attempts = append(attempts, ev)
+		case ev.Type == "span" && ev.Cat == "job" &&
+			(ev.Name == "map-phase" || ev.Name == "reduce-phase"):
+			phases = append(phases, ev)
+		}
+	}
+
+	sort.SliceStable(attempts, func(i, j int) bool {
+		return attempts[i].DurUs > attempts[j].DurUs
+	})
+	fmt.Printf("top 5 slowest task attempts (of %d):\n\n", len(attempts))
+	fmt.Println("attempt                   node   started      ran    slot-wait  outcome")
+	top := attempts
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	for _, a := range top {
+		wait := 0.0
+		if v, ok := a.Args["slot_wait_sec"].(float64); ok {
+			wait = v
+		}
+		outcome, _ := a.Args["outcome"].(string)
+		fmt.Printf("%-24s  %-5s  %6.1fs  %6.1fs  %8.1fs  %s\n",
+			a.Name, a.Track,
+			float64(a.TsUs)/1e6, float64(a.DurUs)/1e6, wait, outcome)
+	}
+
+	fmt.Printf("\nper-job phase breakdown:\n\n")
+	sort.SliceStable(phases, func(i, j int) bool {
+		if phases[i].Track != phases[j].Track {
+			return phases[i].Track < phases[j].Track
+		}
+		return phases[i].TsUs < phases[j].TsUs
+	})
+	for _, p := range phases {
+		fmt.Printf("%-14s  %-12s  %6.1fs -> %6.1fs  (%.1fs)\n",
+			p.Track, p.Name,
+			float64(p.TsUs)/1e6, float64(p.TsUs+p.DurUs)/1e6, float64(p.DurUs)/1e6)
+	}
+	return nil
+}

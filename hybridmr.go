@@ -39,6 +39,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -68,12 +69,36 @@ type (
 	Placement = core.Placement
 	// Recorder samples utilization and integrates energy.
 	Recorder = metrics.Recorder
+	// MigrationStats reports a completed live VM migration.
+	MigrationStats = cluster.MigrationStats
 	// Rig is a pre-wired single-partition testbed.
 	Rig = testbed.Rig
 	// RigOptions shapes a Rig.
 	RigOptions = testbed.Options
 	// Experiment is one of the paper's figures.
 	Experiment = experiments.Experiment
+	// Tracer records structured spans and instant events from every
+	// layer of the simulation; export with WriteChromeTrace or
+	// WriteJSONL.
+	Tracer = trace.Tracer
+	// MetricsRegistry collects counters, gauges and histograms.
+	MetricsRegistry = trace.Registry
+	// TraceFormat selects a trace export encoding.
+	TraceFormat = trace.ExportFormat
+)
+
+// NewTracer builds an unbound tracer; hand it to ClusterSpec.Tracer or
+// RigOptions.Tracer and its clock is bound to the simulation engine when
+// the cluster is assembled.
+func NewTracer() *Tracer { return trace.New(nil) }
+
+// NewMetricsRegistry builds an empty metrics registry.
+var NewMetricsRegistry = trace.NewRegistry
+
+// Trace export formats.
+const (
+	TraceFormatChrome = trace.FormatChrome
+	TraceFormatJSONL  = trace.FormatJSONL
 )
 
 // Placements.
@@ -147,6 +172,12 @@ type ClusterSpec struct {
 	// virtual partition (static slot containers remain), for baseline
 	// comparisons.
 	VanillaHadoop bool
+	// Tracer, when non-nil, records structured events from every layer
+	// of the deployment. Its clock is bound to the cluster's engine.
+	Tracer *Tracer
+	// Metrics, when non-nil, receives the deployment's counters, gauges
+	// and histograms.
+	Metrics *MetricsRegistry
 }
 
 // HybridCluster is a ready-to-use hybrid data center running HybridMR.
@@ -191,6 +222,8 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 				SlotCaps:      mapred.DefaultSlotCaps(),
 				CapacityAware: !spec.VanillaHadoop,
 			},
+			Tracer:  spec.Tracer,
+			Metrics: spec.Metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -202,12 +235,20 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 	} else {
 		engine = sim.New()
 		cl = cluster.New(engine, cluster.Config{}, spec.Seed)
+		if spec.Tracer != nil || spec.Metrics != nil {
+			spec.Tracer.SetClock(engine)
+			cl.SetTrace(spec.Tracer, spec.Metrics)
+		}
 	}
 
 	if spec.NativePMs > 0 {
 		pms := cl.AddPMs("native", spec.NativePMs)
 		nativeFS := dfs.New(engine, dfs.Config{}, spec.Seed+13)
 		hc.NativeJT = mapred.NewJobTracker(engine, nativeFS, mapred.Config{}, mapred.Fair{})
+		if spec.Tracer != nil || spec.Metrics != nil {
+			nativeFS.SetTrace(spec.Tracer, spec.Metrics)
+			hc.NativeJT.SetTrace(spec.Tracer, spec.Metrics)
+		}
 		for _, pm := range pms {
 			hc.NativeJT.AddTracker(pm)
 		}
@@ -221,6 +262,9 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 	sys, err := core.NewSystem(engine, cl, hc.NativeJT, hc.VirtualJT, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if spec.Tracer != nil || spec.Metrics != nil {
+		sys.SetTrace(spec.Tracer, spec.Metrics)
 	}
 	hc.System = sys
 	hc.Cluster = cl

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // OverheadProfile gives the efficiency of each resource dimension under a
@@ -186,6 +187,15 @@ type Cluster struct {
 	rng    *rand.Rand
 	pms    []*PM
 	vms    []*VM
+
+	tracer *trace.Tracer
+
+	// Cached metric handles; nil (a no-op) until SetTrace installs a
+	// registry.
+	mMigrations        *trace.Counter
+	mMigrationDowntime *trace.Histogram
+	mPowerTransitions  *trace.Counter
+	mVMPauses          *trace.Counter
 }
 
 // New creates an empty cluster. Zero-valued Config fields take the paper's
@@ -200,6 +210,16 @@ func New(engine *sim.Engine, cfg Config, seed int64) *Cluster {
 
 // Engine returns the shared simulation engine.
 func (c *Cluster) Engine() *sim.Engine { return c.engine }
+
+// SetTrace installs a tracer and metrics registry. Either may be nil;
+// instrumentation is then a no-op.
+func (c *Cluster) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
+	c.tracer = tr
+	c.mMigrations = reg.Counter("cluster.migrations.completed")
+	c.mMigrationDowntime = reg.Histogram("cluster.migration.downtime_sec")
+	c.mPowerTransitions = reg.Counter("cluster.pm.power_transitions")
+	c.mVMPauses = reg.Counter("cluster.vm.pauses")
+}
 
 // Config returns the effective (defaulted) configuration.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -257,6 +277,12 @@ func (c *Cluster) AddVM(name string, host *PM, vcpus int, memMB float64) (*VM, e
 	host.vms = append(host.vms, vm)
 	c.vms = append(c.vms, vm)
 	host.update()
+	if c.tracer != nil {
+		c.tracer.Instant(vm.name, "vm", "boot",
+			trace.S("host", host.name),
+			trace.F("vcpus", float64(vcpus)),
+			trace.F("mem_mb", memMB))
+	}
 	return vm, nil
 }
 

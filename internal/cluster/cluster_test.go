@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // testCluster builds an engine plus a cluster with deterministic config.
@@ -628,5 +629,51 @@ func TestVMCapLimitsIO(t *testing.T) {
 	want := 100 / (10 * XenGuestOverhead().Disk / 50)
 	if math.Abs(done-want) > 5 {
 		t.Errorf("capped VM I/O JCT = %v, want ~%v", done, want)
+	}
+}
+
+func TestClusterMetricsInstrumentation(t *testing.T) {
+	engine, c := testCluster(t)
+	tr := trace.New(engine)
+	reg := trace.NewRegistry()
+	c.SetTrace(tr, reg)
+
+	src := c.AddPM("pm-src")
+	dst := c.AddPM("pm-dst")
+	spare := c.AddPM("pm-spare")
+	vm, err := c.AddVM("vm-0", src, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	engine.After(10*time.Second, func() {
+		if err := c.Migrate(vm, dst, func(MigrationStats) { done = true }); err != nil {
+			t.Error(err)
+		}
+	})
+	engine.Run()
+	if !done {
+		t.Fatal("migration never completed")
+	}
+	if err := spare.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	spare.PowerOn()
+
+	if got := reg.Counter("cluster.migrations.completed").Value(); got != 1 {
+		t.Errorf("migrations counter = %v, want 1", got)
+	}
+	h := reg.Histogram("cluster.migration.downtime_sec")
+	if h.Count() != 1 {
+		t.Fatalf("downtime histogram count = %d, want 1", h.Count())
+	}
+	if h.Max() <= 0 {
+		t.Errorf("downtime histogram max = %v, want > 0", h.Max())
+	}
+	if got := reg.Counter("cluster.pm.power_transitions").Value(); got != 2 {
+		t.Errorf("power transitions = %v, want 2 (off + on)", got)
+	}
+	if tr.Len() == 0 {
+		t.Error("tracer recorded no events")
 	}
 }

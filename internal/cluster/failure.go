@@ -1,6 +1,10 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // Fail crashes the physical machine: every native consumer and every
 // consumer inside a hosted VM is killed (OnKilled callbacks fire, which
@@ -28,6 +32,13 @@ func (pm *PM) Fail() error {
 	pm.vms = nil
 	pm.off = true
 	pm.update()
+	pm.cluster.mPowerTransitions.Inc()
+	if tr := pm.cluster.tracer; tr != nil {
+		tr.Instant(pm.name, "power", "failure",
+			trace.F("killed_consumers", float64(len(victims))),
+			trace.F("destroyed_vms", float64(len(vms))))
+		pm.offSpan = tr.Begin(pm.name, "power", "powered-off", trace.S("cause", "failure"))
+	}
 
 	for _, c := range victims {
 		// Consumers were attached to this PM; Kill routes through the

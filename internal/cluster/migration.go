@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // MigrationStats reports the outcome of a live VM migration.
@@ -86,6 +87,15 @@ func (c *Cluster) Migrate(vm *VM, dst *PM, done func(MigrationStats)) error {
 	vmName, srcName, dstName := vm.name, src.name, dst.name
 	startAt := c.engine.Now()
 
+	var span trace.Span
+	if c.tracer != nil {
+		span = c.tracer.Begin(vmName, "migration", "migrate",
+			trace.S("from", srcName),
+			trace.S("to", dstName),
+			trace.F("rounds", float64(rounds)),
+			trace.F("dirty_mbps", dirtyMBps))
+	}
+
 	src.settle()
 	vm.state = VMMigrating
 	src.update()
@@ -101,6 +111,11 @@ func (c *Cluster) Migrate(vm *VM, dst *PM, done func(MigrationStats)) error {
 		src.settle()
 		src.vms = removeVM(src.vms, vm)
 		src.update()
+		if c.tracer != nil {
+			c.tracer.Instant(vmName, "migration", "stop-and-copy",
+				trace.F("downtime_sec", downtimeSec),
+				trace.F("residual_mb", residual))
+		}
 		c.engine.AfterSeconds(downtimeSec, func() {
 			dst.settle()
 			vm.host = dst
@@ -110,6 +125,9 @@ func (c *Cluster) Migrate(vm *VM, dst *PM, done func(MigrationStats)) error {
 			dst.vms = append(dst.vms, vm)
 			vm.state = VMRunning
 			dst.update()
+			span.End(trace.F("transferred_mb", transferred))
+			c.mMigrations.Inc()
+			c.mMigrationDowntime.Observe(downtimeSec)
 			if done != nil {
 				done(MigrationStats{
 					VM:            vmName,
@@ -125,6 +143,7 @@ func (c *Cluster) Migrate(vm *VM, dst *PM, done func(MigrationStats)) error {
 	if err := src.Start(stream); err != nil {
 		vm.state = VMRunning
 		src.update()
+		span.End(trace.S("error", err.Error()))
 		return fmt.Errorf("cluster: Migrate(%s): %w", vmName, err)
 	}
 	return nil

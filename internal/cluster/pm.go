@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/resource"
+	"repro/internal/trace"
 )
 
 // Node is anywhere a Consumer can run: a PM (native or Dom-0 execution)
@@ -46,6 +47,8 @@ type PM struct {
 
 	rawUsage   resource.Vector // current total raw allocation, for accounting
 	lastSettle time.Duration
+
+	offSpan trace.Span // open while the PM is powered off
 }
 
 // Name returns the PM's name.
@@ -129,11 +132,26 @@ func (pm *PM) PowerOff() error {
 			pm.name, len(pm.native), len(pm.vms))
 	}
 	pm.off = true
+	pm.cluster.mPowerTransitions.Inc()
+	if tr := pm.cluster.tracer; tr != nil {
+		tr.Instant(pm.name, "power", "power-off")
+		pm.offSpan = tr.Begin(pm.name, "power", "powered-off")
+	}
 	return nil
 }
 
 // PowerOn turns the PM back on.
-func (pm *PM) PowerOn() { pm.off = false }
+func (pm *PM) PowerOn() {
+	if pm.off {
+		pm.cluster.mPowerTransitions.Inc()
+		if tr := pm.cluster.tracer; tr != nil {
+			tr.Instant(pm.name, "power", "power-on")
+		}
+		pm.offSpan.End()
+		pm.offSpan = trace.Span{}
+	}
+	pm.off = false
+}
 
 // Off reports whether the PM is powered off.
 func (pm *PM) Off() bool { return pm.off }

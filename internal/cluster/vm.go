@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/resource"
+	"repro/internal/trace"
 )
 
 // VMState is the lifecycle state of a virtual machine.
@@ -44,6 +45,8 @@ type VM struct {
 	capIO    resource.Vector // DRM-installed VM-level caps; zero = uncapped
 
 	consumers []*Consumer
+
+	pauseSpan trace.Span // open while the VM is paused
 }
 
 // Name returns the VM's name.
@@ -128,6 +131,11 @@ func (vm *VM) Pause() error {
 	vm.host.settle()
 	vm.state = VMPaused
 	vm.host.update()
+	cl := vm.host.cluster
+	cl.mVMPauses.Inc()
+	if cl.tracer != nil {
+		vm.pauseSpan = cl.tracer.Begin(vm.name, "vm", "paused")
+	}
 	return nil
 }
 
@@ -142,6 +150,8 @@ func (vm *VM) Resume() error {
 	vm.host.settle()
 	vm.state = VMRunning
 	vm.host.update()
+	vm.pauseSpan.End()
+	vm.pauseSpan = trace.Span{}
 	return nil
 }
 

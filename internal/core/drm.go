@@ -10,6 +10,7 @@ import (
 	"repro/internal/mapred"
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ResourceModes selects which resource dimensions the DRM manages — the
@@ -63,6 +64,10 @@ type DRM struct {
 	DisableDeferral bool
 	// Adjustments counts cap changes, for reporting.
 	Adjustments int
+
+	tracer       *trace.Tracer
+	mAdjustments *trace.Counter
+	mDeferrals   *trace.Counter
 }
 
 // NewDRM attaches a Dynamic Resource Manager to a (virtual-cluster)
@@ -79,6 +84,14 @@ func NewDRM(engine *sim.Engine, jt *mapred.JobTracker, modes ResourceModes, epoc
 		estimators: make(map[string]*interference.Predictor),
 		deferred:   make(map[*cluster.Consumer]bool),
 	}
+}
+
+// SetTrace installs a tracer and metrics registry. Either may be nil;
+// instrumentation is then a no-op.
+func (d *DRM) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
+	d.tracer = tr
+	d.mAdjustments = reg.Counter("drm.cap_adjustments")
+	d.mDeferrals = reg.Counter("drm.deferrals")
 }
 
 // Start begins the epoch loop. The loop parks itself whenever the job
@@ -110,14 +123,19 @@ func (d *DRM) Modes() ResourceModes { return d.modes }
 // tick runs one DRM epoch: profile, detect contention, re-balance.
 func (d *DRM) tick() {
 	byNode := make(map[cluster.Node][]*mapred.Attempt)
+	var nodes []cluster.Node
 	for _, a := range d.jt.RunningAttempts() {
+		if _, seen := byNode[a.Node()]; !seen {
+			nodes = append(nodes, a.Node())
+		}
 		byNode[a.Node()] = append(byNode[a.Node()], a)
 	}
-	for node, attempts := range byNode {
-		// Deterministic order regardless of map iteration.
-		sort.Slice(attempts, func(i, j int) bool {
-			return attempts[i].Consumer().Name < attempts[j].Consumer().Name
-		})
+	// Visit nodes in name order: cap adjustments reschedule events, so
+	// map-iteration order would perturb the simulation across runs.
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name() < nodes[j].Name() })
+	for _, node := range nodes {
+		attempts := byNode[node]
+		// Attempts are already name-ordered (RunningAttempts sorts).
 		d.observe(attempts)
 		cap := node.UsefulCapacity()
 		if d.modes.CPU {
@@ -287,6 +305,12 @@ func (d *DRM) balanceMemory(attempts []*mapred.Attempt, capacityMB float64) {
 			d.deferred[c] = true
 			d.setCap(c, resource.Memory, 1)
 			d.setCap(c, resource.CPU, 0.01)
+			d.mDeferrals.Inc()
+			if d.tracer != nil {
+				d.tracer.Instant("drm", "drm", "defer",
+					trace.S("task", c.Name),
+					trace.F("demand_mb", want))
+			}
 		}
 	}
 }
@@ -298,6 +322,7 @@ func (d *DRM) setCap(c *cluster.Consumer, kind resource.Kind, v float64) {
 	}
 	c.SetCap(cur.Set(kind, v))
 	d.Adjustments++
+	d.mAdjustments.Inc()
 }
 
 // allocFraction is the bottleneck allocation / demand ratio of a

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mapred"
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -41,6 +42,9 @@ type IPS struct {
 	backoff     map[*cluster.PM]*blacklistBackoff
 	actions     []IPSAction
 
+	tracer *trace.Tracer
+	reg    *trace.Registry
+
 	// PauseStreak is the number of consecutive violating epochs before
 	// the Arbiter escalates from relocation/throttling to pausing a
 	// batch VM (default 3).
@@ -69,6 +73,13 @@ func NewIPS(engine *sim.Engine, cl *cluster.Cluster, jt *mapred.JobTracker) *IPS
 		PauseStreak:            3,
 		MaxRelocationsPerEpoch: 2,
 	}
+}
+
+// SetTrace installs a tracer and metrics registry. Either may be nil;
+// instrumentation is then a no-op.
+func (p *IPS) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
+	p.tracer = tr
+	p.reg = reg
 }
 
 // Watch registers an interactive service for SLA monitoring.
@@ -107,6 +118,12 @@ func (p *IPS) log(kind, service, target string) {
 	p.actions = append(p.actions, IPSAction{
 		At: p.engine.Now(), Kind: kind, Service: service, Target: target,
 	})
+	p.reg.Counter("ips.actions." + kind).Inc()
+	if p.tracer != nil {
+		p.tracer.Instant("ips", "ips", kind,
+			trace.S("service", service),
+			trace.S("target", target))
+	}
 }
 
 // tick is one monitoring epoch.
@@ -189,7 +206,7 @@ func (p *IPS) arbitrate(st *ipsService) {
 		// hurt throughput.
 		return
 	}
-	sort.Slice(interferers, func(i, j int) bool {
+	sort.SliceStable(interferers, func(i, j int) bool {
 		return p.interferenceOf(interferers[i], bottleneck) > p.interferenceOf(interferers[j], bottleneck)
 	})
 
@@ -417,7 +434,16 @@ func (p *IPS) hostsService(vm *cluster.VM) bool {
 // maybeResume resumes paused VMs and re-enables blacklisted trackers
 // whose host's services are comfortably healthy again.
 func (p *IPS) maybeResume() {
-	for vm, svcName := range p.paused {
+	// Iterate in name order: resuming a VM (or re-enabling a tracker)
+	// triggers reschedules, so map-iteration order would perturb the
+	// event sequence across runs.
+	paused := make([]*cluster.VM, 0, len(p.paused))
+	for vm := range p.paused {
+		paused = append(paused, vm)
+	}
+	sort.Slice(paused, func(i, j int) bool { return paused[i].Name() < paused[j].Name() })
+	for _, vm := range paused {
+		svcName := p.paused[vm]
 		pm := vm.Machine()
 		if bo := p.backoff[pm]; bo != nil && p.engine.Now() < bo.until {
 			continue
@@ -430,7 +456,15 @@ func (p *IPS) maybeResume() {
 			p.log("resume", svcName, vm.Name())
 		}
 	}
-	for tr, svcName := range p.blacklisted {
+	blacklisted := make([]*mapred.TaskTracker, 0, len(p.blacklisted))
+	for tr := range p.blacklisted {
+		blacklisted = append(blacklisted, tr)
+	}
+	sort.Slice(blacklisted, func(i, j int) bool {
+		return blacklisted[i].Compute.Name() < blacklisted[j].Compute.Name()
+	})
+	for _, tr := range blacklisted {
+		svcName := p.blacklisted[tr]
 		pm := tr.Compute.Machine()
 		if bo := p.backoff[pm]; bo != nil && p.engine.Now() < bo.until {
 			continue

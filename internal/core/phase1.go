@@ -33,6 +33,15 @@ type Placer interface {
 	Place(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, error)
 }
 
+// ReasonedPlacer is an optional Placer extension that also explains the
+// decision; the System records the reason in the trace.
+type ReasonedPlacer interface {
+	Placer
+	// PlaceWithReason returns the placement and a short human-readable
+	// justification.
+	PlaceWithReason(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, string, error)
+}
+
 // ProfilingPlacer is HybridMR's Phase I scheduler (Algorithm 2): profile
 // the job, estimate its virtual-cluster completion time, and keep it on
 // the virtual cluster only when that estimate meets the job's desired
@@ -50,41 +59,52 @@ type ProfilingPlacer struct {
 	OverheadThreshold float64
 }
 
-var _ Placer = (*ProfilingPlacer)(nil)
+var _ ReasonedPlacer = (*ProfilingPlacer)(nil)
 
 // Place implements Algorithm 2 for batch jobs.
 func (p *ProfilingPlacer) Place(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, error) {
+	placement, _, err := p.PlaceWithReason(spec, desiredJCT)
+	return placement, err
+}
+
+// PlaceWithReason implements Algorithm 2 and reports why the partition
+// was chosen.
+func (p *ProfilingPlacer) PlaceWithReason(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, string, error) {
 	if p.Profiler == nil {
-		return 0, fmt.Errorf("core: ProfilingPlacer has no profiler")
+		return 0, "", fmt.Errorf("core: ProfilingPlacer has no profiler")
 	}
 	if p.VirtualNodes <= 0 {
-		return PlacedNative, nil
+		return PlacedNative, "no virtual partition", nil
 	}
 	if p.NativeNodes <= 0 {
-		return PlacedVirtual, nil
+		return PlacedVirtual, "no native partition", nil
 	}
 	estVirtual, err := p.Profiler.EstimateJCT(spec, profiler.Virtual, p.VirtualNodes)
 	if err != nil {
-		return 0, fmt.Errorf("core: estimate virtual JCT of %s: %w", spec.Name, err)
+		return 0, "", fmt.Errorf("core: estimate virtual JCT of %s: %w", spec.Name, err)
 	}
 	if desiredJCT > 0 {
 		if estVirtual >= desiredJCT.Seconds() {
-			return PlacedNative, nil
+			return PlacedNative,
+				fmt.Sprintf("virtual estimate %.0fs misses %.0fs deadline", estVirtual, desiredJCT.Seconds()), nil
 		}
-		return PlacedVirtual, nil
+		return PlacedVirtual,
+			fmt.Sprintf("virtual estimate %.0fs meets %.0fs deadline", estVirtual, desiredJCT.Seconds()), nil
 	}
 	estNative, err := p.Profiler.EstimateJCT(spec, profiler.Native, p.NativeNodes)
 	if err != nil {
-		return 0, fmt.Errorf("core: estimate native JCT of %s: %w", spec.Name, err)
+		return 0, "", fmt.Errorf("core: estimate native JCT of %s: %w", spec.Name, err)
 	}
 	threshold := p.OverheadThreshold
 	if threshold <= 0 {
 		threshold = 0.25
 	}
 	if estNative > 0 && estVirtual/estNative-1 > threshold {
-		return PlacedNative, nil
+		return PlacedNative,
+			fmt.Sprintf("virtual overhead %.0f%% exceeds %.0f%% threshold",
+				(estVirtual/estNative-1)*100, threshold*100), nil
 	}
-	return PlacedVirtual, nil
+	return PlacedVirtual, "virtual overhead acceptable", nil
 }
 
 // RandomPlacer is the paper's baseline for Figure 8(a): first-come-first-
@@ -94,7 +114,7 @@ type RandomPlacer struct {
 	rng *rand.Rand
 }
 
-var _ Placer = (*RandomPlacer)(nil)
+var _ ReasonedPlacer = (*RandomPlacer)(nil)
 
 // NewRandomPlacer builds the baseline placer.
 func NewRandomPlacer(seed int64) *RandomPlacer {
@@ -102,20 +122,31 @@ func NewRandomPlacer(seed int64) *RandomPlacer {
 }
 
 // Place ignores the job entirely.
-func (r *RandomPlacer) Place(mapred.JobSpec, time.Duration) (Placement, error) {
+func (r *RandomPlacer) Place(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, error) {
+	placement, _, err := r.PlaceWithReason(spec, desiredJCT)
+	return placement, err
+}
+
+// PlaceWithReason flips the seeded coin and says so.
+func (r *RandomPlacer) PlaceWithReason(mapred.JobSpec, time.Duration) (Placement, string, error) {
 	if r.rng.Intn(2) == 0 {
-		return PlacedNative, nil
+		return PlacedNative, "random baseline", nil
 	}
-	return PlacedVirtual, nil
+	return PlacedVirtual, "random baseline", nil
 }
 
 // StaticPlacer always answers the same partition; it provides the
 // native-only and virtual-only design points of Figure 9.
 type StaticPlacer Placement
 
-var _ Placer = StaticPlacer(0)
+var _ ReasonedPlacer = StaticPlacer(0)
 
 // Place returns the fixed partition.
 func (s StaticPlacer) Place(mapred.JobSpec, time.Duration) (Placement, error) {
 	return Placement(s), nil
+}
+
+// PlaceWithReason returns the fixed partition.
+func (s StaticPlacer) PlaceWithReason(mapred.JobSpec, time.Duration) (Placement, string, error) {
+	return Placement(s), "static placement", nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/profiler"
 	"repro/internal/sim"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -72,6 +73,9 @@ type System struct {
 	services []*workload.Service
 
 	placements map[*mapred.Job]Placement
+
+	tracer      *trace.Tracer
+	mPlacements *trace.Counter
 }
 
 // NewSystem wires a HybridMR instance. nativeJT or virtualJT may be nil
@@ -122,6 +126,21 @@ func NewSystem(engine *sim.Engine, cl *cluster.Cluster, nativeJT, virtualJT *map
 // Engine returns the simulation engine.
 func (s *System) Engine() *sim.Engine { return s.engine }
 
+// SetTrace installs a tracer and metrics registry on the system and its
+// Phase II controllers (the cluster, DFS and JobTrackers are wired where
+// they are built — see testbed.Options and hybridmr.ClusterSpec). Either
+// argument may be nil; instrumentation is then a no-op.
+func (s *System) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
+	s.tracer = tr
+	s.mPlacements = reg.Counter("core.placements")
+	if s.drm != nil {
+		s.drm.SetTrace(tr, reg)
+	}
+	if s.ips != nil {
+		s.ips.SetTrace(tr, reg)
+	}
+}
+
 // Profiler exposes the Phase I profiler (e.g. for pre-training or
 // accuracy experiments).
 func (s *System) Profiler() *profiler.Profiler { return s.prof }
@@ -160,7 +179,14 @@ func (s *System) Services() []*workload.Service {
 // chosen partition. desiredJCT of zero means no deadline. The returned
 // placement says where it went.
 func (s *System) SubmitJob(spec mapred.JobSpec, desiredJCT time.Duration, onDone func(*mapred.Job)) (*mapred.Job, Placement, error) {
-	placement, err := s.Placer.Place(spec, desiredJCT)
+	var placement Placement
+	var reason string
+	var err error
+	if rp, ok := s.Placer.(ReasonedPlacer); ok {
+		placement, reason, err = rp.PlaceWithReason(spec, desiredJCT)
+	} else {
+		placement, err = s.Placer.Place(spec, desiredJCT)
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -194,6 +220,16 @@ func (s *System) SubmitJob(spec mapred.JobSpec, desiredJCT time.Duration, onDone
 		return nil, 0, err
 	}
 	s.placements[job] = placement
+	s.mPlacements.Inc()
+	if s.tracer != nil {
+		if reason == "" {
+			reason = "placer gave no reason"
+		}
+		s.tracer.Instant("phase1", "placement", spec.Name,
+			trace.S("placement", placement.String()),
+			trace.S("reason", reason),
+			trace.F("desired_jct_sec", desiredJCT.Seconds()))
+	}
 	if placement == PlacedVirtual && s.drm != nil {
 		s.drm.Start()
 	}

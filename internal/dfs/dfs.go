@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config parameterizes the filesystem. Zero values take the Hadoop v0.22
@@ -79,6 +81,16 @@ type FileSystem struct {
 	byNode    map[cluster.Node]*DataNode
 	files     map[string]*File
 	nextBlock int
+
+	tracer *trace.Tracer
+
+	// Cached metric handles; nil (a no-op) until SetTrace installs a
+	// registry.
+	mReadNodeLocal  *trace.Counter
+	mReadHostLocal  *trace.Counter
+	mReadRemote     *trace.Counter
+	mReReplications *trace.Counter
+	mBlocksLost     *trace.Counter
 }
 
 // New creates an empty filesystem on the given engine.
@@ -94,6 +106,38 @@ func New(engine *sim.Engine, cfg Config, seed int64) *FileSystem {
 
 // Config returns the effective configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// SetTrace installs a tracer and metrics registry. Either may be nil;
+// instrumentation is then a no-op.
+func (fs *FileSystem) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
+	fs.tracer = tr
+	fs.mReadNodeLocal = reg.Counter("dfs.reads.node_local")
+	fs.mReadHostLocal = reg.Counter("dfs.reads.host_local")
+	fs.mReadRemote = reg.Counter("dfs.reads.remote")
+	fs.mReReplications = reg.Counter("dfs.blocks.rereplicated")
+	fs.mBlocksLost = reg.Counter("dfs.blocks.lost")
+}
+
+// CountRead records a block read at the given locality in the metrics
+// registry and, when a tracer is installed, as an instant event on the
+// reader's track. Readers (the MapReduce layer) call it when they
+// resolve a block's locality for an actual read.
+func (fs *FileSystem) CountRead(b *Block, reader cluster.Node, loc Locality) {
+	switch loc {
+	case NodeLocal:
+		fs.mReadNodeLocal.Inc()
+	case HostLocal:
+		fs.mReadHostLocal.Inc()
+	default:
+		fs.mReadRemote.Inc()
+	}
+	if fs.tracer != nil && b != nil && reader != nil {
+		fs.tracer.Instant(reader.Name(), "dfs", "block-read",
+			trace.S("block", b.ID),
+			trace.S("locality", loc.String()),
+			trace.F("size_mb", b.SizeMB))
+	}
+}
 
 // AddDataNode registers a cluster node as block storage. Adding the same
 // node twice returns the existing DataNode.
@@ -260,7 +304,15 @@ func (fs *FileSystem) HandleNodeFailures(nodes []cluster.Node) FailureReport {
 	}
 
 	var report FailureReport
-	for _, f := range fs.files {
+	// Walk files in name order: map iteration order would randomize the
+	// rng draw sequence (and thus replica placement) across runs.
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fs.files[name]
 		for _, b := range f.Blocks {
 			kept := b.Replicas[:0]
 			lostOne := false
@@ -277,6 +329,7 @@ func (fs *FileSystem) HandleNodeFailures(nodes []cluster.Node) FailureReport {
 			}
 			if len(b.Replicas) == 0 {
 				report.Lost++
+				fs.mBlocksLost.Inc()
 				continue
 			}
 			if len(fs.datanodes) <= len(b.Replicas) {
@@ -290,6 +343,12 @@ func (fs *FileSystem) HandleNodeFailures(nodes []cluster.Node) FailureReport {
 			target.blocks[b.ID] = struct{}{}
 			target.usedMB += b.SizeMB
 			report.ReReplicated++
+			fs.mReReplications.Inc()
+			if fs.tracer != nil {
+				fs.tracer.Instant(target.node.Name(), "dfs", "re-replicate",
+					trace.S("block", b.ID),
+					trace.F("size_mb", b.SizeMB))
+			}
 			// Background copy: disk+net load on the new holder for the
 			// block's transfer, best effort.
 			copyRate := 20.0

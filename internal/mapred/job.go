@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dfs"
+	"repro/internal/trace"
 )
 
 // JobState is a job's lifecycle state.
@@ -51,6 +52,9 @@ type Job struct {
 	// attempts per kind; the straggler detector compares running
 	// attempts against this history.
 	rateStats map[TaskKind]*rateStat
+
+	span      trace.Span // whole-job span
+	phaseSpan trace.Span // current phase (map, then reduce)
 }
 
 type rateStat struct {

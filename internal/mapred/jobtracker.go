@@ -9,6 +9,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config parameterizes the framework. Zero values take the paper's Hadoop
@@ -130,6 +131,18 @@ type JobTracker struct {
 	specTick *sim.Ticker
 	// attempts holds every running attempt for DRM/IPS introspection.
 	attempts map[*Attempt]struct{}
+
+	tracer     *trace.Tracer
+	countReads bool
+
+	// Cached metric handles; nil (a no-op) until SetTrace installs a
+	// registry.
+	mSlotWait        *trace.Histogram
+	mAttemptDuration *trace.Histogram
+	mSpeculative     *trace.Counter
+	mKilled          *trace.Counter
+	mRelocations     *trace.Counter
+	mJobsCompleted   *trace.Counter
 }
 
 // NewJobTracker creates a framework instance over the given DFS. A nil
@@ -161,6 +174,19 @@ func (jt *JobTracker) ensureSpecTicker() {
 		}
 		jt.speculate()
 	})
+}
+
+// SetTrace installs a tracer and metrics registry. Either may be nil;
+// instrumentation is then a no-op.
+func (jt *JobTracker) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
+	jt.tracer = tr
+	jt.countReads = tr != nil || reg != nil
+	jt.mSlotWait = reg.Histogram("mapred.task.slot_wait_sec")
+	jt.mAttemptDuration = reg.Histogram("mapred.attempt.duration_sec")
+	jt.mSpeculative = reg.Counter("mapred.attempts.speculative")
+	jt.mKilled = reg.Counter("mapred.attempts.killed")
+	jt.mRelocations = reg.Counter("mapred.attempts.relocated")
+	jt.mJobsCompleted = reg.Counter("mapred.jobs.completed")
 }
 
 // Close stops the background speculation scanner.
@@ -210,13 +236,19 @@ func (jt *JobTracker) Jobs() []*Job {
 	return out
 }
 
-// RunningAttempts returns every attempt currently executing; the Phase II
-// DRM and IPS iterate this to observe and control MapReduce load.
+// RunningAttempts returns every attempt currently executing, ordered by
+// consumer name; the Phase II DRM and IPS iterate this to observe and
+// control MapReduce load. The deterministic order matters: map-iteration
+// order would leak into the DRM's cap-adjustment sequence and randomize
+// the simulation across runs.
 func (jt *JobTracker) RunningAttempts() []*Attempt {
 	out := make([]*Attempt, 0, len(jt.attempts))
 	for a := range jt.attempts {
 		out = append(out, a)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].consumer.Name < out[j].consumer.Name
+	})
 	return out
 }
 
@@ -262,10 +294,22 @@ func (jt *JobTracker) Submit(spec JobSpec, onComplete func(*Job)) (*Job, error) 
 		}
 	}
 	job.mapsRemaining = len(job.maps)
+	for _, t := range job.maps {
+		t.pendingSince = job.submittedAt
+	}
 	for i := 0; i < spec.Reduces; i++ {
 		job.reduces = append(job.reduces, &Task{Job: job, Kind: ReduceTask, Index: i, state: TaskPending})
 	}
 	job.redsRemaining = len(job.reduces)
+
+	if jt.tracer != nil {
+		track := fmt.Sprintf("job:%s-%d", spec.Name, job.ID)
+		job.span = jt.tracer.Begin(track, "job", spec.Name,
+			trace.F("maps", float64(len(job.maps))),
+			trace.F("reduces", float64(len(job.reduces))),
+			trace.F("input_mb", spec.InputMB))
+		job.phaseSpan = jt.tracer.Begin(track, "job", "map-phase")
+	}
 
 	jt.jobs = append(jt.jobs, job)
 	jt.ensureSpecTicker()
@@ -370,6 +414,31 @@ func (jt *JobTracker) launch(task *Task, tr *TaskTracker, speculative bool) erro
 	if err := tr.Compute.Start(a.consumer); err != nil {
 		return err
 	}
+	if !speculative {
+		a.SlotWait = jt.engine.Now() - task.pendingSince
+		jt.mSlotWait.Observe(a.SlotWait.Seconds())
+	} else {
+		jt.mSpeculative.Inc()
+	}
+	var loc dfs.Locality
+	if jt.countReads && task.Kind == MapTask && task.Block != nil {
+		loc = jt.fs.BlockLocality(task.Block, tr.Storage)
+		jt.fs.CountRead(task.Block, tr.Compute, loc)
+	}
+	if jt.tracer != nil {
+		args := []trace.Arg{
+			trace.S("job", fmt.Sprintf("%s-%d", task.Job.Spec.Name, task.Job.ID)),
+			trace.S("kind", task.Kind.String()),
+			trace.F("slot_wait_sec", a.SlotWait.Seconds()),
+		}
+		if speculative {
+			args = append(args, trace.S("speculative", "true"))
+		}
+		if loc != 0 {
+			args = append(args, trace.S("locality", loc.String()))
+		}
+		a.span = jt.tracer.Begin(tr.Compute.Name(), "task", task.ID(), args...)
+	}
 	if serveDisk > 0 && tr.split() {
 		a.serve = &cluster.Consumer{
 			Name:   fmt.Sprintf("%s-serve@%s", task.ID(), tr.Storage.Name()),
@@ -397,10 +466,13 @@ func (jt *JobTracker) attemptFinished(a *Attempt) {
 		return
 	}
 	a.finished = true
+	a.FinishedAt = jt.engine.Now()
 	jt.releaseSlot(a)
 	if a.serve != nil && a.serve.Running() {
 		a.serve.Stop()
 	}
+	a.span.End(trace.S("outcome", "done"))
+	jt.mAttemptDuration.Observe((a.FinishedAt - a.StartedAt).Seconds())
 	if elapsed := (jt.engine.Now() - a.StartedAt).Seconds(); elapsed > 0 && a.consumer != nil {
 		a.Task.Job.recordAttemptRate(a.Task.Kind, a.consumer.Work/elapsed)
 	}
@@ -414,6 +486,8 @@ func (jt *JobTracker) attemptFinished(a *Attempt) {
 	for _, other := range task.attempts {
 		if other != a && other.Running() {
 			other.killed = true
+			other.FinishedAt = jt.engine.Now()
+			other.span.End(trace.S("outcome", "lost-race"))
 			jt.releaseSlot(other)
 			if other.consumer != nil && other.consumer.Running() {
 				other.consumer.OnKilled = nil
@@ -430,10 +504,22 @@ func (jt *JobTracker) attemptFinished(a *Attempt) {
 		job.mapsRemaining--
 		if job.mapsRemaining == 0 {
 			job.mapsDoneAt = jt.engine.Now()
+			job.phaseSpan.End()
 			if len(job.reduces) == 0 {
 				jt.finishJob(job)
 			} else {
 				job.state = JobReducePhase
+				// Reduces become schedulable only now: slot wait is
+				// measured from the barrier, not from submission.
+				for _, t := range job.reduces {
+					if t.state == TaskPending {
+						t.pendingSince = job.mapsDoneAt
+					}
+				}
+				if jt.tracer != nil {
+					job.phaseSpan = jt.tracer.Begin(
+						fmt.Sprintf("job:%s-%d", job.Spec.Name, job.ID), "job", "reduce-phase")
+				}
 			}
 		}
 	} else {
@@ -453,6 +539,9 @@ func (jt *JobTracker) attemptKilled(a *Attempt) {
 		return
 	}
 	a.killed = true
+	a.FinishedAt = jt.engine.Now()
+	a.span.End(trace.S("outcome", "killed"))
+	jt.mKilled.Inc()
 	jt.releaseSlot(a)
 	if a.serve != nil && a.serve.Running() {
 		a.serve.Stop()
@@ -460,6 +549,7 @@ func (jt *JobTracker) attemptKilled(a *Attempt) {
 	task := a.Task
 	if task.state == TaskRunning && task.runningAttempts() == 0 {
 		task.state = TaskPending
+		task.pendingSince = jt.engine.Now()
 	}
 	jt.schedule()
 }
@@ -479,6 +569,9 @@ func (jt *JobTracker) releaseSlot(a *Attempt) {
 func (jt *JobTracker) finishJob(job *Job) {
 	job.state = JobDone
 	job.doneAt = jt.engine.Now()
+	job.phaseSpan.End()
+	job.span.End(trace.F("jct_sec", job.JCT().Seconds()))
+	jt.mJobsCompleted.Inc()
 	if len(jt.Jobs()) == 0 && jt.specTick != nil {
 		jt.specTick.Stop()
 	}
@@ -506,6 +599,9 @@ func (jt *JobTracker) Relocate(a *Attempt, dst *TaskTracker) error {
 		return fmt.Errorf("mapred: Relocate(%s): no free %s slot on %s", a.Task.ID(), a.Task.Kind, dst.Compute.Name())
 	}
 	a.killed = true
+	a.FinishedAt = jt.engine.Now()
+	a.span.End(trace.S("outcome", "relocated"), trace.S("to", dst.Compute.Name()))
+	jt.mRelocations.Inc()
 	jt.releaseSlot(a)
 	if a.consumer != nil && a.consumer.Running() {
 		a.consumer.OnKilled = nil
@@ -515,6 +611,7 @@ func (jt *JobTracker) Relocate(a *Attempt, dst *TaskTracker) error {
 		a.serve.Stop()
 	}
 	a.Task.state = TaskPending
+	a.Task.pendingSince = jt.engine.Now()
 	return jt.launch(a.Task, dst, false)
 }
 
@@ -574,8 +671,11 @@ func (jt *JobTracker) TrackerFor(n cluster.Node) (*TaskTracker, bool) {
 // whose speed is well below the median of their job's running attempts of
 // the same kind.
 func (jt *JobTracker) speculate() {
+	// Group via the sorted attempt list and visit jobs in submission
+	// order: iteration order decides which straggler claims the last free
+	// slot, so it must be stable across runs.
 	byJobKind := make(map[*Job]map[TaskKind][]*Attempt)
-	for a := range jt.attempts {
+	for _, a := range jt.RunningAttempts() {
 		m, ok := byJobKind[a.Task.Job]
 		if !ok {
 			m = make(map[TaskKind][]*Attempt)
@@ -583,8 +683,16 @@ func (jt *JobTracker) speculate() {
 		}
 		m[a.Task.Kind] = append(m[a.Task.Kind], a)
 	}
-	for job, kinds := range byJobKind {
-		for kind, attempts := range kinds {
+	for _, job := range jt.jobs {
+		kinds, ok := byJobKind[job]
+		if !ok {
+			continue
+		}
+		for _, kind := range [...]TaskKind{MapTask, ReduceTask} {
+			attempts := kinds[kind]
+			if len(attempts) == 0 {
+				continue
+			}
 			// Reference rate: the job's completed-attempt history when
 			// available (so a tail of uniformly slow stragglers is
 			// still detected), otherwise the running median.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // sortLike is a Sort-shaped spec: I/O bound, shuffle ≈ input.
@@ -404,5 +405,65 @@ func TestWithHelpers(t *testing.T) {
 	}
 	if s.InputMB != 1000 || s.Reduces != 4 {
 		t.Error("With helpers mutated the receiver")
+	}
+}
+
+func TestMapredMetricsInstrumentation(t *testing.T) {
+	engine := sim.New()
+	c := cluster.New(engine, cluster.DefaultConfig(), 7)
+	fs := dfs.New(engine, dfs.Config{}, 7)
+	jt := NewJobTracker(engine, fs, Config{}, nil)
+	tr := trace.New(engine)
+	reg := trace.NewRegistry()
+	c.SetTrace(tr, reg)
+	fs.SetTrace(tr, reg)
+	jt.SetTrace(tr, reg)
+	pms := c.AddPMs("pm", 4)
+	for _, pm := range pms {
+		jt.AddTracker(pm)
+	}
+	// A heavy antagonist makes pm-3 a straggler node, forcing
+	// speculative backups.
+	antagonist := &cluster.Consumer{
+		Name:   "antagonist",
+		Demand: resource.NewVector(2, 0, 85, 0),
+		Work:   cluster.OpenEnded,
+		Weight: 20,
+	}
+	if err := pms[3].Start(antagonist); err != nil {
+		t.Fatal(err)
+	}
+	job, err := jt.Submit(sortLike(1024), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(4 * time.Hour)
+	jt.Close()
+	if !job.Done() {
+		t.Fatal("job did not finish")
+	}
+
+	if h := reg.Histogram("mapred.task.slot_wait_sec"); h.Count() == 0 {
+		t.Error("slot-wait histogram is empty")
+	}
+	if h := reg.Histogram("mapred.attempt.duration_sec"); h.Count() == 0 {
+		t.Error("attempt-duration histogram is empty")
+	}
+	if got := reg.Counter("mapred.attempts.speculative").Value(); got == 0 {
+		t.Error("speculative-launch counter is zero despite a straggler node")
+	}
+	if got := reg.Counter("mapred.jobs.completed").Value(); got != 1 {
+		t.Errorf("jobs completed = %v, want 1", got)
+	}
+	locality := reg.Counter("dfs.reads.node_local").Value() +
+		reg.Counter("dfs.reads.host_local").Value() +
+		reg.Counter("dfs.reads.remote").Value()
+	if locality == 0 {
+		t.Error("data-locality read counters are all zero")
+	}
+	// Every map attempt span should carry a slot-wait argument via the
+	// trace too.
+	if tr.Len() == 0 {
+		t.Error("tracer recorded no events")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dfs"
 	"repro/internal/resource"
+	"repro/internal/trace"
 )
 
 // TaskKind distinguishes map from reduce tasks.
@@ -52,6 +53,10 @@ type Task struct {
 
 	state    TaskState
 	attempts []*Attempt
+	// pendingSince is when the task last became schedulable (submission,
+	// the map→reduce barrier, or re-queue after a kill); launch measures
+	// slot wait from it.
+	pendingSince time.Duration
 }
 
 // State returns the task's scheduling state.
@@ -91,11 +96,18 @@ type Attempt struct {
 	Speculative bool
 	// StartedAt is the simulation time the attempt began.
 	StartedAt time.Duration
+	// FinishedAt is when the attempt completed, was killed, or lost the
+	// speculative race; zero while running.
+	FinishedAt time.Duration
+	// SlotWait is how long the task waited for this (non-speculative)
+	// attempt's slot.
+	SlotWait time.Duration
 
 	consumer *cluster.Consumer
 	serve    *cluster.Consumer // split-architecture storage-side stream
 	finished bool
 	killed   bool
+	span     trace.Span
 }
 
 // Running reports whether the attempt is still executing.

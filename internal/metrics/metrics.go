@@ -31,6 +31,8 @@ type Recorder struct {
 	engine  *sim.Engine
 	cluster *cluster.Cluster
 	ticker  *sim.Ticker
+	horizon time.Duration
+	stopped bool
 	samples []Sample
 	energyJ float64
 	lastAt  time.Duration
@@ -39,7 +41,8 @@ type Recorder struct {
 
 // NewRecorder starts sampling every interval (default 10 s). If horizon
 // is positive the recorder stops itself at that time, letting the event
-// queue drain naturally.
+// queue drain naturally; no sample or energy is recorded past the
+// horizon, even when the ticks do not divide it evenly.
 func NewRecorder(c *cluster.Cluster, interval, horizon time.Duration) *Recorder {
 	if interval <= 0 {
 		interval = 10 * time.Second
@@ -47,12 +50,14 @@ func NewRecorder(c *cluster.Cluster, interval, horizon time.Duration) *Recorder 
 	r := &Recorder{
 		engine:  c.Engine(),
 		cluster: c,
+		horizon: horizon,
 		lastAt:  c.Engine().Now(),
 		lastW:   c.TotalPowerW(),
 	}
 	r.ticker = sim.NewTicker(r.engine, interval, func(now time.Duration) {
 		r.sample(now)
 		if horizon > 0 && now >= horizon {
+			r.stopped = true
 			r.ticker.Stop()
 		}
 	})
@@ -60,6 +65,16 @@ func NewRecorder(c *cluster.Cluster, interval, horizon time.Duration) *Recorder 
 }
 
 func (r *Recorder) sample(now time.Duration) {
+	// Accounting never extends past the horizon: the first tick at or
+	// beyond it is attributed to the horizon instant itself.
+	if r.horizon > 0 && now > r.horizon {
+		now = r.horizon
+	}
+	// A tick and a Stop (or two Stops) at the same instant must not
+	// record the observation twice.
+	if n := len(r.samples); n > 0 && r.samples[n-1].At == now {
+		return
+	}
 	w := r.cluster.TotalPowerW()
 	// Trapezoidal integration of power into energy.
 	dt := (now - r.lastAt).Seconds()
@@ -76,11 +91,13 @@ func (r *Recorder) sample(now time.Duration) {
 }
 
 // Stop halts sampling, taking one final sample so that energy accounting
-// covers the full interval.
+// covers the full interval. Stop is idempotent, and a no-op after the
+// horizon has already closed the books.
 func (r *Recorder) Stop() {
-	if r.ticker.Stopped() {
+	if r.stopped {
 		return
 	}
+	r.stopped = true
 	r.ticker.Stop()
 	r.sample(r.engine.Now())
 }

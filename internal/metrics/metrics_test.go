@@ -101,6 +101,58 @@ func TestRecorderStopIdempotent(t *testing.T) {
 	}
 }
 
+func TestRecorderHorizonClampsAccounting(t *testing.T) {
+	engine, c, _ := rig(t)
+	// Ticks at 10 s, 20 s, 30 s — the horizon (25 s) falls between ticks.
+	rec := NewRecorder(c, 10*time.Second, 25*time.Second)
+	engine.RunUntil(40 * time.Second)
+
+	samples := rec.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	last := samples[len(samples)-1]
+	if last.At != 25*time.Second {
+		t.Errorf("last sample at %v, want exactly the 25s horizon", last.At)
+	}
+	// One idle PM at 150 W for 25 s — not 30 s.
+	want := 150.0 * 25
+	if math.Abs(rec.EnergyJ()-want) > 1 {
+		t.Errorf("EnergyJ = %v, want %v (energy must not run past the horizon)", rec.EnergyJ(), want)
+	}
+
+	// Stop after the horizon already closed the books: no extra sample,
+	// no extra energy.
+	rec.Stop()
+	rec.Stop()
+	if got := len(rec.Samples()); got != len(samples) {
+		t.Errorf("Stop after horizon added samples: %d -> %d", len(samples), got)
+	}
+	if math.Abs(rec.EnergyJ()-want) > 1 {
+		t.Errorf("Stop after horizon changed energy: %v", rec.EnergyJ())
+	}
+}
+
+func TestRecorderStopAtTickInstantNoDoubleCount(t *testing.T) {
+	engine, c, _ := rig(t)
+	rec := NewRecorder(c, 10*time.Second, 0)
+	// Run to exactly a tick time, then Stop at the same instant.
+	engine.RunUntil(30 * time.Second)
+	rec.Stop()
+	samples := rec.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3 (ticks at 10/20/30, Stop must not duplicate the 30s one)", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At == samples[i-1].At {
+			t.Errorf("duplicate sample timestamp %v", samples[i].At)
+		}
+	}
+	if want := 150.0 * 30; math.Abs(rec.EnergyJ()-want) > 1 {
+		t.Errorf("EnergyJ = %v, want %v", rec.EnergyJ(), want)
+	}
+}
+
 func TestJobStats(t *testing.T) {
 	var js JobStats
 	js.Add(100 * time.Second)

@@ -12,8 +12,18 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 )
+
+// processEvents counts events fired across every Engine in the process.
+// Benchmark tooling reads it to compute events/sec for code (such as the
+// experiment suite) that constructs engines internally.
+var processEvents atomic.Uint64
+
+// ProcessEvents returns the total number of events fired by all engines
+// in this process since start.
+func ProcessEvents() uint64 { return processEvents.Load() }
 
 // Event is a scheduled callback. It is returned by the scheduling methods
 // so that callers can cancel it before it fires.
@@ -34,11 +44,13 @@ func (e *Event) Cancelled() bool { return e.cancel }
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // New.
 type Engine struct {
-	now    time.Duration
-	queue  eventHeap
-	seq    uint64
-	fired  uint64
-	halted bool
+	now        time.Duration
+	queue      eventHeap
+	seq        uint64
+	fired      uint64
+	cancelled  uint64
+	maxPending int
+	halted     bool
 }
 
 // New returns an Engine with its clock at zero.
@@ -56,6 +68,15 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// MaxPending returns the high-water mark of the event queue depth, a
+// proxy for how much concurrent activity the simulation carried.
+func (e *Engine) MaxPending() int { return e.maxPending }
+
+// Cancelled returns the number of pending events removed via Cancel.
+// Cancelling an event that already fired (or was already cancelled) does
+// not count.
+func (e *Engine) Cancelled() uint64 { return e.cancelled }
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // is an error that indicates a logic bug in the caller; the event is
 // clamped to Now so the simulation remains monotonic, and the returned
@@ -67,6 +88,9 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.maxPending {
+		e.maxPending = len(e.queue)
+	}
 	return ev
 }
 
@@ -100,6 +124,7 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.cancel = true
+	e.cancelled++
 	heap.Remove(&e.queue, ev.index)
 }
 
@@ -115,6 +140,7 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.at
 	e.fired++
+	processEvents.Add(1)
 	ev.fn()
 	return true
 }

@@ -239,3 +239,119 @@ func TestEngineFiredCount(t *testing.T) {
 		t.Errorf("Fired() = %d, want 7", e.Fired())
 	}
 }
+
+func TestTickerStopBeforeFirstTick(t *testing.T) {
+	e := New()
+	fired := false
+	tk := NewTicker(e, 10*time.Second, func(time.Duration) { fired = true })
+	if tk.Stopped() {
+		t.Fatal("fresh ticker reports stopped")
+	}
+	// Stop before the simulation ever advances: the first tick must not
+	// fire, and the pending event must leave the queue so Run terminates.
+	tk.Stop()
+	if !tk.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after stopping the only ticker, want 0", e.Pending())
+	}
+	e.Run()
+	if fired {
+		t.Error("stopped ticker fired")
+	}
+	// Stop is terminal: a second Stop is a harmless no-op.
+	tk.Stop()
+}
+
+func TestTickerRestartSemantics(t *testing.T) {
+	// A stopped ticker stays stopped; restarting means creating a new
+	// ticker, whose phase is one full period from the moment of creation
+	// (not from the old ticker's schedule).
+	e := New()
+	var first []time.Duration
+	tk := NewTicker(e, 10*time.Second, func(now time.Duration) { first = append(first, now) })
+	e.RunUntil(25 * time.Second)
+	tk.Stop()
+	if len(first) != 2 {
+		t.Fatalf("first ticker fired %d times, want 2", len(first))
+	}
+
+	var second []time.Duration
+	tk2 := NewTicker(e, 10*time.Second, func(now time.Duration) { second = append(second, now) })
+	e.RunUntil(60 * time.Second)
+	tk2.Stop()
+	want := []time.Duration{35 * time.Second, 45 * time.Second, 55 * time.Second}
+	if len(second) != len(want) {
+		t.Fatalf("second ticker fired at %v, want %v", second, want)
+	}
+	for i := range want {
+		if second[i] != want[i] {
+			t.Errorf("second ticker fire %d at %v, want %v", i, second[i], want[i])
+		}
+	}
+	if len(first) != 2 {
+		t.Error("old ticker fired after Stop")
+	}
+}
+
+func TestTickerHorizonAlignment(t *testing.T) {
+	// RunUntil(t) is inclusive of events at exactly t, so a ticker whose
+	// period divides the horizon fires on the boundary itself.
+	e := New()
+	var ticks []time.Duration
+	tk := NewTicker(e, 10*time.Second, func(now time.Duration) { ticks = append(ticks, now) })
+	e.RunUntil(30 * time.Second)
+	tk.Stop()
+	if len(ticks) != 3 || ticks[2] != 30*time.Second {
+		t.Fatalf("ticks = %v, want the last exactly on the 30s horizon", ticks)
+	}
+	if e.Now() != 30*time.Second {
+		t.Errorf("Now() = %v after RunUntil(30s)", e.Now())
+	}
+}
+
+func TestEngineAccountingUnderCancel(t *testing.T) {
+	e := New()
+	events := make([]*Event, 10)
+	for i := range events {
+		events[i] = e.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	if e.Pending() != 10 || e.MaxPending() != 10 {
+		t.Fatalf("Pending/MaxPending = %d/%d, want 10/10", e.Pending(), e.MaxPending())
+	}
+
+	// Cancel three pending events; cancelling one of them twice must not
+	// double-count.
+	e.Cancel(events[2])
+	e.Cancel(events[5])
+	e.Cancel(events[8])
+	e.Cancel(events[5])
+	if e.Cancelled() != 3 {
+		t.Errorf("Cancelled() = %d, want 3", e.Cancelled())
+	}
+	if e.Pending() != 7 {
+		t.Errorf("Pending() = %d after 3 cancels, want 7", e.Pending())
+	}
+
+	e.Run()
+	if e.Fired() != 7 {
+		t.Errorf("Fired() = %d, want 7 (cancelled events must not fire)", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after Run, want 0", e.Pending())
+	}
+
+	// Cancelling an event that already fired is a no-op for accounting.
+	e.Cancel(events[0])
+	if e.Cancelled() != 3 {
+		t.Errorf("Cancelled() = %d after cancelling a fired event, want 3", e.Cancelled())
+	}
+	// Cancelling nil is safe.
+	e.Cancel(nil)
+
+	// The high-water mark survives the drain.
+	if e.MaxPending() != 10 {
+		t.Errorf("MaxPending() = %d, want 10", e.MaxPending())
+	}
+}

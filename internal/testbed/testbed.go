@@ -13,6 +13,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/mapred"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Options selects a rig shape. Zero values mean: native cluster, paper
@@ -45,6 +46,12 @@ type Options struct {
 	// Scheduler overrides the job scheduler (default mapred.Fair, as on
 	// the paper's testbed).
 	Scheduler mapred.Scheduler
+	// Tracer, when non-nil, records structured events from every layer of
+	// the rig. Its clock is bound to the rig's engine.
+	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives the rig's counters, gauges and
+	// histograms.
+	Metrics *trace.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +95,13 @@ func New(opts Options) (*Rig, error) {
 	cl := cluster.New(engine, opts.ClusterConfig, opts.Seed)
 	fs := dfs.New(engine, dfs.Config{}, opts.Seed+1)
 	jt := mapred.NewJobTracker(engine, fs, opts.MapredConfig, opts.Scheduler)
+
+	if opts.Tracer != nil || opts.Metrics != nil {
+		opts.Tracer.SetClock(engine)
+		cl.SetTrace(opts.Tracer, opts.Metrics)
+		fs.SetTrace(opts.Tracer, opts.Metrics)
+		jt.SetTrace(opts.Tracer, opts.Metrics)
+	}
 
 	rig := &Rig{Engine: engine, Cluster: cl, FS: fs, JT: jt}
 	rig.PMs = cl.AddPMs("pm", opts.PMs)

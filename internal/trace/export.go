@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// argsMap converts an Arg list to a map for JSON encoding. encoding/json
+// marshals map keys in sorted order, which keeps the output
+// deterministic.
+func argsMap(args []Arg) map[string]any {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(args))
+	for _, a := range args {
+		if a.isNum {
+			m[a.Key] = a.num
+		} else {
+			m[a.Key] = a.str
+		}
+	}
+	return m
+}
+
+// jsonlEvent is the JSONL export schema: one event per line, timestamps
+// in simulated microseconds.
+type jsonlEvent struct {
+	Type  string         `json:"type"` // "span" or "instant"
+	TsUs  int64          `json:"ts_us"`
+	DurUs int64          `json:"dur_us,omitempty"`
+	Track string         `json:"track"`
+	Cat   string         `json:"cat"`
+	Name  string         `json:"name"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSONL writes every recorded event (plus still-open spans, closed
+// at the export instant) as one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.snapshot() {
+		typ := "span"
+		if ev.phase == 'i' {
+			typ = "instant"
+		}
+		if err := enc.Encode(jsonlEvent{
+			Type:  typ,
+			TsUs:  ev.start.Microseconds(),
+			DurUs: ev.dur.Microseconds(),
+			Track: ev.track,
+			Cat:   ev.cat,
+			Name:  ev.name,
+			Args:  argsMap(ev.args),
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Perfetto and chrome://tracing load the resulting file directly; each
+// track (PM, VM, TaskTracker, job) renders as its own named thread row.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   *int64         `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the events in Chrome trace_event JSON format.
+// Tracks are assigned thread IDs in order of first appearance and named
+// via thread_name metadata, so the viewer shows one labelled row per
+// track. Simulated time maps to the trace's microsecond timebase.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	events := t.snapshot()
+
+	// Track registry in first-appearance order.
+	tids := make(map[string]int)
+	var tracks []string
+	tidOf := func(track string) int {
+		id, ok := tids[track]
+		if !ok {
+			id = len(tracks) + 1
+			tids[track] = id
+			tracks = append(tracks, track)
+		}
+		return id
+	}
+	for _, ev := range events {
+		tidOf(ev.track)
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ce chromeEvent) error {
+		raw, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(raw)
+		return err
+	}
+
+	for i, track := range tracks {
+		if err := emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]any{"name": track},
+		}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]any{"sort_index": i},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.name,
+			Cat:  ev.cat,
+			Ts:   ev.start.Microseconds(),
+			Pid:  1,
+			Tid:  tids[ev.track],
+			Args: argsMap(ev.args),
+		}
+		if ev.phase == 'X' {
+			ce.Ph = "X"
+			dur := ev.dur.Microseconds()
+			ce.Dur = &dur
+		} else {
+			ce.Ph = "i"
+			ce.Scope = "t"
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(bw, "],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ExportFormat names a trace serialization.
+type ExportFormat string
+
+// Supported export formats.
+const (
+	FormatJSONL  ExportFormat = "jsonl"
+	FormatChrome ExportFormat = "chrome"
+)
+
+// Write serializes the trace in the given format.
+func (t *Tracer) Write(w io.Writer, format ExportFormat) error {
+	switch format {
+	case FormatJSONL:
+		return t.WriteJSONL(w)
+	case FormatChrome, "":
+		return t.WriteChromeTrace(w)
+	default:
+		return fmt.Errorf("trace: unknown export format %q", format)
+	}
+}

@@ -1,0 +1,301 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing sum. A nil *Counter accepts the
+// full API as a no-op.
+type Counter struct {
+	v float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n float64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Value returns the accumulated sum.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value-wins observation. A nil *Gauge is a no-op.
+type Gauge struct {
+	v float64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the most recently set value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram bucket layout: observations are spread over log-scale
+// buckets, histSubBuckets per octave (factor of 2), covering 2^-20
+// through 2^+43 — comfortably nanoseconds to weeks when observing
+// seconds, or bytes to terabytes when observing sizes. Quantiles are
+// estimated from bucket boundaries, so their relative error is bounded
+// by one bucket width (about 9% with 8 sub-buckets per octave).
+const (
+	histSubBuckets = 8
+	histMinExp     = -20
+	histMaxExp     = 43
+	histBuckets    = (histMaxExp - histMinExp) * histSubBuckets
+)
+
+// Histogram is a streaming log-bucketed distribution. Memory is fixed
+// regardless of observation count. A nil *Histogram is a no-op.
+type Histogram struct {
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	zero    uint64 // observations <= 0
+	buckets [histBuckets]uint64
+}
+
+func bucketIndex(v float64) int {
+	idx := int(math.Floor((math.Log2(v) - histMinExp) * histSubBuckets))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper is the upper bound of bucket idx.
+func bucketUpper(idx int) float64 {
+	return math.Exp2(float64(idx+1)/histSubBuckets + histMinExp)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if v <= 0 {
+		h.zero++
+		return
+	}
+	h.buckets[bucketIndex(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// boundaries, clamped to the observed [min, max]. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := float64(h.zero)
+	if cum >= rank && h.zero > 0 {
+		return clampf(0, h.min, h.max)
+	}
+	for i := 0; i < histBuckets; i++ {
+		if h.buckets[i] == 0 {
+			continue
+		}
+		cum += float64(h.buckets[i])
+		if cum >= rank {
+			return clampf(bucketUpper(i), h.min, h.max)
+		}
+	}
+	return h.max
+}
+
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Registry holds named metrics published by the instrumented subsystems.
+// Metric accessors register on first use and return the same instance
+// thereafter. A nil *Registry returns nil metrics, whose methods are all
+// no-ops — disabled metrics cost only nil checks. Not safe for
+// concurrent use (the simulation stack is single-goroutine).
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Fprint renders every registered metric as an aligned table, sorted by
+// name within each metric type. Histograms print count, mean, p50, p95,
+// p99 and max.
+func (r *Registry) Fprint(w io.Writer) {
+	if r == nil {
+		return
+	}
+	type row struct{ kind, name, value string }
+	rows := make([]row, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, name := range sortedKeys(r.counters) {
+		rows = append(rows, row{"counter", name, fmtMetric(r.counters[name].Value())})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		rows = append(rows, row{"gauge", name, fmtMetric(r.gauges[name].Value())})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		rows = append(rows, row{"histogram", name, fmt.Sprintf(
+			"count=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+			h.Count(), fmtMetric(h.Mean()), fmtMetric(h.Quantile(0.50)),
+			fmtMetric(h.Quantile(0.95)), fmtMetric(h.Quantile(0.99)), fmtMetric(h.Max()))})
+	}
+	nameWidth := 0
+	for _, rw := range rows {
+		if len(rw.name) > nameWidth {
+			nameWidth = len(rw.name)
+		}
+	}
+	for _, rw := range rows {
+		fmt.Fprintf(w, "%-9s  %-*s  %s\n", rw.kind, nameWidth, rw.name, rw.value)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fmtMetric(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryAndMetrics(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry should hand out nil metrics")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics should read as zero")
+	}
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram stats should read as zero")
+	}
+	r.Fprint(&bytes.Buffer{}) // must not panic
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs")
+	c.Inc()
+	c.Add(2.5)
+	if c.Value() != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", c.Value())
+	}
+	if r.Counter("jobs") != c {
+		t.Fatal("Counter should return the same instance for the same name")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Set(4)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %v, want 4", g.Value())
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wait")
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 15 || h.Mean() != 3 {
+		t.Fatalf("count=%d sum=%v mean=%v", h.Count(), h.Sum(), h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewRegistry().Histogram("q")
+	// Uniform 1..1000: p50 ~ 500, p95 ~ 950, p99 ~ 990.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	checks := []struct{ q, want float64 }{
+		{0.50, 500},
+		{0.95, 950},
+		{0.99, 990},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		// Log buckets at 8 per octave bound relative error to ~9%.
+		if math.Abs(got-c.want)/c.want > 0.10 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", c.q, got, c.want)
+		}
+	}
+	if h.Quantile(0) < 1 || h.Quantile(1) > 1000 {
+		t.Errorf("quantiles escape [min,max]: q0=%v q1=%v", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	h := NewRegistry().Histogram("z")
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(10)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if h.Min() != -5 || h.Max() != 10 {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	// Two of three observations are <= 0, so the median lands in the zero
+	// bucket (represented as 0, which is the true median of {-5, 0, 10}).
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile(0.5) = %v, want 0 (zero bucket)", q)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewRegistry().Histogram("x")
+	h.Observe(1e-12) // below the smallest bucket: clamps, must not panic
+	h.Observe(1e18)  // above the largest bucket: clamps, must not panic
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.99); q > h.Max() {
+		t.Fatalf("quantile %v exceeds max %v", q, h.Max())
+	}
+}
+
+func TestRegistryFprint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.counter").Add(2)
+	r.Counter("a.counter").Inc()
+	r.Gauge("g.gauge").Set(1.5)
+	h := r.Histogram("h.hist")
+	h.Observe(10)
+	h.Observe(20)
+
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Counters sorted by name, then gauges, then histograms.
+	if !strings.Contains(lines[0], "a.counter") || !strings.Contains(lines[1], "b.counter") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "count=2") || !strings.Contains(lines[3], "mean=15") {
+		t.Fatalf("histogram row missing stats:\n%s", out)
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	prev := -1
+	for _, v := range []float64{1e-7, 0.001, 0.5, 1, 2, 10, 1e3, 1e9, 1e12} {
+		idx := bucketIndex(v)
+		if idx <= prev {
+			t.Fatalf("bucketIndex not increasing at %v: %d <= %d", v, idx, prev)
+		}
+		if up := bucketUpper(idx); up < v {
+			t.Fatalf("bucketUpper(%d)=%v < observed %v", idx, up, v)
+		}
+		prev = idx
+	}
+}
