@@ -11,6 +11,11 @@
 //   - "job" mode (selected with -scenario job, or implied by an explicit
 //     -benchmark flag) runs a single MapReduce benchmark on a chosen
 //     cluster shape, as before.
+//   - "chaos" mode runs a batch of jobs on a virtual cluster while a
+//     seed-deterministic fault injector crashes machines and VMs, wedges
+//     TaskTrackers, corrupts DFS replicas and injects stragglers. The run
+//     verifies that every job completes and the DFS heals back to target
+//     replication, and prints the fault seed so any run can be replayed.
 //
 // Usage:
 //
@@ -19,6 +24,8 @@
 //	hybridmr-sim -benchmark Kmeans -pms 24            # native cluster
 //	hybridmr-sim -benchmark Sort -pms 24 -dom0        # Dom-0 mode
 //	hybridmr-sim -benchmark Sort -pms 24 -vms-per-pm 2 -split
+//	hybridmr-sim -scenario chaos -seed 7 -fault-seed 99
+//	hybridmr-sim -scenario chaos -faults pm-crash=4,block-loss=12,repair-sec=90
 //
 // The trace file loads directly into Perfetto (ui.perfetto.dev) or
 // chrome://tracing when written in the default chrome format; -trace-format
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	hybridmr "repro"
+	"repro/internal/fault"
 	"repro/internal/mapred"
 	"repro/internal/sim"
 	"repro/internal/testbed"
@@ -61,6 +69,8 @@ func run(args []string, out io.Writer) error {
 	slotCaps := fs.Bool("slot-caps", false, "static Hadoop slot containers")
 	sched := fs.String("scheduler", "fair", "job scheduler: fair or fifo")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	faults := fs.String("faults", "", "chaos profile, e.g. pm-crash=2,vm-crash=4,block-loss=6 (chaos scenario; default moderate profile)")
+	faultSeed := fs.Int64("fault-seed", 0, "fault injection seed (0 = derive from -seed)")
 	traceFile := fs.String("trace", "", "write a structured event trace to this file")
 	traceFormat := fs.String("trace-format", "chrome", "trace encoding: chrome (Perfetto-loadable) or jsonl")
 	metricsOn := fs.Bool("metrics", false, "print the metrics registry after the run")
@@ -101,8 +111,10 @@ func run(args []string, out io.Writer) error {
 			bench: *bench, dataGB: *dataGB, pms: *pms, vmsPerPM: *vmsPerPM,
 			dom0: *dom0, split: *split, slotCaps: *slotCaps, sched: *sched, seed: *seed,
 		}, tracer, reg, out)
+	case "chaos":
+		err = runChaos(*seed, *faultSeed, *faults, tracer, reg, out)
 	default:
-		return fmt.Errorf("unknown scenario %q (quickstart or job)", mode)
+		return fmt.Errorf("unknown scenario %q (quickstart, job or chaos)", mode)
 	}
 	if err != nil {
 		return err
@@ -215,6 +227,71 @@ func runQuickstart(seed int64, tracer *trace.Tracer, reg *trace.Registry, out io
 	}
 	fmt.Fprintf(out, "  RUBiS    -> %.0f ms mean response (%d clients)\n",
 		svc.LatencyMs(), svc.Clients())
+	return nil
+}
+
+// runChaos runs a batch of jobs on a virtual cluster under fault
+// injection: a scheduled PM crash mid-run plus rate-based chaos of every
+// other kind, all drawn from the fault seed. It verifies end-to-end
+// recovery — every job completes and the DFS heals back to target
+// replication — and prints the seeds needed to replay the run.
+func runChaos(seed, faultSeed int64, profileSpec string, tracer *trace.Tracer, reg *trace.Registry, out io.Writer) error {
+	profile := &fault.Profile{
+		VMCrashPerHour:     2,
+		TrackerHangPerHour: 4,
+		BlockLossPerHour:   6,
+		StragglerPerHour:   4,
+		Horizon:            30 * time.Minute,
+	}
+	if profileSpec != "" {
+		p, err := fault.ParseProfile(profileSpec)
+		if err != nil {
+			return err
+		}
+		profile = p
+	}
+	if faultSeed == 0 {
+		faultSeed = seed + 2
+	}
+	rig, err := testbed.New(testbed.Options{
+		PMs:      8,
+		VMsPerPM: 2,
+		Seed:     seed,
+		Tracer:   tracer,
+		Metrics:  reg,
+		Faults: &fault.Options{
+			Seed: faultSeed,
+			// One guaranteed whole-machine crash mid-run, on top of
+			// whatever the profile draws.
+			Schedule: []fault.ScheduledFault{
+				{At: 45 * time.Second, Kind: fault.PMCrash, Target: "pm-1"},
+			},
+			Profile: profile,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	results, err := rig.RunJobs([]mapred.JobSpec{
+		workload.Sort().WithInputMB(2 * 1024),
+		workload.Wcount().WithInputMB(1536),
+		workload.DistGrep().WithInputMB(1024),
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "chaos run: seed %d, fault seed %d\n", seed, faultSeed)
+	fmt.Fprintf(out, "faults injected: %s\n\n", rig.Faults.Summary())
+	for _, r := range results {
+		fmt.Fprintf(out, "  %-8s JCT %7.1fs  (map %.1fs, reduce %.1fs)\n",
+			r.Name, r.JCT.Seconds(), r.MapPhase.Seconds(), r.ReducePhase.Seconds())
+	}
+	under, lost := rig.FS.UnderReplicated(), rig.FS.LostBlocks()
+	fmt.Fprintf(out, "\nDFS after recovery: %d under-replicated, %d lost\n", under, lost)
+	if under != 0 {
+		return fmt.Errorf("chaos: %d blocks still under-replicated after recovery", under)
+	}
 	return nil
 }
 

@@ -149,3 +149,53 @@ func TestUnknownScenarioRejected(t *testing.T) {
 		t.Fatal("unknown scenario accepted")
 	}
 }
+
+func TestChaosScenarioCompletesAndReports(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "chaos", "-seed", "7", "-fault-seed", "99"}, &out); err != nil {
+		t.Fatalf("chaos scenario: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"chaos run: seed 7, fault seed 99",
+		"faults injected:",
+		"pm-crash=",
+		"0 under-replicated",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("chaos output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestChaosTraceIsDeterministic: two same-seed chaos runs (jobs plus
+// fault injection) emit byte-identical JSONL traces. This is the unit
+// form of the CI determinism gate.
+func TestChaosTraceIsDeterministic(t *testing.T) {
+	runChaosTrace := func(name string) []byte {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), name)
+		var out bytes.Buffer
+		args := []string{"-scenario", "chaos", "-seed", "7", "-fault-seed", "99",
+			"-trace", path, "-trace-format", "jsonl"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run(%v): %v\noutput:\n%s", args, err, out.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := runChaosTrace("a.jsonl")
+	b := runChaosTrace("b.jsonl")
+	if !bytes.Equal(a, b) {
+		t.Errorf("two same-seed chaos runs produced different traces (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+func TestChaosBadProfileRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "chaos", "-faults", "bogus=1"}, &out); err == nil {
+		t.Fatal("invalid -faults profile accepted")
+	}
+}

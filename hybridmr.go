@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfs"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
 	"repro/internal/resource"
@@ -85,7 +86,35 @@ type (
 	MetricsRegistry = trace.Registry
 	// TraceFormat selects a trace export encoding.
 	TraceFormat = trace.ExportFormat
+	// FaultInjector injects seed-deterministic failures (machine
+	// crashes, VM crashes, tracker hangs, block loss, stragglers) into a
+	// deployment, driven by the simulation clock.
+	FaultInjector = fault.Injector
+	// FaultOptions arms a FaultInjector with a declarative schedule
+	// and/or a rate-based chaos profile.
+	FaultOptions = fault.Options
+	// FaultProfile is a rate-based chaos description (events per
+	// simulated hour, per kind).
+	FaultProfile = fault.Profile
+	// ScheduledFault is one declarative injection at a fixed time.
+	ScheduledFault = fault.ScheduledFault
+	// FaultKind names a fault class.
+	FaultKind = fault.Kind
 )
+
+// Fault kinds.
+const (
+	FaultPMCrash     = fault.PMCrash
+	FaultPMRepair    = fault.PMRepair
+	FaultVMCrash     = fault.VMCrash
+	FaultTrackerHang = fault.TrackerHang
+	FaultBlockLoss   = fault.BlockLoss
+	FaultStraggler   = fault.Straggler
+)
+
+// ParseFaultProfile parses the -faults command-line syntax (comma-
+// separated key=value pairs) into a FaultProfile.
+var ParseFaultProfile = fault.ParseProfile
 
 // NewTracer builds an unbound tracer; hand it to ClusterSpec.Tracer or
 // RigOptions.Tracer and its clock is bound to the simulation engine when
@@ -178,6 +207,10 @@ type ClusterSpec struct {
 	// Metrics, when non-nil, receives the deployment's counters, gauges
 	// and histograms.
 	Metrics *MetricsRegistry
+	// Faults, when non-nil, arms the deployment's fault injector with
+	// the given schedule and/or chaos profile, spanning both partitions.
+	// A zero Faults.Seed derives one from Seed.
+	Faults *FaultOptions
 }
 
 // HybridCluster is a ready-to-use hybrid data center running HybridMR.
@@ -194,6 +227,10 @@ type HybridCluster struct {
 	VMs []*VM
 	// HostPMs are the PMs hosting the virtual partition.
 	HostPMs []*PM
+	// Faults injects failures across both partitions; it is always
+	// constructed (manual injection works on any deployment) and armed
+	// only when ClusterSpec.Faults was set.
+	Faults *FaultInjector
 
 	engine  *sim.Engine
 	nextSvc int
@@ -269,6 +306,32 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 	hc.System = sys
 	hc.Cluster = cl
 	hc.engine = engine
+
+	env := fault.Env{Engine: engine, Cluster: cl}
+	if hc.VirtualJT != nil {
+		env.FSs = append(env.FSs, hc.VirtualJT.FS())
+		env.JTs = append(env.JTs, hc.VirtualJT)
+	}
+	if hc.NativeJT != nil {
+		env.FSs = append(env.FSs, hc.NativeJT.FS())
+		env.JTs = append(env.JTs, hc.NativeJT)
+	}
+	faultOpts := fault.Options{Seed: spec.Seed + 2}
+	if spec.Faults != nil {
+		faultOpts = *spec.Faults
+		if faultOpts.Seed == 0 {
+			faultOpts.Seed = spec.Seed + 2
+		}
+	}
+	hc.Faults = fault.NewInjector(env, faultOpts)
+	if spec.Tracer != nil || spec.Metrics != nil {
+		hc.Faults.SetTrace(spec.Tracer, spec.Metrics)
+	}
+	if spec.Faults != nil {
+		if err := hc.Faults.Arm(); err != nil {
+			return nil, err
+		}
+	}
 	return hc, nil
 }
 

@@ -21,6 +21,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/resource"
 	"repro/internal/sim"
@@ -113,6 +114,14 @@ type Config struct {
 	// MigrationStopCopyMB is the residual dirty set at which pre-copy
 	// stops and the VM is suspended for the final copy.
 	MigrationStopCopyMB float64
+
+	// MigrationRetryBackoff is the initial delay before re-attempting a
+	// migration whose destination failed mid-transfer; each further
+	// retry doubles it.
+	MigrationRetryBackoff time.Duration
+	// MigrationMaxRetries bounds those re-attempts. Negative disables
+	// retries entirely.
+	MigrationMaxRetries int
 }
 
 // DefaultConfig returns the paper's testbed hardware.
@@ -131,6 +140,8 @@ func DefaultConfig() Config {
 		DiskSeekMaxPenalty:     1.35,
 		MigrationDirtyFactor:   24,
 		MigrationStopCopyMB:    32,
+		MigrationRetryBackoff:  30 * time.Second,
+		MigrationMaxRetries:    3,
 	}
 }
 
@@ -176,6 +187,14 @@ func (c Config) withDefaults() Config {
 	if c.MigrationStopCopyMB <= 0 {
 		c.MigrationStopCopyMB = d.MigrationStopCopyMB
 	}
+	if c.MigrationRetryBackoff <= 0 {
+		c.MigrationRetryBackoff = d.MigrationRetryBackoff
+	}
+	if c.MigrationMaxRetries == 0 {
+		c.MigrationMaxRetries = d.MigrationMaxRetries
+	} else if c.MigrationMaxRetries < 0 {
+		c.MigrationMaxRetries = 0
+	}
 	return c
 }
 
@@ -188,6 +207,10 @@ type Cluster struct {
 	pms    []*PM
 	vms    []*VM
 
+	// migrations tracks in-flight live migrations so machine failures
+	// can unwind them.
+	migrations []*migration
+
 	tracer *trace.Tracer
 
 	// Cached metric handles; nil (a no-op) until SetTrace installs a
@@ -196,6 +219,10 @@ type Cluster struct {
 	mMigrationDowntime *trace.Histogram
 	mPowerTransitions  *trace.Counter
 	mVMPauses          *trace.Counter
+	mMigrationsAborted *trace.Counter
+	mMigrationRetries  *trace.Counter
+	mVMCrashes         *trace.Counter
+	mPMCrashes         *trace.Counter
 }
 
 // New creates an empty cluster. Zero-valued Config fields take the paper's
@@ -219,6 +246,10 @@ func (c *Cluster) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	c.mMigrationDowntime = reg.Histogram("cluster.migration.downtime_sec")
 	c.mPowerTransitions = reg.Counter("cluster.pm.power_transitions")
 	c.mVMPauses = reg.Counter("cluster.vm.pauses")
+	c.mMigrationsAborted = reg.Counter("cluster.migrations.aborted")
+	c.mMigrationRetries = reg.Counter("cluster.migrations.retried")
+	c.mVMCrashes = reg.Counter("cluster.vm.crashes")
+	c.mPMCrashes = reg.Counter("cluster.pm.crashes")
 }
 
 // Config returns the effective (defaulted) configuration.

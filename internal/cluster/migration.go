@@ -25,6 +25,21 @@ type MigrationStats struct {
 	TransferredMB float64
 }
 
+// migration tracks one in-flight live migration so that a machine
+// failure mid-transfer can be unwound instead of dangling.
+type migration struct {
+	vm       *VM
+	src, dst *PM
+	stream   *Consumer  // pre-copy transfer riding on the source
+	attachEv *sim.Event // pending stop-and-copy attach on the destination
+	span     trace.Span
+	done     func(MigrationStats)
+	retries  int
+	// inBlackout is true once pre-copy finished and the VM is detached
+	// from the source, frozen for the final stop-and-copy.
+	inBlackout bool
+}
+
 // Migrate live-migrates a VM to a destination PM using a pre-copy model:
 // iterative rounds re-send pages dirtied during the previous round, until
 // the residual set is small enough for a brief stop-and-copy. The transfer
@@ -33,11 +48,23 @@ type MigrationStats struct {
 // Figure 10 observes), and the VM freezes for the computed downtime before
 // resuming on the destination. The callback, if non-nil, receives the
 // stats when the VM is running again.
+//
+// If the source fails mid-migration the VM dies with it; if the
+// destination fails, the VM keeps running on the source and the
+// migration retries with exponential backoff (see Config's
+// MigrationRetryBackoff and MigrationMaxRetries).
 func (c *Cluster) Migrate(vm *VM, dst *PM, done func(MigrationStats)) error {
+	return c.migrate(vm, dst, done, 0)
+}
+
+func (c *Cluster) migrate(vm *VM, dst *PM, done func(MigrationStats), retries int) error {
 	if vm == nil || dst == nil {
 		return fmt.Errorf("cluster: Migrate: nil vm or destination")
 	}
 	src := vm.host
+	if src == nil {
+		return fmt.Errorf("cluster: Migrate(%s): VM destroyed", vm.name)
+	}
 	if src == dst {
 		return fmt.Errorf("cluster: Migrate(%s): already on %s", vm.name, dst.name)
 	}
@@ -100,23 +127,27 @@ func (c *Cluster) Migrate(vm *VM, dst *PM, done func(MigrationStats)) error {
 	vm.state = VMMigrating
 	src.update()
 
+	m := &migration{vm: vm, src: src, dst: dst, span: span, done: done, retries: retries}
 	stream := &Consumer{
 		Name:   fmt.Sprintf("migrate:%s", vmName),
 		Demand: resource.NewVector(0.05, 0, 0, bw),
 		Work:   transferred / bw,
 	}
+	m.stream = stream
 	stream.OnComplete = func() {
 		// Pre-copy finished: detach from source, blackout, attach to
 		// destination.
 		src.settle()
 		src.vms = removeVM(src.vms, vm)
 		src.update()
+		m.inBlackout = true
 		if c.tracer != nil {
 			c.tracer.Instant(vmName, "migration", "stop-and-copy",
 				trace.F("downtime_sec", downtimeSec),
 				trace.F("residual_mb", residual))
 		}
-		c.engine.AfterSeconds(downtimeSec, func() {
+		m.attachEv = c.engine.AfterSeconds(downtimeSec, func() {
+			c.migrations = removeMigration(c.migrations, m)
 			dst.settle()
 			vm.host = dst
 			for _, cons := range vm.consumers {
@@ -146,7 +177,118 @@ func (c *Cluster) Migrate(vm *VM, dst *PM, done func(MigrationStats)) error {
 		span.End(trace.S("error", err.Error()))
 		return fmt.Errorf("cluster: Migrate(%s): %w", vmName, err)
 	}
+	c.migrations = append(c.migrations, m)
 	return nil
+}
+
+// migrationOf returns the in-flight migration of vm, if any.
+func (c *Cluster) migrationOf(vm *VM) *migration {
+	for _, m := range c.migrations {
+		if m.vm == vm {
+			return m
+		}
+	}
+	return nil
+}
+
+// detachMigration removes a migration from the registry and silences its
+// pending machinery (transfer stream, stop-and-copy attach event) without
+// deciding the VM's fate — the caller does that.
+func (c *Cluster) detachMigration(m *migration) {
+	c.migrations = removeMigration(c.migrations, m)
+	if m.attachEv != nil {
+		c.engine.Cancel(m.attachEv)
+		m.attachEv = nil
+	}
+	if m.stream != nil && m.stream.Running() {
+		m.stream.OnComplete = nil
+		m.stream.Stop()
+	}
+}
+
+// abortMigrationsFor unwinds every in-flight migration touching a
+// failing machine. PM.Fail calls it before marking the machine off.
+func (c *Cluster) abortMigrationsFor(pm *PM) {
+	pending := make([]*migration, len(c.migrations))
+	copy(pending, c.migrations)
+	for _, m := range pending {
+		if m.src != pm && m.dst != pm {
+			continue
+		}
+		c.detachMigration(m)
+		c.mMigrationsAborted.Inc()
+		if m.src == pm {
+			// The source crashed: the destination discards the pages it
+			// received and the VM dies with the source.
+			m.span.End(trace.S("outcome", "aborted"), trace.S("cause", "source-failed"))
+			if m.inBlackout {
+				// Already detached from the source for stop-and-copy, so
+				// the failure sweep will not see it; destroy it here.
+				c.destroyVM(m.vm)
+			}
+			// During pre-copy the VM is still in src.vms and the Fail
+			// sweep destroys it with the rest.
+			continue
+		}
+		// The destination crashed: the VM keeps running (or resumes, if
+		// it was frozen for stop-and-copy) on the source, and the
+		// migration retries after a backoff.
+		m.span.End(trace.S("outcome", "aborted"), trace.S("cause", "destination-failed"))
+		m.src.settle()
+		if m.inBlackout {
+			m.src.vms = append(m.src.vms, m.vm)
+		}
+		m.vm.state = VMRunning
+		m.src.update()
+		c.scheduleMigrationRetry(m.vm, m.dst, m.done, m.retries)
+	}
+}
+
+// scheduleMigrationRetry re-attempts an aborted migration after an
+// exponential backoff, giving up once MigrationMaxRetries is exhausted.
+func (c *Cluster) scheduleMigrationRetry(vm *VM, dst *PM, done func(MigrationStats), prevRetries int) {
+	if prevRetries >= c.cfg.MigrationMaxRetries {
+		if c.tracer != nil {
+			c.tracer.Instant(vm.name, "migration", "migration-abandoned",
+				trace.S("to", dst.name),
+				trace.F("retries", float64(prevRetries)))
+		}
+		return
+	}
+	attempt := prevRetries + 1
+	backoff := c.cfg.MigrationRetryBackoff << uint(prevRetries)
+	c.mMigrationRetries.Inc()
+	if c.tracer != nil {
+		c.tracer.Instant(vm.name, "migration", "migration-retry-scheduled",
+			trace.S("to", dst.name),
+			trace.F("attempt", float64(attempt)),
+			trace.F("backoff_sec", backoff.Seconds()))
+	}
+	c.engine.After(backoff, func() {
+		if vm.host == nil || vm.host == dst || vm.state != VMRunning {
+			return // the VM died, landed, or is otherwise occupied
+		}
+		if dst.off {
+			// Destination still down: keep backing off until retries
+			// run out.
+			c.scheduleMigrationRetry(vm, dst, done, attempt)
+			return
+		}
+		if err := c.migrate(vm, dst, done, attempt); err != nil && c.tracer != nil {
+			c.tracer.Instant(vm.name, "migration", "migration-abandoned",
+				trace.S("to", dst.name),
+				trace.S("error", err.Error()))
+		}
+	})
+}
+
+func removeMigration(list []*migration, m *migration) []*migration {
+	for i, x := range list {
+		if x == m {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
 }
 
 func removeVM(list []*VM, vm *VM) []*VM {

@@ -47,6 +47,7 @@ type PM struct {
 
 	rawUsage   resource.Vector // current total raw allocation, for accounting
 	lastSettle time.Duration
+	slowdown   float64 // injected straggler factor; <= 1 means full speed
 
 	offSpan trace.Span // open while the PM is powered off
 }
@@ -155,6 +156,35 @@ func (pm *PM) PowerOn() {
 
 // Off reports whether the PM is powered off.
 func (pm *PM) Off() bool { return pm.off }
+
+// SetSlowdown installs a degradation factor on the machine: every
+// consumer — native and inside every hosted VM — progresses factor
+// times slower than its fair-share allocation would allow. The fault
+// injector uses it to model stragglers (failing disks, background
+// scrubs, noisy neighbours outside the model) that slow a node without
+// killing it. A factor of 1 or less restores full speed.
+func (pm *PM) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	if factor == pm.Slowdown() {
+		return
+	}
+	pm.settle()
+	pm.slowdown = factor
+	pm.update()
+	if tr := pm.cluster.tracer; tr != nil {
+		tr.Instant(pm.name, "fault", "slowdown", trace.F("factor", factor))
+	}
+}
+
+// Slowdown returns the installed degradation factor (1 = full speed).
+func (pm *PM) Slowdown() float64 {
+	if pm.slowdown < 1 {
+		return 1
+	}
+	return pm.slowdown
+}
 
 // Utilization returns the PM's current raw usage divided by capacity,
 // per resource dimension, each in [0, 1].
@@ -385,6 +415,14 @@ func (pm *PM) resolve() {
 				c.speed *= memPenalty * selfPenalty[mi]
 			}
 		}
+	}
+
+	// An injected straggler factor slows every consumer on the machine
+	// below what its allocation would sustain.
+	if pm.slowdown > 1 {
+		pm.allConsumers(func(c *Consumer) {
+			c.speed /= pm.slowdown
+		})
 	}
 
 	// Consumers on paused or migrating VMs are frozen.

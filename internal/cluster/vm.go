@@ -15,6 +15,7 @@ const (
 	VMRunning VMState = iota + 1
 	VMPaused
 	VMMigrating
+	VMDestroyed
 )
 
 // String names the state.
@@ -26,6 +27,8 @@ func (s VMState) String() string {
 		return "paused"
 	case VMMigrating:
 		return "migrating"
+	case VMDestroyed:
+		return "destroyed"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -70,6 +73,9 @@ func (vm *VM) MemoryMB() float64 { return vm.memMB }
 // UsefulCapacity is the VM's full-speed capacity in useful units under
 // its overhead profile, assuming an otherwise idle host.
 func (vm *VM) UsefulCapacity() resource.Vector {
+	if vm.host == nil {
+		return resource.Vector{} // destroyed: no capacity anywhere
+	}
 	host := vm.host.capacity
 	cpu := float64(vm.vcpus)
 	if hc := host.Get(resource.CPU); hc < cpu {
@@ -122,6 +128,9 @@ func (vm *VM) Start(c *Consumer) error {
 // consuming CPU and I/O (the memory reservation remains). This is one of
 // the IPS interference-mitigation actions.
 func (vm *VM) Pause() error {
+	if vm.host == nil {
+		return fmt.Errorf("cluster: %s: VM destroyed", vm.name)
+	}
 	if vm.state == VMMigrating {
 		return fmt.Errorf("cluster: %s: cannot pause while migrating", vm.name)
 	}
@@ -141,6 +150,9 @@ func (vm *VM) Pause() error {
 
 // Resume unfreezes a paused VM.
 func (vm *VM) Resume() error {
+	if vm.host == nil {
+		return fmt.Errorf("cluster: %s: VM destroyed", vm.name)
+	}
 	if vm.state == VMMigrating {
 		return fmt.Errorf("cluster: %s: cannot resume while migrating", vm.name)
 	}
@@ -158,6 +170,9 @@ func (vm *VM) Resume() error {
 // SetWeight changes the VM's host-level fair-share weight (defaults to
 // its vCPU count).
 func (vm *VM) SetWeight(w float64) {
+	if vm.host == nil {
+		return
+	}
 	vm.host.settle()
 	if w <= 0 {
 		w = float64(vm.vcpus)
@@ -170,6 +185,9 @@ func (vm *VM) SetWeight(w float64) {
 // actuator, akin to Xen's credit scheduler cap plus blkio throttling).
 // Zero components remove the corresponding cap.
 func (vm *VM) SetCap(cap resource.Vector) {
+	if vm.host == nil {
+		return
+	}
 	vm.host.settle()
 	vm.capIO = cap
 	vm.host.update()

@@ -129,6 +129,11 @@ func (p *IPS) log(kind, service, target string) {
 // tick is one monitoring epoch.
 func (p *IPS) tick(time.Duration) {
 	for _, st := range p.services {
+		if st.svc.Node().Machine() == nil {
+			// The service's VM was destroyed by a fault; there is nothing
+			// left to observe or protect.
+			continue
+		}
 		p.observe(st)
 		if st.svc.SLAViolated() {
 			st.streak++
@@ -445,6 +450,10 @@ func (p *IPS) maybeResume() {
 	for _, vm := range paused {
 		svcName := p.paused[vm]
 		pm := vm.Machine()
+		if pm == nil {
+			delete(p.paused, vm) // destroyed while paused; nothing to resume
+			continue
+		}
 		if bo := p.backoff[pm]; bo != nil && p.engine.Now() < bo.until {
 			continue
 		}

@@ -86,11 +86,12 @@ type FileSystem struct {
 
 	// Cached metric handles; nil (a no-op) until SetTrace installs a
 	// registry.
-	mReadNodeLocal  *trace.Counter
-	mReadHostLocal  *trace.Counter
-	mReadRemote     *trace.Counter
-	mReReplications *trace.Counter
-	mBlocksLost     *trace.Counter
+	mReadNodeLocal     *trace.Counter
+	mReadHostLocal     *trace.Counter
+	mReadRemote        *trace.Counter
+	mReReplications    *trace.Counter
+	mBlocksLost        *trace.Counter
+	mReplicasCorrupted *trace.Counter
 }
 
 // New creates an empty filesystem on the given engine.
@@ -116,6 +117,7 @@ func (fs *FileSystem) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	fs.mReadRemote = reg.Counter("dfs.reads.remote")
 	fs.mReReplications = reg.Counter("dfs.blocks.rereplicated")
 	fs.mBlocksLost = reg.Counter("dfs.blocks.lost")
+	fs.mReplicasCorrupted = reg.Counter("dfs.replicas.corrupted")
 }
 
 // CountRead records a block read at the given locality in the metrics
@@ -332,34 +334,149 @@ func (fs *FileSystem) HandleNodeFailures(nodes []cluster.Node) FailureReport {
 				fs.mBlocksLost.Inc()
 				continue
 			}
-			if len(fs.datanodes) <= len(b.Replicas) {
-				continue // nowhere new to copy
+			for len(b.Replicas) < fs.TargetReplication() && fs.repairBlock(b) {
+				report.ReReplicated++
 			}
-			target := fs.pickNewReplica(b)
-			if target == nil {
-				continue
-			}
-			b.Replicas = append(b.Replicas, target)
-			target.blocks[b.ID] = struct{}{}
-			target.usedMB += b.SizeMB
-			report.ReReplicated++
-			fs.mReReplications.Inc()
-			if fs.tracer != nil {
-				fs.tracer.Instant(target.node.Name(), "dfs", "re-replicate",
-					trace.S("block", b.ID),
-					trace.F("size_mb", b.SizeMB))
-			}
-			// Background copy: disk+net load on the new holder for the
-			// block's transfer, best effort.
-			copyRate := 20.0
-			_ = target.node.Start(&cluster.Consumer{
-				Name:   fmt.Sprintf("dfs-rereplicate:%s@%s", b.ID, target.node.Name()),
-				Demand: resourceVectorForCopy(copyRate),
-				Work:   b.SizeMB / copyRate,
-			})
 		}
 	}
 	return report
+}
+
+// repairBlock copies one surviving replica of an under-replicated block
+// to a new DataNode, charging best-effort background copy traffic to the
+// new holder as the NameNode's re-replication queue would. It returns
+// false when no eligible target exists (or the block has no live replica
+// to copy from).
+func (fs *FileSystem) repairBlock(b *Block) bool {
+	if len(b.Replicas) == 0 || len(fs.datanodes) <= len(b.Replicas) {
+		return false
+	}
+	target := fs.pickNewReplica(b)
+	if target == nil {
+		return false
+	}
+	b.Replicas = append(b.Replicas, target)
+	target.blocks[b.ID] = struct{}{}
+	target.usedMB += b.SizeMB
+	fs.mReReplications.Inc()
+	if fs.tracer != nil {
+		fs.tracer.Instant(target.node.Name(), "dfs", "re-replicate",
+			trace.S("block", b.ID),
+			trace.F("size_mb", b.SizeMB))
+	}
+	// Background copy: disk+net load on the new holder for the block's
+	// transfer, best effort.
+	copyRate := 20.0
+	_ = target.node.Start(&cluster.Consumer{
+		Name:   fmt.Sprintf("dfs-rereplicate:%s@%s", b.ID, target.node.Name()),
+		Demand: resourceVectorForCopy(copyRate),
+		Work:   b.SizeMB / copyRate,
+	})
+	return true
+}
+
+// TargetReplication is the replication factor the namespace can actually
+// sustain: the configured factor, bounded by the number of live
+// DataNodes.
+func (fs *FileSystem) TargetReplication() int {
+	if n := len(fs.datanodes); n < fs.cfg.Replication {
+		return n
+	}
+	return fs.cfg.Replication
+}
+
+// Files returns the namespace in name order.
+func (fs *FileSystem) Files() []*File {
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*File, 0, len(names))
+	for _, name := range names {
+		out = append(out, fs.files[name])
+	}
+	return out
+}
+
+// UnderReplicated counts live blocks (at least one replica) below the
+// target replication.
+func (fs *FileSystem) UnderReplicated() int {
+	n := 0
+	target := fs.TargetReplication()
+	for _, f := range fs.files {
+		for _, b := range f.Blocks {
+			if len(b.Replicas) > 0 && len(b.Replicas) < target {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// LostBlocks counts blocks with no surviving replica.
+func (fs *FileSystem) LostBlocks() int {
+	n := 0
+	for _, f := range fs.files {
+		for _, b := range f.Blocks {
+			if len(b.Replicas) == 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RepairUnderReplicated sweeps the namespace and re-replicates every
+// live block below target replication, returning the number of copies
+// made. Callers run it after capacity returns (a repaired PM brings its
+// DataNodes back) to converge the namespace.
+func (fs *FileSystem) RepairUnderReplicated() int {
+	copies := 0
+	for _, f := range fs.Files() { // name order keeps rng draws deterministic
+		for _, b := range f.Blocks {
+			if len(b.Replicas) == 0 {
+				continue
+			}
+			for len(b.Replicas) < fs.TargetReplication() && fs.repairBlock(b) {
+				copies++
+			}
+		}
+	}
+	return copies
+}
+
+// CorruptReplica destroys one replica of a block — a checksum failure on
+// d's disk. If other replicas survive, the block is immediately
+// re-replicated; if it was the last copy, the block is lost and the
+// return value is true.
+func (fs *FileSystem) CorruptReplica(b *Block, d *DataNode) (lost bool) {
+	found := false
+	for i, r := range b.Replicas {
+		if r == d {
+			b.Replicas = append(b.Replicas[:i], b.Replicas[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	delete(d.blocks, b.ID)
+	d.usedMB -= b.SizeMB
+	fs.mReplicasCorrupted.Inc()
+	if fs.tracer != nil {
+		fs.tracer.Instant(d.node.Name(), "dfs", "replica-corrupted",
+			trace.S("block", b.ID),
+			trace.F("survivors", float64(len(b.Replicas))))
+	}
+	if len(b.Replicas) == 0 {
+		fs.mBlocksLost.Inc()
+		return true
+	}
+	for len(b.Replicas) < fs.TargetReplication() && fs.repairBlock(b) {
+	}
+	return false
 }
 
 // pickNewReplica chooses a surviving DataNode not already holding the

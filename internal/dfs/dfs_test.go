@@ -374,3 +374,68 @@ func TestTotalReplicaLossReported(t *testing.T) {
 		t.Errorf("Lost = %d, want 1", report.Lost)
 	}
 }
+
+func TestReReplicationAndConcurrentReadSurviveNodeFailure(t *testing.T) {
+	// S4: a node holding replicas dies mid-read. The in-flight read must
+	// finish from the surviving replicas, and repair must bring every
+	// block back to target replication without using the dead node.
+	engine, c, fs, nodes := testFS(t, 6, 0)
+	if _, err := fs.CreateFile("/live", 64*10, nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	var stats *TransferStats
+	if err := fs.Read("/live", nodes[5], ReadOptions{}, func(s TransferStats) { stats = &s }); err != nil {
+		t.Fatal(err)
+	}
+	failed := c.PMs()[0] // the writer: first replica of every block
+	engine.AfterSeconds(2, func() {
+		_ = failed.Fail()
+		report := fs.HandleNodeFailure(failed)
+		if report.Lost != 0 {
+			t.Errorf("lost %d blocks despite a surviving replica each", report.Lost)
+		}
+		if report.ReReplicated == 0 {
+			t.Error("no re-replication after losing the writer's DataNode")
+		}
+	})
+	engine.Run()
+	if stats == nil {
+		t.Fatal("concurrent read never completed after the holder failure")
+	}
+	if got := fs.UnderReplicated(); got != 0 {
+		t.Errorf("%d blocks still under-replicated after repair", got)
+	}
+	f, _ := fs.File("/live")
+	for i, b := range f.Blocks {
+		if len(b.Replicas) != fs.TargetReplication() {
+			t.Errorf("block %d has %d replicas, want %d", i, len(b.Replicas), fs.TargetReplication())
+		}
+		for _, r := range b.Replicas {
+			if r.Node().Machine() == failed {
+				t.Errorf("block %d repaired onto the failed machine", i)
+			}
+		}
+	}
+}
+
+func TestReadFailsCleanlyWhenAllReplicasGone(t *testing.T) {
+	engine := sim.New()
+	c := cluster.New(engine, cluster.DefaultConfig(), 9)
+	pms := c.AddPMs("pm", 3)
+	fs := New(engine, Config{Replication: 1}, 9)
+	for _, pm := range pms {
+		fs.AddDataNode(pm)
+	}
+	if _, err := fs.CreateFile("/fragile", 64, pms[0]); err != nil {
+		t.Fatal(err)
+	}
+	if report := fs.HandleNodeFailure(pms[0]); report.Lost != 1 {
+		t.Fatalf("Lost = %d, want 1", report.Lost)
+	}
+	if err := fs.Read("/fragile", pms[1], ReadOptions{}, nil); err == nil {
+		t.Error("reading a file with a fully-lost block succeeded")
+	}
+	if got := fs.LostBlocks(); got != 1 {
+		t.Errorf("LostBlocks = %d, want 1", got)
+	}
+}

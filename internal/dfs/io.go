@@ -52,6 +52,11 @@ func (fs *FileSystem) Read(name string, reader cluster.Node, opts ReadOptions, o
 	if reader == nil {
 		return fmt.Errorf("dfs: read %q: nil reader", name)
 	}
+	for _, b := range f.Blocks {
+		if len(b.Replicas) == 0 {
+			return fmt.Errorf("dfs: read %q: block %s has no live replicas", name, b.ID)
+		}
+	}
 	opts = opts.withDefaults()
 	nodeLocal, hostLocal, remote, err := fs.LocalityFractions(name, reader)
 	if err != nil {

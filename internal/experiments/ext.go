@@ -24,6 +24,7 @@ func Extensions() []Experiment {
 	return []Experiment{
 		{"ext-iterative", "Future work: Twister-style iterative and Spark-style in-memory MapReduce", ExtIterative},
 		{"ext-stream", "Poisson job-arrival stream: vanilla Hadoop vs HybridMR on a hybrid fleet", ExtStream},
+		{"ext-faults", "Fault tolerance: Sort JCT vs machine-crash rate, native vs virtualized", ExtFaults},
 		{"abl-speculation", "Ablation: speculative execution on a straggling node", AblSpeculation},
 		{"abl-capacity", "Ablation: capacity-aware in-cluster placement", AblCapacity},
 		{"abl-deferral", "Ablation: DRM memory deferral vs proportional paging", AblDeferral},

@@ -1,0 +1,529 @@
+// Package fault is a seed-deterministic fault injector for the simulated
+// data center. Driven entirely by the simulation engine's virtual clock
+// (never the wall clock), it crashes and repairs physical machines,
+// crashes individual VMs, wedges TaskTracker daemons, corrupts DFS block
+// replicas, and injects stragglers (per-machine slowdowns) — either from
+// a declarative schedule or from a rate-based chaos profile whose event
+// times are drawn from seeded exponential interarrivals. Same seed, same
+// faults, same trace bytes: the repeatability that CloudSim-style
+// simulators demand of failure scenarios.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Kind names a fault class. The string values double as the tokens of
+// the -faults command-line syntax.
+type Kind string
+
+// Fault kinds.
+const (
+	PMCrash     Kind = "pm-crash"
+	PMRepair    Kind = "pm-repair"
+	VMCrash     Kind = "vm-crash"
+	TrackerHang Kind = "tracker-hang"
+	BlockLoss   Kind = "block-loss"
+	Straggler   Kind = "straggler"
+)
+
+// kinds lists the profile-driven kinds in a fixed order; each gets its
+// own derived rng stream so changing one rate cannot shift another
+// kind's event times.
+var profileKinds = [...]Kind{PMCrash, VMCrash, TrackerHang, BlockLoss, Straggler}
+
+// ScheduledFault is one declarative injection: at simulation time At,
+// inject Kind against Target (a PM, VM or tracker-compute-node name;
+// unused for BlockLoss). Duration bounds transient faults (hangs,
+// stragglers) and Factor is the straggler slowdown.
+type ScheduledFault struct {
+	At       time.Duration
+	Kind     Kind
+	Target   string
+	Duration time.Duration
+	Factor   float64
+}
+
+// Profile is a rate-based chaos description: Poisson arrivals per kind,
+// up to Horizon. Zero rates inject nothing of that kind.
+type Profile struct {
+	// PMCrashPerHour is the rate of whole-machine crashes. Crashed PMs
+	// are repaired (powered back on) RepairAfter later.
+	PMCrashPerHour float64
+	// VMCrashPerHour is the rate of single-VM crashes (guest panics).
+	VMCrashPerHour float64
+	// TrackerHangPerHour is the rate of transient TaskTracker daemon
+	// hangs, each lasting HangDuration.
+	TrackerHangPerHour float64
+	// BlockLossPerHour is the rate of DFS replica corruption events.
+	BlockLossPerHour float64
+	// StragglerPerHour is the rate of injected stragglers: a machine
+	// runs StragglerFactor times slower for StragglerDuration.
+	StragglerPerHour float64
+
+	// RepairAfter is the crash-to-repair delay for PM crashes
+	// (default 120 s). Zero or negative disables repair.
+	RepairAfter time.Duration
+	// HangDuration is how long a hung tracker stays wedged (default 45 s).
+	HangDuration time.Duration
+	// StragglerDuration is how long an injected slowdown lasts
+	// (default 60 s).
+	StragglerDuration time.Duration
+	// StragglerFactor is the injected slowdown (default 3.0).
+	StragglerFactor float64
+	// Horizon bounds chaos generation (default 1 h of simulated time).
+	Horizon time.Duration
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.RepairAfter == 0 {
+		p.RepairAfter = 120 * time.Second
+	}
+	if p.HangDuration <= 0 {
+		p.HangDuration = 45 * time.Second
+	}
+	if p.StragglerDuration <= 0 {
+		p.StragglerDuration = 60 * time.Second
+	}
+	if p.StragglerFactor <= 1 {
+		p.StragglerFactor = 3
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = time.Hour
+	}
+	return p
+}
+
+// Options configures an Injector.
+type Options struct {
+	// Seed fixes every randomized choice (targets and arrival times).
+	Seed int64
+	// Schedule lists declarative injections, fired exactly as written.
+	Schedule []ScheduledFault
+	// Profile, when non-nil, adds rate-based chaos on top.
+	Profile *Profile
+}
+
+// Env is the injector's view of the stack. Multiple filesystems and
+// jobtrackers (the hybrid rig's native and virtual partitions) all learn
+// about every machine loss.
+type Env struct {
+	Engine  *sim.Engine
+	Cluster *cluster.Cluster
+	FSs     []*dfs.FileSystem
+	JTs     []*mapred.JobTracker
+}
+
+// Injector schedules and applies faults. Its manual methods (CrashPM,
+// CrashVM, ...) are also the single place that propagates a failure
+// through every layer in the right order, so tests and scenarios use
+// them directly.
+type Injector struct {
+	env    Env
+	opts   Options
+	armed  bool
+	tracer *trace.Tracer
+	reg    *trace.Registry
+	byKind map[Kind]int
+}
+
+// NewInjector builds an injector over the environment. Nothing fires
+// until Arm.
+func NewInjector(env Env, opts Options) *Injector {
+	return &Injector{env: env, opts: opts, byKind: make(map[Kind]int)}
+}
+
+// SetTrace installs a tracer and metrics registry. Either may be nil.
+func (in *Injector) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
+	in.tracer = tr
+	in.reg = reg
+}
+
+// Injections returns how many faults of each kind have fired so far.
+func (in *Injector) Injections() map[Kind]int {
+	out := make(map[Kind]int, len(in.byKind))
+	for k, v := range in.byKind {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary formats the injection counts in a fixed kind order.
+func (in *Injector) Summary() string {
+	keys := make([]string, 0, len(in.byKind))
+	for k := range in.byKind {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, in.byKind[Kind(k)])
+	}
+	if s == "" {
+		s = "none"
+	}
+	return s
+}
+
+func (in *Injector) record(kind Kind, target string, args ...trace.Arg) {
+	in.byKind[kind]++
+	in.reg.Counter("fault." + string(kind)).Inc()
+	if in.tracer != nil {
+		all := append([]trace.Arg{trace.S("target", target)}, args...)
+		in.tracer.Instant("fault", "fault", string(kind), all...)
+	}
+}
+
+// Arm schedules the declarative schedule and, when a profile is set,
+// pre-draws the chaos arrival times onto the engine. Arm is idempotent.
+func (in *Injector) Arm() error {
+	if in.armed {
+		return nil
+	}
+	in.armed = true
+	for _, f := range in.opts.Schedule {
+		f := f
+		if f.At < in.env.Engine.Now() {
+			return fmt.Errorf("fault: scheduled %s at %s is in the past", f.Kind, f.At)
+		}
+		in.env.Engine.At(f.At, func() { in.fireScheduled(f) })
+	}
+	if in.opts.Profile != nil {
+		in.armChaos(*in.opts.Profile)
+	}
+	return nil
+}
+
+// fireScheduled applies one declarative injection, resolving the target
+// by name at fire time (the named machine may already be gone; the
+// injection is then a no-op).
+func (in *Injector) fireScheduled(f ScheduledFault) {
+	switch f.Kind {
+	case PMCrash:
+		if pm := in.findPM(f.Target); pm != nil {
+			in.CrashPM(pm)
+		}
+	case PMRepair:
+		if pm := in.findPM(f.Target); pm != nil {
+			in.RepairPM(pm)
+		}
+	case VMCrash:
+		if vm := in.findVM(f.Target); vm != nil {
+			in.CrashVM(vm)
+		}
+	case TrackerHang:
+		if tr := in.findTracker(f.Target); tr != nil {
+			d := f.Duration
+			if d <= 0 {
+				d = 45 * time.Second
+			}
+			in.HangTracker(tr, d)
+		}
+	case BlockLoss:
+		// The declarative form corrupts the first corruptible replica,
+		// deterministically.
+		in.loseReplica(nil)
+	case Straggler:
+		if pm := in.findPM(f.Target); pm != nil {
+			factor := f.Factor
+			if factor <= 1 {
+				factor = 3
+			}
+			d := f.Duration
+			if d <= 0 {
+				d = 60 * time.Second
+			}
+			in.SlowPM(pm, factor, d)
+		}
+	}
+}
+
+// armChaos pre-draws per-kind Poisson arrivals up to the horizon. Each
+// kind owns an independent rng stream (seed + fixed offset), used both
+// for its arrival times here and for its target choices at fire time;
+// the engine's deterministic event order keeps the draw sequence stable.
+func (in *Injector) armChaos(p Profile) {
+	p = p.withDefaults()
+	start := in.env.Engine.Now()
+	for i, kind := range profileKinds {
+		rate := 0.0
+		switch kind {
+		case PMCrash:
+			rate = p.PMCrashPerHour
+		case VMCrash:
+			rate = p.VMCrashPerHour
+		case TrackerHang:
+			rate = p.TrackerHangPerHour
+		case BlockLoss:
+			rate = p.BlockLossPerHour
+		case Straggler:
+			rate = p.StragglerPerHour
+		}
+		if rate <= 0 {
+			continue
+		}
+		kind := kind
+		rng := rand.New(rand.NewSource(in.opts.Seed + int64(i)*7919))
+		at := time.Duration(0)
+		for {
+			gapHours := -math.Log(1-rng.Float64()) / rate
+			at += time.Duration(gapHours * float64(time.Hour))
+			if at > p.Horizon {
+				break
+			}
+			in.env.Engine.At(start+at, func() { in.fireChaos(kind, p, rng) })
+		}
+	}
+}
+
+// fireChaos applies one profile-driven injection against a target drawn
+// from the kind's rng.
+func (in *Injector) fireChaos(kind Kind, p Profile, rng *rand.Rand) {
+	switch kind {
+	case PMCrash:
+		// Never take the last machine: a cluster with nothing left is a
+		// different experiment.
+		candidates := in.livePMs()
+		if len(candidates) <= 1 {
+			return
+		}
+		pm := candidates[rng.Intn(len(candidates))]
+		in.CrashPM(pm)
+		if p.RepairAfter > 0 {
+			in.env.Engine.After(p.RepairAfter, func() { in.RepairPM(pm) })
+		}
+	case VMCrash:
+		candidates := in.liveVMs()
+		if len(candidates) <= 2 {
+			return // keep a quorum of workers alive
+		}
+		in.CrashVM(candidates[rng.Intn(len(candidates))])
+	case TrackerHang:
+		var candidates []*mapred.TaskTracker
+		for _, jt := range in.env.JTs {
+			for _, tr := range jt.Trackers() {
+				if !tr.Lost() && !tr.Hung() {
+					candidates = append(candidates, tr)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			return
+		}
+		in.HangTracker(candidates[rng.Intn(len(candidates))], p.HangDuration)
+	case BlockLoss:
+		in.loseReplica(rng)
+	case Straggler:
+		candidates := in.livePMs()
+		if len(candidates) == 0 {
+			return
+		}
+		in.SlowPM(candidates[rng.Intn(len(candidates))], p.StragglerFactor, p.StragglerDuration)
+	}
+}
+
+// CrashPM fails a physical machine and propagates the loss through every
+// layer in the order recovery requires: jobtrackers first (so re-queued
+// tasks cannot land back on the dying machine), then the cluster failure
+// itself (killing consumers and destroying VMs, aborting in-flight
+// migrations), then the filesystems (pruning dead DataNodes and
+// re-replicating what they held). Crashing an already-failed machine is
+// a no-op. Returns the merged DFS damage report.
+func (in *Injector) CrashPM(pm *cluster.PM) dfs.FailureReport {
+	if pm == nil || pm.Failed() {
+		return dfs.FailureReport{}
+	}
+	in.record(PMCrash, pm.Name())
+	for _, jt := range in.env.JTs {
+		jt.HandleMachineFailure(pm)
+	}
+	before := in.env.Cluster.VMs()
+	_ = pm.Fail()
+	// Everything that lost its host — the PM's resident VMs plus any VM
+	// caught mid-stop-and-copy migrating away from it — goes to the
+	// filesystems as one batch, so no doomed node is picked as a
+	// re-replication target.
+	affected := []cluster.Node{pm}
+	for _, vm := range before {
+		if vm.Machine() == nil {
+			affected = append(affected, vm)
+		}
+	}
+	var report dfs.FailureReport
+	for _, fs := range in.env.FSs {
+		r := fs.HandleNodeFailures(affected)
+		report.ReReplicated += r.ReReplicated
+		report.Lost += r.Lost
+	}
+	return report
+}
+
+// RepairPM powers a failed machine back on. Destroyed VMs stay gone, but
+// native trackers on the machine become responsive again (the JobTracker
+// health checker restores them once any blacklist hold-off expires) and
+// their storage rejoins the DFS as an empty DataNode. Every filesystem
+// then re-replicates toward target replication onto the recovered
+// capacity. Returns the number of repair copies made.
+func (in *Injector) RepairPM(pm *cluster.PM) int {
+	if pm == nil || !pm.Failed() {
+		return 0
+	}
+	pm.PowerOn()
+	in.record(PMRepair, pm.Name())
+	for _, jt := range in.env.JTs {
+		for _, tr := range jt.Trackers() {
+			if sp, ok := tr.Storage.(*cluster.PM); ok && sp == pm {
+				jt.FS().AddDataNode(pm)
+			}
+		}
+	}
+	copies := 0
+	for _, fs := range in.env.FSs {
+		copies += fs.RepairUnderReplicated()
+	}
+	return copies
+}
+
+// CrashVM fails one VM (guest panic): its trackers are declared lost,
+// the VM dies with its consumers, and the filesystems prune and repair
+// its DataNode. A destroyed VM is a no-op.
+func (in *Injector) CrashVM(vm *cluster.VM) dfs.FailureReport {
+	if vm == nil || vm.Machine() == nil {
+		return dfs.FailureReport{}
+	}
+	in.record(VMCrash, vm.Name())
+	for _, jt := range in.env.JTs {
+		jt.HandleNodeLost(vm)
+	}
+	_ = vm.Fail()
+	var report dfs.FailureReport
+	for _, fs := range in.env.FSs {
+		r := fs.HandleNodeFailure(vm)
+		report.ReReplicated += r.ReReplicated
+		report.Lost += r.Lost
+	}
+	return report
+}
+
+// HangTracker wedges a TaskTracker daemon for the duration. The
+// JobTracker's heartbeat timeout declares it lost and re-executes its
+// work; when the hang clears, the tracker heartbeats again and rejoins
+// after any blacklist hold-off.
+func (in *Injector) HangTracker(tr *mapred.TaskTracker, d time.Duration) {
+	if tr == nil || tr.Hung() {
+		return
+	}
+	in.record(TrackerHang, tr.Compute.Name(), trace.F("duration_sec", d.Seconds()))
+	tr.SetHung(true)
+	in.env.Engine.After(d, func() { tr.SetHung(false) })
+}
+
+// SlowPM injects a straggler: the machine runs factor times slower for
+// the duration, then recovers (unless a later injection changed the
+// factor meanwhile).
+func (in *Injector) SlowPM(pm *cluster.PM, factor float64, d time.Duration) {
+	if pm == nil || pm.Failed() || factor <= 1 {
+		return
+	}
+	in.record(Straggler, pm.Name(),
+		trace.F("factor", factor), trace.F("duration_sec", d.Seconds()))
+	pm.SetSlowdown(factor)
+	in.env.Engine.After(d, func() {
+		if pm.Slowdown() == factor {
+			pm.SetSlowdown(1)
+		}
+	})
+}
+
+// loseReplica corrupts one block replica. With an rng the victim is a
+// seeded uniform choice over every (block, replica) pair; without one
+// (the declarative form) it is the first pair in file/block order.
+func (in *Injector) loseReplica(rng *rand.Rand) {
+	type victim struct {
+		fs *dfs.FileSystem
+		b  *dfs.Block
+	}
+	var victims []victim
+	for _, fs := range in.env.FSs {
+		for _, f := range fs.Files() {
+			for _, b := range f.Blocks {
+				if len(b.Replicas) > 0 {
+					victims = append(victims, victim{fs, b})
+				}
+			}
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	idx, ridx := 0, 0
+	if rng != nil {
+		idx = rng.Intn(len(victims))
+		ridx = rng.Intn(len(victims[idx].b.Replicas))
+	}
+	v := victims[idx]
+	in.record(BlockLoss, v.b.ID)
+	v.fs.CorruptReplica(v.b, v.b.Replicas[ridx])
+}
+
+func (in *Injector) livePMs() []*cluster.PM {
+	var out []*cluster.PM
+	for _, pm := range in.env.Cluster.PMs() {
+		if !pm.Failed() {
+			out = append(out, pm)
+		}
+	}
+	return out
+}
+
+func (in *Injector) liveVMs() []*cluster.VM {
+	var out []*cluster.VM
+	for _, vm := range in.env.Cluster.VMs() {
+		if vm.Machine() != nil {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+func (in *Injector) findPM(name string) *cluster.PM {
+	for _, pm := range in.env.Cluster.PMs() {
+		if pm.Name() == name {
+			return pm
+		}
+	}
+	return nil
+}
+
+func (in *Injector) findVM(name string) *cluster.VM {
+	for _, vm := range in.env.Cluster.VMs() {
+		if vm.Name() == name {
+			return vm
+		}
+	}
+	return nil
+}
+
+func (in *Injector) findTracker(name string) *mapred.TaskTracker {
+	for _, jt := range in.env.JTs {
+		for _, tr := range jt.Trackers() {
+			if tr.Compute.Name() == name {
+				return tr
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseProfile parses the -faults command-line syntax: a comma-separated
+// list of key=value pairs. Rate keys (events per simulated hour) are the
+// fault-kind names — pm-crash, vm-crash, tracker-hang, block-loss,
+// straggler — and the tuning keys are repair-sec, hang-sec,
+// straggler-sec, straggler-factor and horizon-min. Example:
+//
+//	pm-crash=2,vm-crash=4,block-loss=6,horizon-min=30
+func ParseProfile(spec string) (*Profile, error) {
+	p := &Profile{}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: parse %q: want key=value", tok)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: parse %q: %w", tok, err)
+		}
+		switch strings.TrimSpace(key) {
+		case string(PMCrash):
+			p.PMCrashPerHour = f
+		case string(VMCrash):
+			p.VMCrashPerHour = f
+		case string(TrackerHang):
+			p.TrackerHangPerHour = f
+		case string(BlockLoss):
+			p.BlockLossPerHour = f
+		case string(Straggler):
+			p.StragglerPerHour = f
+		case "repair-sec":
+			p.RepairAfter = time.Duration(f * float64(time.Second))
+		case "hang-sec":
+			p.HangDuration = time.Duration(f * float64(time.Second))
+		case "straggler-sec":
+			p.StragglerDuration = time.Duration(f * float64(time.Second))
+		case "straggler-factor":
+			p.StragglerFactor = f
+		case "horizon-min":
+			p.Horizon = time.Duration(f * float64(time.Minute))
+		default:
+			return nil, fmt.Errorf("fault: unknown key %q (kinds: pm-crash, vm-crash, tracker-hang, block-loss, straggler; tuning: repair-sec, hang-sec, straggler-sec, straggler-factor, horizon-min)", key)
+		}
+	}
+	return p, nil
+}

@@ -254,6 +254,30 @@ func (j *Job) recordMapOutput(t *Task, tr *TaskTracker) {
 	if j.Spec.FixedMapWork > 0 {
 		out = 1 // trivial intermediate data
 	}
-	j.mapOutputMB[tr.Compute.Machine()] += out
+	pm := tr.Compute.Machine()
+	j.mapOutputMB[pm] += out
 	j.totalOutput += out
+	t.outputTracker = tr
+	t.outputPM = pm
+	t.outputMB = out
+}
+
+// uncountMapOutput reverses recordMapOutput when a completed map's
+// output node is lost and the task returns to the pending queue.
+func (j *Job) uncountMapOutput(t *Task) {
+	if t.outputTracker == nil {
+		return
+	}
+	if v := j.mapOutputMB[t.outputPM] - t.outputMB; v > 1e-9 {
+		j.mapOutputMB[t.outputPM] = v
+	} else {
+		delete(j.mapOutputMB, t.outputPM)
+	}
+	j.totalOutput -= t.outputMB
+	if j.totalOutput < 0 {
+		j.totalOutput = 0
+	}
+	t.outputTracker = nil
+	t.outputPM = nil
+	t.outputMB = 0
 }

@@ -2,6 +2,7 @@ package mapred
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -40,6 +41,21 @@ type Config struct {
 	// Hadoop (the baseline configurations) visits trackers in fixed
 	// heartbeat order.
 	CapacityAware bool
+
+	// HeartbeatInterval is how often the JobTracker checks tracker
+	// liveness (default 3 s, Hadoop's heartbeat period).
+	HeartbeatInterval time.Duration
+	// TrackerTimeout is how long a tracker may miss heartbeats before it
+	// is declared lost and its work re-executed (default 30 s; Hadoop's
+	// default was 10 min, scaled down to the simulation's job sizes).
+	TrackerTimeout time.Duration
+	// TrackerFailureLimit is the failure count at which a tracker is
+	// blacklisted with exponential backoff instead of rejoining as soon
+	// as it responds again (default 3).
+	TrackerFailureLimit int
+	// BlacklistBackoff is the initial blacklist hold-off; it doubles
+	// with each failure beyond the limit (default 60 s).
+	BlacklistBackoff time.Duration
 }
 
 // SlotCapPolicy fixes each task's resource cap as a fraction of its
@@ -76,6 +92,18 @@ func (c Config) withDefaults() Config {
 	if c.SpeculationSlowdown <= 0 {
 		c.SpeculationSlowdown = 0.5
 	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 3 * time.Second
+	}
+	if c.TrackerTimeout <= 0 {
+		c.TrackerTimeout = 30 * time.Second
+	}
+	if c.TrackerFailureLimit <= 0 {
+		c.TrackerFailureLimit = 3
+	}
+	if c.BlacklistBackoff <= 0 {
+		c.BlacklistBackoff = 60 * time.Second
+	}
 	return c
 }
 
@@ -93,6 +121,23 @@ type TaskTracker struct {
 	mapRunning  int
 	redsRunning int
 	disabled    bool
+
+	// hung simulates a wedged TaskTracker daemon: tasks may keep
+	// running, but heartbeats stop and the JobTracker eventually
+	// declares the tracker lost.
+	hung bool
+	// lost marks a tracker the JobTracker has declared dead (heartbeat
+	// timeout or machine failure). Lost trackers receive no work until
+	// the health checker restores them.
+	lost bool
+	// lastSeen is the last simulation time the tracker heartbeated.
+	lastSeen time.Duration
+	// failures counts how many times this tracker has been declared
+	// lost; at TrackerFailureLimit it starts getting blacklisted.
+	failures int
+	// blacklistUntil is the earliest time a responsive tracker may
+	// rejoin after being lost.
+	blacklistUntil time.Duration
 }
 
 // SetDisabled excludes the tracker from task assignment (the IPS
@@ -108,6 +153,45 @@ func (tr *TaskTracker) SetDisabled(disabled bool) {
 // Disabled reports whether the tracker is blacklisted.
 func (tr *TaskTracker) Disabled() bool { return tr.disabled }
 
+// SetHung wedges (or unwedges) the tracker daemon: a hung tracker stops
+// heartbeating and is eventually declared lost, exactly like a real
+// TaskTracker JVM stuck in GC. The fault injector drives this.
+func (tr *TaskTracker) SetHung(hung bool) {
+	if tr.hung == hung {
+		return
+	}
+	tr.hung = hung
+	if jt := tr.jt; jt.tracer != nil {
+		name := "tracker-hung"
+		if !hung {
+			name = "tracker-recovered"
+		}
+		jt.tracer.Instant(tr.Compute.Name(), "mapred", name)
+	}
+}
+
+// Hung reports whether the tracker daemon is wedged.
+func (tr *TaskTracker) Hung() bool { return tr.hung }
+
+// Lost reports whether the JobTracker has declared this tracker dead.
+func (tr *TaskTracker) Lost() bool { return tr.lost }
+
+// Failures returns how many times the tracker has been declared lost.
+func (tr *TaskTracker) Failures() int { return tr.failures }
+
+// responsive reports whether the tracker could heartbeat right now: its
+// daemon is not hung and both of its nodes still sit on live machines.
+func (tr *TaskTracker) responsive() bool {
+	if tr.hung {
+		return false
+	}
+	cm, sm := tr.Compute.Machine(), tr.Storage.Machine()
+	if cm == nil || sm == nil {
+		return false
+	}
+	return !cm.Failed() && !sm.Failed()
+}
+
 func (tr *TaskTracker) split() bool { return tr.Compute != tr.Storage }
 
 // FreeSlots returns the tracker's free slots of the kind.
@@ -121,14 +205,15 @@ func (tr *TaskTracker) FreeSlots(kind TaskKind) int {
 // JobTracker owns the job queue, slot scheduling, the map→reduce barrier
 // and speculative execution.
 type JobTracker struct {
-	engine   *sim.Engine
-	fs       *dfs.FileSystem
-	cfg      Config
-	sched    Scheduler
-	trackers []*TaskTracker
-	jobs     []*Job
-	nextID   int
-	specTick *sim.Ticker
+	engine     *sim.Engine
+	fs         *dfs.FileSystem
+	cfg        Config
+	sched      Scheduler
+	trackers   []*TaskTracker
+	jobs       []*Job
+	nextID     int
+	specTick   *sim.Ticker
+	healthTick *sim.Ticker
 	// attempts holds every running attempt for DRM/IPS introspection.
 	attempts map[*Attempt]struct{}
 
@@ -137,12 +222,16 @@ type JobTracker struct {
 
 	// Cached metric handles; nil (a no-op) until SetTrace installs a
 	// registry.
-	mSlotWait        *trace.Histogram
-	mAttemptDuration *trace.Histogram
-	mSpeculative     *trace.Counter
-	mKilled          *trace.Counter
-	mRelocations     *trace.Counter
-	mJobsCompleted   *trace.Counter
+	mSlotWait            *trace.Histogram
+	mAttemptDuration     *trace.Histogram
+	mSpeculative         *trace.Counter
+	mKilled              *trace.Counter
+	mRelocations         *trace.Counter
+	mJobsCompleted       *trace.Counter
+	mTrackersLost        *trace.Counter
+	mTrackersRestored    *trace.Counter
+	mTrackersBlacklisted *trace.Counter
+	mMapsReexecuted      *trace.Counter
 }
 
 // NewJobTracker creates a framework instance over the given DFS. A nil
@@ -168,7 +257,10 @@ func (jt *JobTracker) ensureSpecTicker() {
 		return
 	}
 	jt.specTick = sim.NewTicker(jt.engine, jt.cfg.SpeculationInterval, func(time.Duration) {
-		if len(jt.Jobs()) == 0 {
+		// Park on a drained queue, and also when every worker is
+		// permanently gone — stalled jobs would otherwise keep this
+		// ticker (and simulated time) running forever.
+		if len(jt.Jobs()) == 0 || !jt.anyViableTracker() {
 			jt.specTick.Stop()
 			return
 		}
@@ -187,12 +279,19 @@ func (jt *JobTracker) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	jt.mKilled = reg.Counter("mapred.attempts.killed")
 	jt.mRelocations = reg.Counter("mapred.attempts.relocated")
 	jt.mJobsCompleted = reg.Counter("mapred.jobs.completed")
+	jt.mTrackersLost = reg.Counter("mapred.trackers.lost")
+	jt.mTrackersRestored = reg.Counter("mapred.trackers.restored")
+	jt.mTrackersBlacklisted = reg.Counter("mapred.trackers.blacklisted")
+	jt.mMapsReexecuted = reg.Counter("mapred.maps.reexecuted")
 }
 
-// Close stops the background speculation scanner.
+// Close stops the background speculation and health scanners.
 func (jt *JobTracker) Close() {
 	if jt.specTick != nil {
 		jt.specTick.Stop()
+	}
+	if jt.healthTick != nil {
+		jt.healthTick.Stop()
 	}
 }
 
@@ -213,8 +312,17 @@ func (jt *JobTracker) AddTracker(node cluster.Node) *TaskTracker {
 // DataNode.
 func (jt *JobTracker) AddSplitTracker(compute, storage cluster.Node) *TaskTracker {
 	tr := &TaskTracker{Compute: compute, Storage: storage, jt: jt}
+	tr.lastSeen = jt.engine.Now()
 	jt.fs.AddDataNode(storage)
 	jt.trackers = append(jt.trackers, tr)
+	if len(jt.Jobs()) > 0 {
+		// Capacity added mid-run (e.g. after a fleet-dead park): revive
+		// the failure detector and straggler scanner, and offer the
+		// queue to the new worker.
+		jt.ensureHealthTicker()
+		jt.ensureSpecTicker()
+		jt.schedule()
+	}
 	return tr
 }
 
@@ -313,6 +421,7 @@ func (jt *JobTracker) Submit(spec JobSpec, onComplete func(*Job)) (*Job, error) 
 
 	jt.jobs = append(jt.jobs, job)
 	jt.ensureSpecTicker()
+	jt.ensureHealthTicker()
 	jt.schedule()
 	return job, nil
 }
@@ -332,7 +441,7 @@ func (jt *JobTracker) schedule() {
 	for {
 		assigned := false
 		for _, tr := range ordered {
-			if tr.disabled {
+			if tr.disabled || tr.lost {
 				continue
 			}
 			for _, kind := range [...]TaskKind{MapTask, ReduceTask} {
@@ -362,6 +471,11 @@ func (jt *JobTracker) schedule() {
 // service on the same spindle and cores.
 func trackerPressure(tr *TaskTracker) float64 {
 	pm := tr.Compute.Machine()
+	if pm == nil {
+		// The tracker's VM is gone; infinitely contended keeps it at the
+		// back of every placement order.
+		return math.Inf(1)
+	}
 	cap := pm.Capacity()
 	var p float64
 	add := func(c *cluster.Consumer) {
@@ -388,6 +502,9 @@ func trackerPressure(tr *TaskTracker) float64 {
 
 // launch starts an attempt of task on tracker.
 func (jt *JobTracker) launch(task *Task, tr *TaskTracker, speculative bool) error {
+	if tr.lost {
+		return fmt.Errorf("mapred: launch(%s): tracker %s is lost", task.ID(), tr.Compute.Name())
+	}
 	demand, work, serveDisk := demandAndWork(task, tr)
 	a := &Attempt{
 		Task:        task,
@@ -632,29 +749,42 @@ func (jt *JobTracker) offHostFraction(n cluster.Node) float64 {
 	return float64(off) / float64(len(dns))
 }
 
-// HandleMachineFailure disables every tracker whose compute or storage
-// node lived on the failed machine, returning how many were disabled.
-// Their running attempts have already been killed through the cluster's
-// consumer callbacks and re-queued; disabled trackers simply stop
-// receiving new work.
+// HandleMachineFailure declares lost every tracker whose compute or
+// storage node lived on the failed machine, returning how many were.
+// Running attempts on them are killed and their tasks re-queued,
+// completed map outputs stranded on the machine are re-executed
+// (reducers could no longer fetch them), and the trackers rejoin only
+// if their machine comes back and any blacklist hold-off expires.
 func (jt *JobTracker) HandleMachineFailure(pm *cluster.PM) int {
-	n := 0
+	var affected []*TaskTracker
 	for _, tr := range jt.trackers {
-		if tr.disabled {
+		if tr.lost {
 			continue
 		}
 		cm, sm := tr.Compute.Machine(), tr.Storage.Machine()
 		// A nil machine means the node's VM was already destroyed by the
 		// failure.
 		if cm == pm || sm == pm || cm == nil || sm == nil {
-			tr.disabled = true
-			n++
+			affected = append(affected, tr)
 		}
 	}
-	if n > 0 {
-		jt.schedule()
+	return jt.trackersLost(affected, "machine-failure")
+}
+
+// HandleNodeLost declares lost every tracker using the given node — the
+// VM-crash analogue of HandleMachineFailure.
+func (jt *JobTracker) HandleNodeLost(n cluster.Node) int {
+	var affected []*TaskTracker
+	for _, tr := range jt.trackers {
+		if tr.lost {
+			continue
+		}
+		if tr.Compute == n || tr.Storage == n ||
+			tr.Compute.Machine() == nil || tr.Storage.Machine() == nil {
+			affected = append(affected, tr)
+		}
 	}
-	return n
+	return jt.trackersLost(affected, "node-lost")
 }
 
 // TrackerFor returns the tracker whose compute node is n, if any.
@@ -731,7 +861,7 @@ func (jt *JobTracker) freeTrackerExcluding(exclude *TaskTracker, kind TaskKind) 
 	var best *TaskTracker
 	bestPressure := 0.0
 	for _, tr := range jt.trackers {
-		if tr == exclude || tr.disabled || tr.FreeSlots(kind) <= 0 {
+		if tr == exclude || tr.disabled || tr.lost || tr.FreeSlots(kind) <= 0 {
 			continue
 		}
 		p := trackerPressure(tr)
@@ -743,6 +873,12 @@ func (jt *JobTracker) freeTrackerExcluding(exclude *TaskTracker, kind TaskKind) 
 }
 
 func medianSpeed(attempts []*Attempt) float64 {
+	// Mass re-execution after a failure can empty an attempt list
+	// between grouping and inspection; a zero reference disables
+	// speculation for the scan rather than indexing an empty slice.
+	if len(attempts) == 0 {
+		return 0
+	}
 	speeds := make([]float64, len(attempts))
 	for i, a := range attempts {
 		speeds[i] = a.Speed()

@@ -57,6 +57,14 @@ type Task struct {
 	// the map→reduce barrier, or re-queue after a kill); launch measures
 	// slot wait from it.
 	pendingSince time.Duration
+
+	// outputTracker/outputPM/outputMB record where a completed map's
+	// intermediate output lives (the winning attempt's tracker). Map
+	// output stays on the mapper's local disk in Hadoop, so losing that
+	// node forces the map to re-execute; see reexecuteLostMaps.
+	outputTracker *TaskTracker
+	outputPM      *cluster.PM
+	outputMB      float64
 }
 
 // State returns the task's scheduling state.

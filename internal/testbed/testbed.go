@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dfs"
+	"repro/internal/fault"
 	"repro/internal/mapred"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -52,6 +53,10 @@ type Options struct {
 	// Metrics, when non-nil, receives the rig's counters, gauges and
 	// histograms.
 	Metrics *trace.Registry
+	// Faults, when non-nil, arms the rig's fault injector with the given
+	// schedule and/or chaos profile. A zero Faults.Seed derives one from
+	// the rig seed, so a chaos run is pinned by -seed alone.
+	Faults *fault.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +91,10 @@ type Rig struct {
 	PMs []*cluster.PM
 	// VMs are all provisioned VMs (empty for native rigs).
 	VMs []*cluster.VM
+	// Faults injects failures into the rig; it is always constructed
+	// (manual injection works on any rig) and armed only when
+	// Options.Faults was set.
+	Faults *fault.Injector
 }
 
 // New assembles a rig.
@@ -143,6 +152,28 @@ func New(opts Options) (*Rig, error) {
 			rig.Workers = append(rig.Workers, vm)
 		}
 	}
+
+	faultOpts := fault.Options{Seed: opts.Seed + 2}
+	if opts.Faults != nil {
+		faultOpts = *opts.Faults
+		if faultOpts.Seed == 0 {
+			faultOpts.Seed = opts.Seed + 2
+		}
+	}
+	rig.Faults = fault.NewInjector(fault.Env{
+		Engine:  engine,
+		Cluster: cl,
+		FSs:     []*dfs.FileSystem{fs},
+		JTs:     []*mapred.JobTracker{jt},
+	}, faultOpts)
+	if opts.Tracer != nil || opts.Metrics != nil {
+		rig.Faults.SetTrace(opts.Tracer, opts.Metrics)
+	}
+	if opts.Faults != nil {
+		if err := rig.Faults.Arm(); err != nil {
+			return nil, err
+		}
+	}
 	return rig, nil
 }
 
@@ -167,23 +198,14 @@ func resultOf(j *mapred.Job) JobResult {
 }
 
 // FailPM crashes one of the rig's physical machines and propagates the
-// failure through every layer: trackers on the machine stop receiving
-// work, running attempts are killed (MapReduce re-executes them
-// elsewhere), and the DFS re-replicates the blocks that lost a copy. It
-// returns the DFS damage report.
+// failure through every layer: trackers on the machine are declared
+// lost (MapReduce re-executes their attempts and any stranded map
+// outputs elsewhere), in-flight migrations touching the machine are
+// aborted, and the DFS re-replicates the blocks that lost a copy. It
+// returns the DFS damage report. The error return is always nil and
+// kept for compatibility.
 func (r *Rig) FailPM(pm *cluster.PM) (dfs.FailureReport, error) {
-	// Disable trackers first so re-queued tasks don't land back on the
-	// dying machine, then snapshot the affected storage nodes.
-	r.JT.HandleMachineFailure(pm)
-	affected := make([]cluster.Node, 0, 4)
-	affected = append(affected, pm)
-	for _, vm := range pm.VMs() {
-		affected = append(affected, vm)
-	}
-	if err := pm.Fail(); err != nil {
-		return dfs.FailureReport{}, err
-	}
-	return r.FS.HandleNodeFailures(affected), nil
+	return r.Faults.CrashPM(pm), nil
 }
 
 // RunJob submits a job and drives the simulation until it completes.

@@ -4,7 +4,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dfs"
+	"repro/internal/fault"
 	"repro/internal/mapred"
 	"repro/internal/workload"
 )
@@ -149,23 +151,59 @@ func TestJobSurvivesPMFailure(t *testing.T) {
 	}
 }
 
-func TestFailureDuringMigrationRefused(t *testing.T) {
+func TestSourceFailureAbortsMigration(t *testing.T) {
 	rig, err := New(Options{PMs: 3, VMsPerPM: 1, Seed: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
 	vm := rig.VMs[0]
-	if err := rig.Cluster.Migrate(vm, rig.PMs[1], nil); err != nil {
+	landed := false
+	if err := rig.Cluster.Migrate(vm, rig.PMs[1], func(cluster.MigrationStats) { landed = true }); err != nil {
 		t.Fatal(err)
 	}
-	// Mid-migration: the source machine cannot fail.
-	if _, err := rig.FailPM(rig.PMs[0]); err == nil {
-		t.Error("failing a machine with an in-flight migration succeeded")
+	// Mid-pre-copy the source crashes: the destination discards the
+	// received pages and the VM dies with its source.
+	if _, err := rig.FailPM(rig.PMs[0]); err != nil {
+		t.Fatalf("failing the migration source: %v", err)
+	}
+	if vm.State() != cluster.VMDestroyed || vm.Machine() != nil {
+		t.Errorf("VM after source failure: state=%v machine=%v, want destroyed/nil", vm.State(), vm.Machine())
 	}
 	rig.Engine.Run()
-	// After it lands, failure works.
-	if _, err := rig.FailPM(rig.PMs[0]); err != nil {
-		t.Errorf("post-migration failure: %v", err)
+	if landed {
+		t.Error("aborted migration still delivered its completion callback")
+	}
+	if got := len(rig.PMs[1].VMs()); got != 1 {
+		t.Errorf("destination hosts %d VMs, want only its own", got)
+	}
+}
+
+func TestDestinationFailureRetriesMigration(t *testing.T) {
+	rig, err := New(Options{PMs: 3, VMsPerPM: 1, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := rig.VMs[0]
+	landed := false
+	if err := rig.Cluster.Migrate(vm, rig.PMs[1], func(cluster.MigrationStats) { landed = true }); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-pre-copy the destination crashes: the VM keeps running on its
+	// source and the migration retries with backoff.
+	if _, err := rig.FailPM(rig.PMs[1]); err != nil {
+		t.Fatalf("failing the migration destination: %v", err)
+	}
+	if vm.State() != cluster.VMRunning || vm.Machine() != rig.PMs[0] {
+		t.Errorf("VM after destination failure: state=%v machine=%v, want running on source", vm.State(), vm.Machine())
+	}
+	// Repair before the first retry fires; the backoff attempt lands it.
+	rig.Engine.After(10*time.Second, func() { rig.PMs[1].PowerOn() })
+	rig.Engine.Run()
+	if !landed {
+		t.Fatal("migration never completed after the destination recovered")
+	}
+	if vm.Machine() != rig.PMs[1] {
+		t.Errorf("VM on %v, want the recovered destination", vm.Machine())
 	}
 }
 
@@ -186,5 +224,25 @@ func TestNativeClusterFailure(t *testing.T) {
 	rig.Engine.Run()
 	if !job.Done() {
 		t.Fatal("native job did not survive the failure")
+	}
+}
+
+func TestFailingOffMachineIsNoOp(t *testing.T) {
+	rig, err := New(Options{PMs: 3, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.PMs[0].PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	report, err := rig.FailPM(rig.PMs[0])
+	if err != nil {
+		t.Fatalf("failing an off machine errored: %v", err)
+	}
+	if report.ReReplicated != 0 || report.Lost != 0 {
+		t.Errorf("failing an off machine touched the DFS: %+v", report)
+	}
+	if got := rig.Faults.Injections()[fault.PMCrash]; got != 0 {
+		t.Errorf("no-op failure recorded %d pm-crash injections", got)
 	}
 }
