@@ -2,16 +2,24 @@
 //
 // Usage:
 //
-//	hybridmr-bench [-scale 1.0] [-only fig1a,fig8b] [-list] [-json]
+//	hybridmr-bench [-scale 1.0] [-parallel 8] [-only fig1a,fig8b] [-list] [-json]
 //
 // Each experiment prints the same rows/series the paper plots, followed
 // by headline notes comparing measured numbers against the paper's
 // claims. Running everything at -scale 1 takes a few minutes; smaller
 // scales shrink the input data sizes proportionally.
 //
+// Independent sweep points within each experiment fan out across
+// -parallel worker goroutines (default: GOMAXPROCS). Every sweep point
+// builds its own seeded simulation, and results are assembled in a fixed
+// order, so tables and notes are byte-identical at any worker count —
+// only the wall-clock time changes.
+//
 // With -json, each experiment additionally writes a BENCH_<id>.json file
 // recording its wall-clock time, simulation events fired and events per
 // second, so the performance trajectory can be tracked across revisions.
+// Events are attributed per experiment through engine sinks, so the
+// totals stay exact even when sweep points run concurrently.
 package main
 
 import (
@@ -23,7 +31,6 @@ import (
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/sim"
 )
 
 // benchRecord is the machine-readable per-experiment performance report
@@ -31,6 +38,7 @@ import (
 type benchRecord struct {
 	Name         string  `json:"name"`
 	Scale        float64 `json:"scale"`
+	Parallel     int     `json:"parallel"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsFired  uint64  `json:"events_fired"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -54,6 +62,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hybridmr-bench", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1.0, "input-size scale factor (1 = paper sizes)")
+	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS)")
 	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
 	ext := fs.Bool("ext", false, "include the extension and ablation experiments")
 	list := fs.Bool("list", false, "list experiment ids and exit")
@@ -71,6 +80,7 @@ func run(args []string) error {
 		return nil
 	}
 	experiments.Scale = *scale
+	experiments.Parallelism = *parallel
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -91,19 +101,23 @@ func run(args []string) error {
 
 	for _, e := range selected {
 		start := time.Now()
-		firedBefore := sim.ProcessEvents()
 		outcome, err := e.Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		wall := time.Since(start).Seconds()
-		fired := sim.ProcessEvents() - firedBefore
 		outcome.Fprint(os.Stdout)
 		fmt.Printf("  (%s completed in %.1fs wall time)\n\n", e.ID, wall)
 		if *jsonOut {
-			rec := benchRecord{Name: e.ID, Scale: *scale, WallSeconds: wall, EventsFired: fired}
+			// EventsFired comes from the experiment's own engine sinks,
+			// not a process-global delta, so concurrent experiments (or
+			// nested training simulations) never bleed into each other.
+			rec := benchRecord{
+				Name: e.ID, Scale: *scale, Parallel: experiments.Workers(),
+				WallSeconds: wall, EventsFired: outcome.EventsFired,
+			}
 			if wall > 0 {
-				rec.EventsPerSec = float64(fired) / wall
+				rec.EventsPerSec = float64(outcome.EventsFired) / wall
 			}
 			if err := writeBenchJSON(rec); err != nil {
 				return fmt.Errorf("%s: write bench json: %w", e.ID, err)

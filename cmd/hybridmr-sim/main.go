@@ -24,8 +24,16 @@
 //	hybridmr-sim -benchmark Kmeans -pms 24            # native cluster
 //	hybridmr-sim -benchmark Sort -pms 24 -dom0        # Dom-0 mode
 //	hybridmr-sim -benchmark Sort -pms 24 -vms-per-pm 2 -split
+//	hybridmr-sim -benchmark Sort,Kmeans,Wcount -parallel 3
 //	hybridmr-sim -scenario chaos -seed 7 -fault-seed 99
 //	hybridmr-sim -scenario chaos -faults pm-crash=4,block-loss=12,repair-sec=90
+//
+// Job mode accepts a comma-separated benchmark list; each benchmark runs
+// as its own seeded simulation, fanned across -parallel worker goroutines
+// (default GOMAXPROCS) with reports printed in list order, so the output
+// does not depend on the worker count. -trace and -metrics require a
+// single benchmark, since both would interleave events from concurrent
+// engines.
 //
 // The trace file loads directly into Perfetto (ui.perfetto.dev) or
 // chrome://tracing when written in the default chrome format; -trace-format
@@ -35,13 +43,16 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	hybridmr "repro"
+	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/mapred"
 	"repro/internal/sim"
@@ -60,7 +71,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hybridmr-sim", flag.ContinueOnError)
 	scenario := fs.String("scenario", "", "scenario: quickstart (default) or job")
-	bench := fs.String("benchmark", "Sort", "benchmark name (Twitter, Wcount, PiEst, DistGrep, Sort, Kmeans)")
+	bench := fs.String("benchmark", "Sort", "benchmark name or comma-separated list (Twitter, Wcount, PiEst, DistGrep, Sort, Kmeans)")
+	parallel := fs.Int("parallel", 0, "worker goroutines for a multi-benchmark job list (0 = GOMAXPROCS)")
 	dataGB := fs.Float64("data-gb", 0, "input size in GB (0 = the paper's size for the benchmark)")
 	pms := fs.Int("pms", 12, "physical machines (job mode)")
 	vmsPerPM := fs.Int("vms-per-pm", 0, "VMs per PM (0 = native execution; job mode)")
@@ -107,10 +119,10 @@ func run(args []string, out io.Writer) error {
 	case "quickstart":
 		err = runQuickstart(*seed, tracer, reg, out)
 	case "job":
-		err = runJob(jobOptions{
-			bench: *bench, dataGB: *dataGB, pms: *pms, vmsPerPM: *vmsPerPM,
+		err = runJobs(*bench, jobOptions{
+			dataGB: *dataGB, pms: *pms, vmsPerPM: *vmsPerPM,
 			dom0: *dom0, split: *split, slotCaps: *slotCaps, sched: *sched, seed: *seed,
-		}, tracer, reg, out)
+		}, *parallel, tracer, reg, out)
 	case "chaos":
 		err = runChaos(*seed, *faultSeed, *faults, tracer, reg, out)
 	default:
@@ -303,6 +315,52 @@ type jobOptions struct {
 	slotCaps      bool
 	sched         string
 	seed          int64
+}
+
+// runJobs fans a comma-separated benchmark list across the experiment
+// worker pool, each on its own seeded rig, and prints the reports in
+// list order. Tracing and metrics stay single-benchmark: both record
+// into shared state that concurrent engines would interleave.
+func runJobs(benchList string, o jobOptions, parallel int, tracer *trace.Tracer, reg *trace.Registry, out io.Writer) error {
+	var benches []string
+	for _, b := range strings.Split(benchList, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			benches = append(benches, b)
+		}
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark named")
+	}
+	if len(benches) == 1 {
+		o.bench = benches[0]
+		return runJob(o, tracer, reg, out)
+	}
+	if tracer != nil {
+		return fmt.Errorf("-trace requires a single benchmark (got %d)", len(benches))
+	}
+	if reg != nil {
+		return fmt.Errorf("-metrics requires a single benchmark (got %d)", len(benches))
+	}
+	experiments.Parallelism = parallel
+	reports, err := experiments.Map(len(benches), func(i int) (string, error) {
+		run := o
+		run.bench = benches[i]
+		var buf bytes.Buffer
+		if err := runJob(run, nil, nil, &buf); err != nil {
+			return "", fmt.Errorf("%s: %w", benches[i], err)
+		}
+		return buf.String(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, report := range reports {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		fmt.Fprint(out, report)
+	}
+	return nil
 }
 
 // runJob is the original single-benchmark mode.

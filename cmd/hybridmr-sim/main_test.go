@@ -143,6 +143,55 @@ func TestJobModeStillWorks(t *testing.T) {
 	}
 }
 
+// TestMultiBenchmarkJobListIsDeterministic pins the fan-out contract:
+// a comma-separated benchmark list prints the same report bytes at any
+// worker count, in list order, matching the serial single-benchmark runs.
+func TestMultiBenchmarkJobListIsDeterministic(t *testing.T) {
+	render := func(parallel string) string {
+		t.Helper()
+		var out bytes.Buffer
+		args := []string{"-benchmark", "PiEst,Wcount,Kmeans", "-pms", "4", "-parallel", parallel}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		return out.String()
+	}
+	serial := render("1")
+	parallel := render("8")
+	if serial != parallel {
+		t.Errorf("job-list output differs between -parallel 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	// Reports come back in list order, separated by blank lines, and each
+	// matches what a standalone run of that benchmark prints.
+	var want strings.Builder
+	for i, bench := range []string{"PiEst", "Wcount", "Kmeans"} {
+		if i > 0 {
+			want.WriteString("\n")
+		}
+		var one bytes.Buffer
+		if err := run([]string{"-benchmark", bench, "-pms", "4"}, &one); err != nil {
+			t.Fatalf("single %s: %v", bench, err)
+		}
+		want.WriteString(one.String())
+	}
+	if serial != want.String() {
+		t.Errorf("job-list output does not match concatenated single runs:\n--- list ---\n%s\n--- singles ---\n%s", serial, want.String())
+	}
+}
+
+func TestMultiBenchmarkRejectsTraceAndMetrics(t *testing.T) {
+	var out bytes.Buffer
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := run([]string{"-benchmark", "PiEst,Wcount", "-trace", path}, &out); err == nil ||
+		!strings.Contains(err.Error(), "single benchmark") {
+		t.Errorf("-trace with a benchmark list: err = %v, want single-benchmark error", err)
+	}
+	if err := run([]string{"-benchmark", "PiEst,Wcount", "-metrics"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "single benchmark") {
+		t.Errorf("-metrics with a benchmark list: err = %v, want single-benchmark error", err)
+	}
+}
+
 func TestUnknownScenarioRejected(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-scenario", "nope"}, &out); err == nil {

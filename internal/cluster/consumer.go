@@ -189,13 +189,15 @@ func (c *Consumer) detach() {
 }
 
 func (c *Consumer) complete() {
+	// The firing event is recycled by the engine once this callback
+	// returns; drop the handle first so no later path cancels a stale one.
+	c.completion = nil
 	if c.state != consumerRunning {
 		return
 	}
 	host := c.host
 	host.settle()
 	c.remaining = 0
-	c.completion = nil
 	c.detach()
 	c.state = consumerDone
 	host.update()

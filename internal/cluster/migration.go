@@ -147,6 +147,9 @@ func (c *Cluster) migrate(vm *VM, dst *PM, done func(MigrationStats), retries in
 				trace.F("residual_mb", residual))
 		}
 		m.attachEv = c.engine.AfterSeconds(downtimeSec, func() {
+			// The firing event is recycled by the engine; drop the handle
+			// so nothing can Cancel it after the fact.
+			m.attachEv = nil
 			c.migrations = removeMigration(c.migrations, m)
 			dst.settle()
 			vm.host = dst

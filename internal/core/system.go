@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -33,6 +34,11 @@ type Config struct {
 	OverheadThreshold float64
 	// TrainingSeed parameterizes the Phase I training simulations.
 	TrainingSeed int64
+	// EventSink, when non-nil, accumulates fired-event totals from the
+	// Phase I training rigs (the nested simulations SimRunner spins up),
+	// so experiments attribute every simulated event — including
+	// profiler training — to the run that caused it.
+	EventSink *atomic.Uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +104,7 @@ func NewSystem(engine *sim.Engine, cl *cluster.Cluster, nativeJT, virtualJT *map
 	s.prof = profiler.New(SimRunner(testbed.Options{
 		Seed:          cfg.TrainingSeed,
 		ClusterConfig: cl.Config(),
+		EventSink:     cfg.EventSink,
 	}))
 	nativeNodes, virtualNodes := 0, 0
 	if nativeJT != nil {

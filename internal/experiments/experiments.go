@@ -103,6 +103,12 @@ type Outcome struct {
 	Table *Table
 	// Notes are "measured vs paper" headlines.
 	Notes []string
+	// EventsFired counts the simulation events this experiment fired
+	// across all of its rigs — including nested Phase I training
+	// simulations — attributed via per-engine sinks rather than the
+	// process-global counter, so concurrent experiments don't bleed
+	// into each other's totals.
+	EventsFired uint64
 }
 
 // Notef appends a formatted note.

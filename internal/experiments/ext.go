@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"math"
@@ -59,8 +60,9 @@ func ExtIterative() (*Outcome, error) {
 			OutputRatio:      1,
 		}
 	}
+	var fired atomic.Uint64
 	run := func(virtual, inMemory bool) (float64, error) {
-		opts := testbed.Options{PMs: 8, Seed: 1201}
+		opts := testbed.Options{PMs: 8, Seed: 1201, EventSink: &fired}
 		if virtual {
 			opts.VMsPerPM = 2
 		}
@@ -83,22 +85,23 @@ func ExtIterative() (*Outcome, error) {
 		}
 		return ij.JCT().Seconds(), nil
 	}
-	var speedups []float64
-	for _, platform := range []struct {
+	platforms := []struct {
 		name    string
 		virtual bool
 	}{
 		{"native (4 GB nodes)", false},
 		{"virtual (1 GB guests)", true},
-	} {
-		classic, err := run(platform.virtual, false)
-		if err != nil {
-			return nil, err
-		}
-		inMem, err := run(platform.virtual, true)
-		if err != nil {
-			return nil, err
-		}
+	}
+	// Four independent runs: (platform, classic|in-memory).
+	jcts, err := Map(len(platforms)*2, func(i int) (float64, error) {
+		return run(platforms[i/2].virtual, i%2 == 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var speedups []float64
+	for pi, platform := range platforms {
+		classic, inMem := jcts[pi*2], jcts[pi*2+1]
 		speedup := classic / inMem
 		speedups = append(speedups, speedup)
 		out.Table.AddRow(platform.name,
@@ -106,6 +109,7 @@ func ExtIterative() (*Outcome, error) {
 	}
 	out.Notef("in-memory iteration gains %.2fx on big-memory nodes but only %.2fx on 1 GB guests, where cached partitions page — the Spark-on-small-VMs trade-off the paper's future work anticipates",
 		speedups[0], speedups[1])
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
@@ -120,12 +124,13 @@ func ExtStream() (*Outcome, error) {
 		p95JCT     float64
 		compliance float64
 	}
+	var fired atomic.Uint64
 	run := func(hybrid bool) (result, error) {
-		h, err := newHybridRig(8, 8, 1207, hybrid)
+		h, err := newHybridRig(8, 8, 1207, hybrid, &fired)
 		if err != nil {
 			return result{}, err
 		}
-		cfg := core.Config{TrainingSeed: 1207}
+		cfg := core.Config{TrainingSeed: 1207, EventSink: &fired}
 		if !hybrid {
 			cfg.DisableDRM = true
 			cfg.DisableIPS = true
@@ -188,14 +193,13 @@ func ExtStream() (*Outcome, error) {
 		}
 		return res, nil
 	}
-	vanilla, err := run(false)
+	both, err := Map(2, func(i int) (result, error) {
+		return run(i == 1)
+	})
 	if err != nil {
 		return nil, err
 	}
-	hybrid, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	vanilla, hybrid := both[0], both[1]
 	out := &Outcome{Table: &Table{
 		ID:      "ext-stream",
 		Title:   "Two-hour Poisson job stream on an 8 PM + 16 VM hybrid fleet",
@@ -207,16 +211,19 @@ func ExtStream() (*Outcome, error) {
 	out.Table.AddRow("SLA compliance", fmtF(vanilla.compliance), fmtF(hybrid.compliance))
 	out.Notef("HybridMR changes mean JCT by %.0f%% and SLA compliance from %.2f to %.2f under an open arrival process",
 		(vanilla.meanJCT-hybrid.meanJCT)/vanilla.meanJCT*100, vanilla.compliance, hybrid.compliance)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
 // AblSpeculation quantifies speculative execution: a Sort on a cluster
 // with one antagonist-loaded straggler node, with and without backups.
 func AblSpeculation() (*Outcome, error) {
+	var fired atomic.Uint64
 	run := func(disable bool) (float64, error) {
 		rig, err := testbed.New(testbed.Options{
 			PMs: 8, Seed: 1217,
 			MapredConfig: mapred.Config{DisableSpeculation: disable},
+			EventSink:    &fired,
 		})
 		if err != nil {
 			return 0, err
@@ -236,14 +243,13 @@ func AblSpeculation() (*Outcome, error) {
 		}
 		return res.JCT.Seconds(), nil
 	}
-	withSpec, err := run(false)
+	both, err := Map(2, func(i int) (float64, error) {
+		return run(i == 1)
+	})
 	if err != nil {
 		return nil, err
 	}
-	without, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	withSpec, without := both[0], both[1]
 	out := &Outcome{Table: &Table{
 		ID:      "abl-speculation",
 		Title:   "Sort JCT (s) with one straggling node",
@@ -252,6 +258,7 @@ func AblSpeculation() (*Outcome, error) {
 	out.Table.AddRow("on", fmt.Sprintf("%.1f", withSpec))
 	out.Table.AddRow("off", fmt.Sprintf("%.1f", without))
 	out.Notef("speculative execution cuts the straggler-bound JCT by %.0f%%", (without-withSpec)/without*100)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
@@ -259,6 +266,7 @@ func AblSpeculation() (*Outcome, error) {
 // plus loaded services, with trackers visited least-loaded-first versus
 // fixed heartbeat order.
 func AblCapacity() (*Outcome, error) {
+	var fired atomic.Uint64
 	run := func(aware bool) (jct float64, latency float64, err error) {
 		rig, err := testbed.New(testbed.Options{
 			PMs: 8, VMsPerPM: 2, Seed: 1223,
@@ -266,6 +274,7 @@ func AblCapacity() (*Outcome, error) {
 				SlotCaps:      mapred.DefaultSlotCaps(),
 				CapacityAware: aware,
 			},
+			EventSink: &fired,
 		})
 		if err != nil {
 			return 0, 0, err
@@ -303,14 +312,16 @@ func AblCapacity() (*Outcome, error) {
 		}
 		return job.JCT().Seconds(), stats.Mean(lats), nil
 	}
-	blindJCT, blindLat, err := run(false)
+	type capResult struct{ jct, lat float64 }
+	both, err := Map(2, func(i int) (capResult, error) {
+		jct, lat, err := run(i == 1)
+		return capResult{jct: jct, lat: lat}, err
+	})
 	if err != nil {
 		return nil, err
 	}
-	awareJCT, awareLat, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	blindJCT, blindLat := both[0].jct, both[0].lat
+	awareJCT, awareLat := both[1].jct, both[1].lat
 	out := &Outcome{Table: &Table{
 		ID:      "abl-capacity",
 		Title:   "Capacity-aware placement: Sort + 3 loaded services on 16 VMs",
@@ -320,6 +331,7 @@ func AblCapacity() (*Outcome, error) {
 	out.Table.AddRow("capacity-aware", fmt.Sprintf("%.1f", awareJCT), fmt.Sprintf("%.0f", awareLat))
 	out.Notef("steering tasks toward lightly-loaded hosts changes Sort JCT by %.0f%% and service mean latency by %.0f%%",
 		(blindJCT-awareJCT)/blindJCT*100, (blindLat-awareLat)/blindLat*100)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
@@ -327,10 +339,12 @@ func AblCapacity() (*Outcome, error) {
 // overcommitted mix: deferring the youngest tasks versus shrinking every
 // task's residency proportionally.
 func AblDeferral() (*Outcome, error) {
+	var fired atomic.Uint64
 	run := func(disableDeferral bool) (float64, error) {
 		rig, err := testbed.New(testbed.Options{
 			PMs: 8, VMsPerPM: 2, Seed: 1229,
 			MapredConfig: mapred.Config{SlotCaps: mapred.DefaultSlotCaps()},
+			EventSink:    &fired,
 		})
 		if err != nil {
 			return 0, err
@@ -360,14 +374,13 @@ func AblDeferral() (*Outcome, error) {
 		}
 		return sum / float64(len(jobs)), nil
 	}
-	defer2, err := run(false)
+	both, err := Map(2, func(i int) (float64, error) {
+		return run(i == 1)
+	})
 	if err != nil {
 		return nil, err
 	}
-	proportional, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	defer2, proportional := both[0], both[1]
 	out := &Outcome{Table: &Table{
 		ID:      "abl-deferral",
 		Title:   "DRM memory policy on an overcommitted two-job mix (mean JCT, s)",
@@ -376,5 +389,6 @@ func AblDeferral() (*Outcome, error) {
 	out.Table.AddRow("defer youngest", fmt.Sprintf("%.1f", defer2))
 	out.Table.AddRow("proportional paging", fmt.Sprintf("%.1f", proportional))
 	out.Notef("deferral vs proportional paging: %.1f%% mean-JCT difference", (proportional-defer2)/proportional*100)
+	out.EventsFired = fired.Load()
 	return out, nil
 }

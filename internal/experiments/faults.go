@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -21,8 +22,9 @@ func ExtFaults() (*Outcome, error) {
 	const faultSeed = 1231
 	const pms = 8
 	rates := []float64{0, 2, 4, 8} // crashes per machine-hour
+	var fired atomic.Uint64
 	run := func(virtual bool, rate float64) (float64, error) {
-		opts := testbed.Options{PMs: pms, Seed: 1237}
+		opts := testbed.Options{PMs: pms, Seed: 1237, EventSink: &fired}
 		if virtual {
 			opts.VMsPerPM = 2
 		}
@@ -54,16 +56,24 @@ func ExtFaults() (*Outcome, error) {
 		Title:   "Sort JCT (s) vs accelerated machine-crash rate (repair after 2 min)",
 		Columns: []string{"crashes/machine-hour", "native", "virtual (2 VMs/PM)"},
 	}}
+	type faultPair struct{ nat, virt float64 }
+	results, err := Map(len(rates), func(i int) (faultPair, error) {
+		nat, err := run(false, rates[i])
+		if err != nil {
+			return faultPair{}, err
+		}
+		virt, err := run(true, rates[i])
+		if err != nil {
+			return faultPair{}, err
+		}
+		return faultPair{nat: nat, virt: virt}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var base, worst [2]float64
-	for _, rate := range rates {
-		nat, err := run(false, rate)
-		if err != nil {
-			return nil, err
-		}
-		virt, err := run(true, rate)
-		if err != nil {
-			return nil, err
-		}
+	for i, rate := range rates {
+		nat, virt := results[i].nat, results[i].virt
 		if rate == 0 {
 			base = [2]float64{nat, virt}
 		}
@@ -73,5 +83,6 @@ func ExtFaults() (*Outcome, error) {
 	}
 	out.Notef("at 8 crashes/machine-hour Sort slows %.0f%% native and %.0f%% virtual; every job still completes and all surviving blocks heal to target replication (fault seed %d)",
 		(worst[0]-base[0])/base[0]*100, (worst[1]-base[1])/base[1]*100, faultSeed)
+	out.EventsFired = fired.Load()
 	return out, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/dfs"
@@ -19,12 +20,14 @@ const testbedPMs = 24
 
 // runIsolated measures one benchmark's JCT on a fresh rig of 24 PMs,
 // virtualized at the given density (0 = native), averaged over three
-// seeded runs as in the paper's methodology.
-func runIsolated(spec mapred.JobSpec, vmsPerPM int, seed int64) (testbed.JobResult, error) {
+// seeded runs as in the paper's methodology. Fired-event totals
+// accumulate into sink (which may be shared across concurrent sweep
+// points).
+func runIsolated(spec mapred.JobSpec, vmsPerPM int, seed int64, sink *atomic.Uint64) (testbed.JobResult, error) {
 	var sum testbed.JobResult
 	const repeats = 3
 	for r := 0; r < repeats; r++ {
-		opts := testbed.Options{Seed: seed + int64(r)*131, PMs: testbedPMs, VMsPerPM: vmsPerPM}
+		opts := testbed.Options{Seed: seed + int64(r)*131, PMs: testbedPMs, VMsPerPM: vmsPerPM, EventSink: sink}
 		if vmsPerPM == 1 {
 			// A single VM per PM is sized to fill the host, as an
 			// operator would configure it.
@@ -56,19 +59,30 @@ func Fig1a() (*Outcome, error) {
 		Title:   "% increase in JCT on virtual vs equivalent native cluster (24 PMs)",
 		Columns: []string{"benchmark", "1-VM", "2-VM", "4-VM"},
 	}}
+	specs := workload.Benchmarks()
+	densities := []int{0, 1, 2, 4}
+	var fired atomic.Uint64
+	// Every (benchmark, density) pair is an independent sweep point:
+	// fan them all out, then assemble rows in paper order.
+	results, err := Map(len(specs)*len(densities), func(i int) (testbed.JobResult, error) {
+		spec := specs[i/len(densities)]
+		vpp := densities[i%len(densities)]
+		res, err := runIsolated(spec, vpp, 101, &fired)
+		if err != nil {
+			return testbed.JobResult{}, fmt.Errorf("fig1a %s %d-VM: %w", spec.Name, vpp, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var ioMin, ioMax, cpuMax float64
 	ioMin = 1e9
-	for _, spec := range workload.Benchmarks() {
-		native, err := runIsolated(spec, 0, 101)
-		if err != nil {
-			return nil, fmt.Errorf("fig1a %s native: %w", spec.Name, err)
-		}
+	for si, spec := range specs {
+		native := results[si*len(densities)]
 		row := []string{spec.Name}
-		for _, vpp := range []int{1, 2, 4} {
-			virt, err := runIsolated(spec, vpp, 101)
-			if err != nil {
-				return nil, fmt.Errorf("fig1a %s %d-VM: %w", spec.Name, vpp, err)
-			}
+		for di := 1; di < len(densities); di++ {
+			virt := results[si*len(densities)+di]
 			incr := virt.JCT.Seconds()/native.JCT.Seconds() - 1
 			row = append(row, fmtPct(incr))
 			if workload.IsCPUBound(spec) {
@@ -88,6 +102,7 @@ func Fig1a() (*Outcome, error) {
 	}
 	out.Notef("I/O-bound jobs degrade %.0f-%.0f%% on virtual (paper: 7-24%%)", ioMin*100, ioMax*100)
 	out.Notef("CPU-bound jobs degrade at most %.0f%% (paper: within 8%%)", cpuMax*100)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
@@ -100,25 +115,26 @@ func Fig1b() (*Outcome, error) {
 		Columns: []string{"config", "Sort-1GB", "Sort-8GB", "Sort-16GB"},
 	}}
 	sizes := []float64{1 * workload.GB, 8 * workload.GB, 16 * workload.GB}
-	gapSmall, gapLarge := 0.0, 0.0
-	natives := make([]float64, len(sizes))
-	for i, mb := range sizes {
-		res, err := runIsolated(workload.Sort().WithInputMB(mb), 0, 103)
-		if err != nil {
-			return nil, err
-		}
-		natives[i] = res.JCT.Seconds()
+	densities := []int{0, 1, 2, 4}
+	var fired atomic.Uint64
+	results, err := Map(len(densities)*len(sizes), func(i int) (testbed.JobResult, error) {
+		vpp := densities[i/len(sizes)]
+		mb := sizes[i%len(sizes)]
+		return runIsolated(workload.Sort().WithInputMB(mb), vpp, 103, &fired)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, vpp := range []int{1, 2, 4} {
+	gapSmall, gapLarge := 0.0, 0.0
+	natives := results[:len(sizes)]
+	for di := 1; di < len(densities); di++ {
+		vpp := densities[di]
 		row := []string{fmt.Sprintf("%d-VM", vpp)}
-		for i, mb := range sizes {
-			res, err := runIsolated(workload.Sort().WithInputMB(mb), vpp, 103)
-			if err != nil {
-				return nil, err
-			}
+		for i := range sizes {
+			res := results[di*len(sizes)+i]
 			row = append(row, fmtDur(res.JCT))
 			if vpp == 4 {
-				gap := res.JCT.Seconds()/natives[i] - 1
+				gap := res.JCT.Seconds()/natives[i].JCT.Seconds() - 1
 				if i == 0 {
 					gapSmall = gap
 				}
@@ -131,6 +147,7 @@ func Fig1b() (*Outcome, error) {
 	}
 	out.Notef("4-VM virtual gap grows from %.0f%% at 1 GB to %.0f%% at 16 GB (paper: gap widens with data size)",
 		gapSmall*100, gapLarge*100)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
@@ -144,8 +161,10 @@ func Fig1c() (*Outcome, error) {
 		Columns: []string{"data(GB)", "R-IO", "W-IO", "R-Tput", "W-Tput"},
 	}}
 	type point struct{ rio, wio, rtp, wtp float64 }
+	var fired atomic.Uint64
 	run := func(vmsPerPM int, totalMB float64) (point, error) {
 		engine := sim.New()
+		engine.SetFiredSink(&fired)
 		cl := cluster.New(engine, cluster.Config{}, 107)
 		fs := dfs.New(engine, dfs.Config{}, 107)
 		var nodes []cluster.Node
@@ -180,18 +199,26 @@ func Fig1c() (*Outcome, error) {
 		}
 		return point{rio: r.AvgIORateMBps, wio: w.AvgIORateMBps, rtp: r.ThroughputMBps, wtp: w.ThroughputMBps}, nil
 	}
-	firstR, lastR := 0.0, 0.0
 	sizes := []float64{1, 2, 4, 8, 16}
-	for i, gb := range sizes {
-		totalMB := scaledMB(gb * workload.GB)
+	type pair struct{ nat, virt point }
+	results, err := Map(len(sizes), func(i int) (pair, error) {
+		totalMB := scaledMB(sizes[i] * workload.GB)
 		nat, err := run(0, totalMB)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		virt, err := run(2, totalMB)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
+		return pair{nat: nat, virt: virt}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	firstR, lastR := 0.0, 0.0
+	for i, gb := range sizes {
+		nat, virt := results[i].nat, results[i].virt
 		norm := point{
 			rio: virt.rio / nat.rio, wio: virt.wio / nat.wio,
 			rtp: virt.rtp / nat.rtp, wtp: virt.wtp / nat.wtp,
@@ -206,5 +233,6 @@ func Fig1c() (*Outcome, error) {
 	}
 	out.Notef("virtual HDFS runs below native everywhere; read-IO ratio falls from %.2f at 1 GB to %.2f at 16 GB (paper: gap broadens with data size)",
 		firstR, lastR)
+	out.EventsFired = fired.Load()
 	return out, nil
 }

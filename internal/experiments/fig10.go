@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -19,6 +20,7 @@ import (
 // over-provisioned machines and batch work on the rest — while HybridMR
 // consolidates batch VMs onto every host and harvests the spare capacity.
 func Fig10a() (*Outcome, error) {
+	var fired atomic.Uint64
 	run := func(hybrid bool) (*metrics.Recorder, error) {
 		batchPMs := 12
 		if !hybrid {
@@ -30,6 +32,7 @@ func Fig10a() (*Outcome, error) {
 				SlotCaps:      mapred.DefaultSlotCaps(),
 				CapacityAware: hybrid,
 			},
+			EventSink: &fired,
 		})
 		if err != nil {
 			return nil, err
@@ -95,14 +98,13 @@ func Fig10a() (*Outcome, error) {
 		}
 		return rec, nil
 	}
-	base, err := run(false)
+	both, err := Map(2, func(i int) (*metrics.Recorder, error) {
+		return run(i == 1)
+	})
 	if err != nil {
 		return nil, err
 	}
-	hyb, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	base, hyb := both[0], both[1]
 	out := &Outcome{Table: &Table{
 		ID:      "fig10a",
 		Title:   "Mean utilization over 80 minutes: baseline vs HybridMR",
@@ -122,13 +124,14 @@ func Fig10a() (*Outcome, error) {
 		base.MeanUtil(resource.CPU), hyb.MeanUtil(resource.CPU),
 		base.MeanUtil(resource.Memory), hyb.MeanUtil(resource.Memory),
 		base.MeanUtil(resource.DiskIO), hyb.MeanUtil(resource.DiskIO))
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
 // migrationSweep migrates each of 24 VMs once and returns per-node stats.
-func migrationSweep(memMB float64, runWcount bool) ([]cluster.MigrationStats, error) {
+func migrationSweep(memMB float64, runWcount bool, sink *atomic.Uint64) ([]cluster.MigrationStats, error) {
 	rig, err := testbed.New(testbed.Options{
-		PMs: 24, VMsPerPM: 1, VMMemoryMB: memMB, Seed: 1009,
+		PMs: 24, VMsPerPM: 1, VMMemoryMB: memMB, Seed: 1009, EventSink: sink,
 	})
 	if err != nil {
 		return nil, err
@@ -181,14 +184,21 @@ var migrationConfigs = []migrationConfig{
 	{"Wcount-1GB", 1024, true},
 }
 
-func runMigrationConfigs() (map[string][]cluster.MigrationStats, error) {
-	out := make(map[string][]cluster.MigrationStats, len(migrationConfigs))
-	for _, cfg := range migrationConfigs {
-		s, err := migrationSweep(cfg.memMB, cfg.wcount)
+func runMigrationConfigs(sink *atomic.Uint64) (map[string][]cluster.MigrationStats, error) {
+	results, err := Map(len(migrationConfigs), func(i int) ([]cluster.MigrationStats, error) {
+		cfg := migrationConfigs[i]
+		s, err := migrationSweep(cfg.memMB, cfg.wcount, sink)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cfg.name, err)
 		}
-		out[cfg.name] = s
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]cluster.MigrationStats, len(migrationConfigs))
+	for i, cfg := range migrationConfigs {
+		out[cfg.name] = results[i]
 	}
 	return out, nil
 }
@@ -196,7 +206,8 @@ func runMigrationConfigs() (map[string][]cluster.MigrationStats, error) {
 // Fig10b reproduces Figure 10(b): per-VM live-migration time for idle
 // and Wcount-loaded VMs at 0.5 and 1 GB.
 func Fig10b() (*Outcome, error) {
-	all, err := runMigrationConfigs()
+	var fired atomic.Uint64
+	all, err := runMigrationConfigs(&fired)
 	if err != nil {
 		return nil, err
 	}
@@ -221,13 +232,15 @@ func Fig10b() (*Outcome, error) {
 	}
 	out.Notef("mean migration time: idle-1GB %.1fs vs Wcount-1GB %.1fs (paper: more memory and active Hadoop lengthen migration)",
 		mean("Idle-1GB"), mean("Wcount-1GB"))
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
 // Fig10c reproduces Figure 10(c): per-VM migration downtime; loaded VMs
 // show wide variation.
 func Fig10c() (*Outcome, error) {
-	all, err := runMigrationConfigs()
+	var fired atomic.Uint64
+	all, err := runMigrationConfigs(&fired)
 	if err != nil {
 		return nil, err
 	}
@@ -261,5 +274,6 @@ func Fig10c() (*Outcome, error) {
 	wLo, wHi := spread("Wcount-1GB")
 	out.Notef("downtime spread: idle-1GB %.0f-%.0f ms, Wcount-1GB %.0f-%.0f ms (paper: loaded VMs vary widely)",
 		iLo, iHi, wLo, wHi)
+	out.EventsFired = fired.Load()
 	return out, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -55,7 +56,7 @@ type fig11Run struct {
 }
 
 // runFig11Config measures one split under a fixed small workload mix.
-func runFig11Config(cfg fig11Config) (fig11Run, error) {
+func runFig11Config(cfg fig11Config, sink *atomic.Uint64) (fig11Run, error) {
 	vmHosts := cfg.vms / 2
 	var rig *testbed.Rig
 	var err error
@@ -67,13 +68,14 @@ func runFig11Config(cfg fig11Config) (fig11Run, error) {
 				SlotCaps:      mapred.DefaultSlotCaps(),
 				CapacityAware: true,
 			},
+			EventSink: sink,
 		})
 		if err != nil {
 			return fig11Run{}, err
 		}
 		virtualJT = rig.JT
 	} else {
-		rig, err = testbed.New(testbed.Options{PMs: cfg.nativePMs, Seed: 1117})
+		rig, err = testbed.New(testbed.Options{PMs: cfg.nativePMs, Seed: 1117, EventSink: sink})
 		if err != nil {
 			return fig11Run{}, err
 		}
@@ -89,7 +91,7 @@ func runFig11Config(cfg fig11Config) (fig11Run, error) {
 			nativeJT.AddTracker(pm)
 		}
 	}
-	sys, err := core.NewSystem(rig.Engine, rig.Cluster, nativeJT, virtualJT, core.Config{TrainingSeed: 1117})
+	sys, err := core.NewSystem(rig.Engine, rig.Cluster, nativeJT, virtualJT, core.Config{TrainingSeed: 1117, EventSink: sink})
 	if err != nil {
 		return fig11Run{}, err
 	}
@@ -188,14 +190,19 @@ func Fig11() (*Outcome, error) {
 		Columns: []string{"config", "PMs", "VMs", "perf/energy"},
 	}}
 	configs := fig11Configs()
-	runs := make([]fig11Run, len(configs))
-	horizon := 0.0
-	for i, cfg := range configs {
-		r, err := runFig11Config(cfg)
+	var fired atomic.Uint64
+	runs, err := Map(len(configs), func(i int) (fig11Run, error) {
+		r, err := runFig11Config(configs[i], &fired)
 		if err != nil {
-			return nil, fmt.Errorf("fig11 %s: %w", cfg.name, err)
+			return fig11Run{}, fmt.Errorf("fig11 %s: %w", configs[i].name, err)
 		}
-		runs[i] = r
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	horizon := 0.0
+	for _, r := range runs {
 		if r.makespanSec > horizon {
 			horizon = r.makespanSec
 		}
@@ -233,5 +240,6 @@ func Fig11() (*Outcome, error) {
 	} else {
 		out.Notef("NOTE: an extreme configuration won performance/energy in this run, diverging from the paper's balanced-hybrid claim")
 	}
+	out.EventsFired = fired.Load()
 	return out, nil
 }

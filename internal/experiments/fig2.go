@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/mapred"
 	"repro/internal/testbed"
@@ -17,6 +18,7 @@ func Fig2a() (*Outcome, error) {
 		Title:   "Sort JCT (s): Same-Host (16 VMs on 2 PMs) vs Cross-Host (16 VMs on 8 PMs)",
 		Columns: []string{"data(GB)", "Same-Host", "Cross-Host"},
 	}}
+	var fired atomic.Uint64
 	// The paper squeezes 16 one-vCPU VMs onto 2 dual-core PMs for the
 	// Same-Host case; VMs are shrunk to 480 MB with single task slots so
 	// that eight guests fit in 4 GB of host memory.
@@ -27,6 +29,7 @@ func Fig2a() (*Outcome, error) {
 			VMMemoryMB:   480,
 			Seed:         211,
 			MapredConfig: mapred.Config{MapSlots: 1, ReduceSlots: 1},
+			EventSink:    &fired,
 		})
 		if err != nil {
 			return 0, err
@@ -37,17 +40,26 @@ func Fig2a() (*Outcome, error) {
 		}
 		return res.JCT.Seconds(), nil
 	}
+	sizes := []float64{1, 2, 3, 4, 5}
+	type pair struct{ same, cross float64 }
+	results, err := Map(len(sizes), func(i int) (pair, error) {
+		same, err := run(2, sizes[i]*workload.GB)
+		if err != nil {
+			return pair{}, err
+		}
+		cross, err := run(8, sizes[i]*workload.GB)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{same: same, cross: cross}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	worseCount := 0
 	firstSame, lastSame := 0.0, 0.0
-	for i, gb := range []float64{1, 2, 3, 4, 5} {
-		same, err := run(2, gb*workload.GB)
-		if err != nil {
-			return nil, err
-		}
-		cross, err := run(8, gb*workload.GB)
-		if err != nil {
-			return nil, err
-		}
+	for i, gb := range sizes {
+		same, cross := results[i].same, results[i].cross
 		if cross > same {
 			worseCount++
 		}
@@ -59,6 +71,7 @@ func Fig2a() (*Outcome, error) {
 	}
 	out.Notef("JCTs grow with input size in both layouts (Same-Host %.0fs -> %.0fs), matching the paper's trend", firstSame, lastSame)
 	out.Notef("KNOWN DIVERGENCE: the paper measures Cross-Host as slower (network-delay bound); our disk model charges all spill I/O to the consolidated hosts' two spindles, which dominates instead (%d/5 sizes have Cross-Host slower). The paper's 1-5 GB inputs largely fit the page cache, which this simulator does not model.", worseCount)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
@@ -83,26 +96,32 @@ func Fig2b() (*Outcome, error) {
 		{"V4-4M-6R", 4, 4, 6},
 	}
 	sizes := []float64{1, 4, 8}
-	jcts := make(map[string][]float64)
-	for _, c := range cfgs {
-		row := make([]float64, 0, len(sizes))
-		for _, gb := range sizes {
-			rig, err := testbed.New(testbed.Options{
-				PMs:          12,
-				VMsPerPM:     c.vmsPerPM,
-				Seed:         223,
-				MapredConfig: mapred.Config{MapSlots: c.mapSlots, ReduceSlots: c.redSlots},
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := rig.RunJob(workload.Kmeans().WithInputMB(scaledMB(gb * workload.GB)))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.JCT.Seconds())
+	var fired atomic.Uint64
+	flat, err := Map(len(cfgs)*len(sizes), func(i int) (float64, error) {
+		c := cfgs[i/len(sizes)]
+		gb := sizes[i%len(sizes)]
+		rig, err := testbed.New(testbed.Options{
+			PMs:          12,
+			VMsPerPM:     c.vmsPerPM,
+			Seed:         223,
+			MapredConfig: mapred.Config{MapSlots: c.mapSlots, ReduceSlots: c.redSlots},
+			EventSink:    &fired,
+		})
+		if err != nil {
+			return 0, err
 		}
-		jcts[c.name] = row
+		res, err := rig.RunJob(workload.Kmeans().WithInputMB(scaledMB(gb * workload.GB)))
+		if err != nil {
+			return 0, err
+		}
+		return res.JCT.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	jcts := make(map[string][]float64)
+	for ci, c := range cfgs {
+		jcts[c.name] = flat[ci*len(sizes) : (ci+1)*len(sizes)]
 	}
 	for _, c := range cfgs {
 		row := []string{c.name}
@@ -114,6 +133,7 @@ func Fig2b() (*Outcome, error) {
 	gain1 := 1 - jcts["V4-4M-6R"][0]/jcts["V1-1M-1R"][0]
 	gain8 := 1 - jcts["V4-4M-6R"][2]/jcts["V1-1M-1R"][2]
 	out.Notef("V4 beats V1 by %.0f%% at 1 GB and %.0f%% at 8 GB (paper: CPU-bound jobs gain from more VMs, more at larger inputs)", gain1*100, gain8*100)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
@@ -125,27 +145,34 @@ func Fig2c() (*Outcome, error) {
 		Title:   "Normalized JCT: Native vs Dom-0 (48 nodes)",
 		Columns: []string{"benchmark", "Native", "Dom-0"},
 	}}
-	var sum float64
-	var n int
-	for _, spec := range workload.Benchmarks() {
-		nat, err := runIsolated(spec, 0, 229)
+	specs := workload.Benchmarks()
+	var fired atomic.Uint64
+	ratios, err := Map(len(specs), func(i int) (float64, error) {
+		spec := specs[i]
+		nat, err := runIsolated(spec, 0, 229, &fired)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		rig, err := testbed.New(testbed.Options{PMs: testbedPMs, Dom0: true, Seed: 229})
+		rig, err := testbed.New(testbed.Options{PMs: testbedPMs, Dom0: true, Seed: 229, EventSink: &fired})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		dom0, err := rig.RunJob(scaledSpec(spec))
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		ratio := dom0.JCT.Seconds() / nat.JCT.Seconds()
-		sum += ratio - 1
-		n++
-		out.Table.AddRow(spec.Name, "1.000", fmtF(ratio))
+		return dom0.JCT.Seconds() / nat.JCT.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	out.Notef("average Dom-0 overhead %.1f%% (paper: under 5%% on average)", sum/float64(n)*100)
+	var sum float64
+	for i, spec := range specs {
+		sum += ratios[i] - 1
+		out.Table.AddRow(spec.Name, "1.000", fmtF(ratios[i]))
+	}
+	out.Notef("average Dom-0 overhead %.1f%% (paper: under 5%% on average)", sum/float64(len(specs))*100)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
@@ -157,23 +184,30 @@ func Fig2d() (*Outcome, error) {
 		Title:   "Normalized JCT: Combined vs Split Hadoop architecture (24 PMs, 48 VMs)",
 		Columns: []string{"benchmark", "Combined", "Split"},
 	}}
-	var sum float64
-	var n int
-	for _, spec := range workload.Benchmarks() {
-		combined, err := runOnRig(testbed.Options{PMs: 24, VMsPerPM: 2, Seed: 233}, spec)
+	specs := workload.Benchmarks()
+	var fired atomic.Uint64
+	ratios, err := Map(len(specs), func(i int) (float64, error) {
+		spec := specs[i]
+		combined, err := runOnRig(testbed.Options{PMs: 24, VMsPerPM: 2, Seed: 233, EventSink: &fired}, spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		split, err := runOnRig(testbed.Options{PMs: 24, VMsPerPM: 2, Split: true, Seed: 233}, spec)
+		split, err := runOnRig(testbed.Options{PMs: 24, VMsPerPM: 2, Split: true, Seed: 233, EventSink: &fired}, spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		ratio := split / combined
-		sum += 1 - ratio
-		n++
-		out.Table.AddRow(spec.Name, "1.000", fmtF(ratio))
+		return split / combined, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	out.Notef("split architecture improves JCT by %.1f%% on average (paper: 12.8%%)", sum/float64(n)*100)
+	var sum float64
+	for i, spec := range specs {
+		sum += 1 - ratios[i]
+		out.Table.AddRow(spec.Name, "1.000", fmtF(ratios[i]))
+	}
+	out.Notef("split architecture improves JCT by %.1f%% on average (paper: 12.8%%)", sum/float64(len(specs))*100)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 

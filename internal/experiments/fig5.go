@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/mapred"
 	"repro/internal/stats"
@@ -11,13 +12,13 @@ import (
 
 // virtualJCT runs a spec on a virtual cluster of the given VM count
 // (2 VMs per PM) and returns the phase timings.
-func virtualJCT(spec mapred.JobSpec, vms int, seed int64) (testbed.JobResult, error) {
+func virtualJCT(spec mapred.JobSpec, vms int, seed int64, sink *atomic.Uint64) (testbed.JobResult, error) {
 	pms := (vms + 1) / 2
 	vpp := 2
 	if vms == 1 {
 		pms, vpp = 1, 1
 	}
-	rig, err := testbed.New(testbed.Options{PMs: pms, VMsPerPM: vpp, Seed: seed})
+	rig, err := testbed.New(testbed.Options{PMs: pms, VMsPerPM: vpp, Seed: seed, EventSink: sink})
 	if err != nil {
 		return testbed.JobResult{}, err
 	}
@@ -38,16 +39,22 @@ func Fig5a() (*Outcome, error) {
 		Title:   "Normalized JCT vs cluster size (number of VMs)",
 		Columns: []string{"VMs", "Sort", "PiEst", "DistGrep"},
 	}}
-	series := make([][]float64, len(specs))
-	for si, spec := range specs {
-		for _, n := range clusterSizes {
-			res, err := virtualJCT(spec, n, 503)
-			if err != nil {
-				return nil, fmt.Errorf("fig5a %s/%d: %w", spec.Name, n, err)
-			}
-			series[si] = append(series[si], res.JCT.Seconds())
+	var fired atomic.Uint64
+	flat, err := Map(len(specs)*len(clusterSizes), func(i int) (float64, error) {
+		spec := specs[i/len(clusterSizes)]
+		n := clusterSizes[i%len(clusterSizes)]
+		res, err := virtualJCT(spec, n, 503, &fired)
+		if err != nil {
+			return 0, fmt.Errorf("fig5a %s/%d: %w", spec.Name, n, err)
 		}
-		series[si] = stats.Normalize(series[si])
+		return res.JCT.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([][]float64, len(specs))
+	for si := range specs {
+		series[si] = stats.Normalize(flat[si*len(clusterSizes) : (si+1)*len(clusterSizes)])
 	}
 	for i, n := range clusterSizes {
 		out.Table.AddRow(fmt.Sprintf("%d", n), fmtF(series[0][i]), fmtF(series[1][i]), fmtF(series[2][i]))
@@ -62,26 +69,31 @@ func Fig5a() (*Outcome, error) {
 		return nil, err
 	}
 	out.Notef("Sort JCT vs cluster size fits A + B/x with R²=%.3f (paper: inverse relation)", fit.R2)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
 // fig5Phases runs the Figure 5(b)/(c) sweep: Sort at 2-5 GB over 2-12
 // VMs, returning map and reduce phase times.
-func fig5Phases() (clusterSizes []int, sizesGB []float64, mapSec, redSec map[string]float64, err error) {
+func fig5Phases(fired *atomic.Uint64) (clusterSizes []int, sizesGB []float64, mapSec, redSec map[string]float64, err error) {
 	clusterSizes = []int{2, 4, 6, 8, 10, 12}
 	sizesGB = []float64{2, 3, 4, 5}
 	mapSec = make(map[string]float64)
 	redSec = make(map[string]float64)
-	for _, gb := range sizesGB {
-		for _, n := range clusterSizes {
-			res, runErr := virtualJCT(workload.Sort().WithInputMB(scaledMB(gb*workload.GB)), n, 509)
-			if runErr != nil {
-				return nil, nil, nil, nil, runErr
-			}
-			key := fmt.Sprintf("%.0f/%d", gb, n)
-			mapSec[key] = res.MapPhase.Seconds()
-			redSec[key] = res.ReducePhase.Seconds()
-		}
+	results, err := Map(len(sizesGB)*len(clusterSizes), func(i int) (testbed.JobResult, error) {
+		gb := sizesGB[i/len(clusterSizes)]
+		n := clusterSizes[i%len(clusterSizes)]
+		return virtualJCT(workload.Sort().WithInputMB(scaledMB(gb*workload.GB)), n, 509, fired)
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	for i, res := range results {
+		gb := sizesGB[i/len(clusterSizes)]
+		n := clusterSizes[i%len(clusterSizes)]
+		key := fmt.Sprintf("%.0f/%d", gb, n)
+		mapSec[key] = res.MapPhase.Seconds()
+		redSec[key] = res.ReducePhase.Seconds()
 	}
 	return clusterSizes, sizesGB, mapSec, redSec, nil
 }
@@ -98,7 +110,8 @@ func Fig5c() (*Outcome, error) {
 }
 
 func fig5PhaseTable(id, title string, mapPhase bool) (*Outcome, error) {
-	clusterSizes, sizesGB, mapSec, redSec, err := fig5Phases()
+	var fired atomic.Uint64
+	clusterSizes, sizesGB, mapSec, redSec, err := fig5Phases(&fired)
 	if err != nil {
 		return nil, err
 	}
@@ -131,6 +144,7 @@ func fig5PhaseTable(id, title string, mapPhase bool) (*Outcome, error) {
 	if pw, err := stats.FitPiecewiseLinear(xs, ys); err == nil {
 		out.Notef("5 GB series piece-wise fit R²=%.3f (paper: map inverse, reduce piece-wise)", pw.R2)
 	}
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
@@ -144,15 +158,24 @@ func Fig5d() (*Outcome, error) {
 		Title:   "Sort JCT (s) vs input size per virtual cluster size",
 		Columns: []string{"data(GB)", "C1", "C2", "C4", "C8", "C16"},
 	}}
-	jct := make(map[string]float64)
-	for _, gb := range sizesGB {
-		for _, n := range clusterSizes {
-			res, err := virtualJCT(workload.Sort().WithInputMB(scaledMB(gb*workload.GB)), n, 521)
-			if err != nil {
-				return nil, err
-			}
-			jct[fmt.Sprintf("%.0f/%d", gb, n)] = res.JCT.Seconds()
+	var fired atomic.Uint64
+	flat, err := Map(len(sizesGB)*len(clusterSizes), func(i int) (float64, error) {
+		gb := sizesGB[i/len(clusterSizes)]
+		n := clusterSizes[i%len(clusterSizes)]
+		res, err := virtualJCT(workload.Sort().WithInputMB(scaledMB(gb*workload.GB)), n, 521, &fired)
+		if err != nil {
+			return 0, err
 		}
+		return res.JCT.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	jct := make(map[string]float64)
+	for i, v := range flat {
+		gb := sizesGB[i/len(clusterSizes)]
+		n := clusterSizes[i%len(clusterSizes)]
+		jct[fmt.Sprintf("%.0f/%d", gb, n)] = v
 	}
 	for _, gb := range sizesGB {
 		row := []string{fmt.Sprintf("%.0f", gb)}
@@ -173,5 +196,6 @@ func Fig5d() (*Outcome, error) {
 		return nil, err
 	}
 	out.Notef("C4 series linear fit R²=%.3f (paper: JCT almost linearly proportional to data size)", fit.R2)
+	out.EventsFired = fired.Load()
 	return out, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -26,7 +27,7 @@ type hybridRig struct {
 	vms       []*cluster.VM
 }
 
-func newHybridRig(nativePMs, vmHosts int, seed int64, capacityAware bool) (*hybridRig, error) {
+func newHybridRig(nativePMs, vmHosts int, seed int64, capacityAware bool, sink *atomic.Uint64) (*hybridRig, error) {
 	rig, err := testbed.New(testbed.Options{
 		PMs:      vmHosts,
 		VMsPerPM: 2,
@@ -35,6 +36,7 @@ func newHybridRig(nativePMs, vmHosts int, seed int64, capacityAware bool) (*hybr
 			SlotCaps:      mapred.DefaultSlotCaps(),
 			CapacityAware: capacityAware,
 		},
+		EventSink: sink,
 	})
 	if err != nil {
 		return nil, err
@@ -69,17 +71,17 @@ type mixResult struct {
 // runMix drives nServices interactive applications and nJobs batch jobs
 // on a hybrid rig under the given placement policy, returning mean batch
 // JCT and mean interactive latency.
-func runMix(nServices, nJobs int, usePhase1 bool, seed int64) (mixResult, error) {
+func runMix(nServices, nJobs int, usePhase1 bool, seed int64, sink *atomic.Uint64) (mixResult, error) {
 	// 8 native PMs plus 16 PMs hosting 32 VMs: the virtual partition
 	// keeps real spare capacity, which is the premise the paper's
 	// consolidation argument rests on.
-	h, err := newHybridRig(8, 16, seed, usePhase1)
+	h, err := newHybridRig(8, 16, seed, usePhase1, sink)
 	if err != nil {
 		return mixResult{}, err
 	}
 	// The baseline is the paper's FCFS discipline: random placement with
 	// no Phase II protection, i.e. plain Hadoop on the hybrid hardware.
-	cfg := core.Config{TrainingSeed: seed}
+	cfg := core.Config{TrainingSeed: seed, EventSink: sink}
 	if !usePhase1 {
 		cfg.DisableDRM = true
 		cfg.DisableIPS = true
@@ -192,16 +194,28 @@ func Fig8a() (*Outcome, error) {
 		{"wmix-2 (20/80)", 2, 10},
 		{"wmix-3 (80/20)", 10, 3},
 	}
+	var fired atomic.Uint64
+	// Each (mix, policy) run is independent: even index = random
+	// placement, odd = Phase I.
+	results, err := Map(len(mixes)*2, func(i int) (mixResult, error) {
+		mix := mixes[i/2]
+		usePhase1 := i%2 == 1
+		res, err := runMix(mix.services, mix.jobs, usePhase1, 801, &fired)
+		if err != nil {
+			policy := "random"
+			if usePhase1 {
+				policy = "phase1"
+			}
+			return mixResult{}, fmt.Errorf("fig8a %s %s: %w", mix.name, policy, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	best := 0.0
-	for _, mix := range mixes {
-		random, err := runMix(mix.services, mix.jobs, false, 801)
-		if err != nil {
-			return nil, fmt.Errorf("fig8a %s random: %w", mix.name, err)
-		}
-		phase1, err := runMix(mix.services, mix.jobs, true, 801)
-		if err != nil {
-			return nil, fmt.Errorf("fig8a %s phase1: %w", mix.name, err)
-		}
+	for mi, mix := range mixes {
+		random, phase1 := results[mi*2], results[mi*2+1]
 		transGain := 1 - phase1.meanLatency/random.meanLatency
 		batchGain := 1 - phase1.meanJCT/random.meanJCT
 		if batchGain > best {
@@ -210,13 +224,14 @@ func Fig8a() (*Outcome, error) {
 		out.Table.AddRow(mix.name, fmtF(transGain), fmtF(batchGain))
 	}
 	out.Notef("profiled placement helps both classes in the batch-heavy mixes; best batch gain %.0f%% (paper: gains up to ~0.4, magnitude varying with mix); wmix-3 has too little batch work for placement to matter much", best*100)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
 // drmJCT runs jobs on a 48-VM virtual cluster with static slot caps,
 // optionally managed by the DRM in the given mode, and returns each
 // job's JCT by benchmark name.
-func drmJCT(specs []mapred.JobSpec, managed bool, modes core.ResourceModes, seed int64) (map[string]float64, error) {
+func drmJCT(specs []mapred.JobSpec, managed bool, modes core.ResourceModes, seed int64, sink *atomic.Uint64) (map[string]float64, error) {
 	rig, err := testbed.New(testbed.Options{
 		PMs:      24,
 		VMsPerPM: 2,
@@ -225,6 +240,7 @@ func drmJCT(specs []mapred.JobSpec, managed bool, modes core.ResourceModes, seed
 			SlotCaps:      mapred.DefaultSlotCaps(),
 			CapacityAware: managed,
 		},
+		EventSink: sink,
 	})
 	if err != nil {
 		return nil, err
@@ -273,33 +289,49 @@ func fig8bc(id, title string, together bool, paperAvg, paperMax float64) (*Outco
 	for _, b := range workload.Benchmarks() {
 		specs = append(specs, scaledSpec(b))
 	}
+	// Config 0 is the unmanaged baseline, then the four DRM modes.
+	type drmCfg struct {
+		managed bool
+		modes   core.ResourceModes
+	}
+	cfgs := []drmCfg{{false, core.ResourceModes{}}}
+	for _, m := range drmModes {
+		cfgs = append(cfgs, drmCfg{true, m.modes})
+	}
+	var fired atomic.Uint64
+	var byCfg []map[string]float64
+	if together {
+		res, err := Map(len(cfgs), func(i int) (map[string]float64, error) {
+			return drmJCT(specs, cfgs[i].managed, cfgs[i].modes, 811, &fired)
+		})
+		if err != nil {
+			return nil, err
+		}
+		byCfg = res
+	} else {
+		flat, err := Map(len(cfgs)*len(specs), func(i int) (map[string]float64, error) {
+			c := cfgs[i/len(specs)]
+			return drmJCT([]mapred.JobSpec{specs[i%len(specs)]}, c.managed, c.modes, 811, &fired)
+		})
+		if err != nil {
+			return nil, err
+		}
+		byCfg = make([]map[string]float64, len(cfgs))
+		for ci := range cfgs {
+			merged := make(map[string]float64, len(specs))
+			for si, spec := range specs {
+				merged[spec.Name] = flat[ci*len(specs)+si][spec.Name]
+			}
+			byCfg[ci] = merged
+		}
+	}
+	base := byCfg[0]
 	reductions := make(map[string]map[string]float64) // benchmark -> mode -> reduction
 	for _, b := range specs {
 		reductions[b.Name] = make(map[string]float64)
 	}
-	run := func(managed bool, modes core.ResourceModes) (map[string]float64, error) {
-		if together {
-			return drmJCT(specs, managed, modes, 811)
-		}
-		res := make(map[string]float64)
-		for _, spec := range specs {
-			one, err := drmJCT([]mapred.JobSpec{spec}, managed, modes, 811)
-			if err != nil {
-				return nil, err
-			}
-			res[spec.Name] = one[spec.Name]
-		}
-		return res, nil
-	}
-	base, err := run(false, core.ResourceModes{})
-	if err != nil {
-		return nil, err
-	}
-	for _, m := range drmModes {
-		managed, err := run(true, m.modes)
-		if err != nil {
-			return nil, err
-		}
+	for mi, m := range drmModes {
+		managed := byCfg[mi+1]
 		for name, b := range base {
 			reductions[name][m.name] = (b - managed[name]) / b
 		}
@@ -320,6 +352,7 @@ func fig8bc(id, title string, together bool, paperAvg, paperMax float64) (*Outco
 	max := stats.Percentile(all, 100)
 	out.Notef("CPU+Mem+I/O mode: average JCT reduction %.1f%%, max %.1f%% (paper: %.1f%% / %.1f%%)",
 		avg*100, max*100, paperAvg, paperMax)
+	out.EventsFired = fired.Load()
 	return out, nil
 }
 
@@ -343,6 +376,7 @@ func Fig8d() (*Outcome, error) {
 		Title:   "RUBiS latency (ms) vs clients",
 		Columns: []string{"clients", "RUBiS", "RUBiS+MapReduce", "HybridMR"},
 	}}
+	var fired atomic.Uint64
 	run := func(clients int, batch, ips bool) (float64, error) {
 		rig, err := testbed.New(testbed.Options{
 			PMs:      12,
@@ -353,6 +387,7 @@ func Fig8d() (*Outcome, error) {
 				CapacityAware: ips,
 			},
 			Scheduler: mapred.FIFO{},
+			EventSink: &fired,
 		})
 		if err != nil {
 			return 0, err
@@ -399,31 +434,45 @@ func Fig8d() (*Outcome, error) {
 		tick.Stop()
 		return stats.Mean(lat), nil
 	}
-	sla := workload.RUBiS().SLAMs
-	var fifoViolations, hybridViolations int
+	var levels []int
 	for clients := 400; clients <= 6400; clients += 800 {
+		levels = append(levels, clients)
+	}
+	type latTriple struct{ alone, fifo, hybrid float64 }
+	results, err := Map(len(levels), func(i int) (latTriple, error) {
+		clients := levels[i]
 		alone, err := run(clients, false, false)
 		if err != nil {
-			return nil, err
+			return latTriple{}, err
 		}
 		fifo, err := run(clients, true, false)
 		if err != nil {
-			return nil, err
+			return latTriple{}, err
 		}
 		hybrid, err := run(clients, true, true)
 		if err != nil {
-			return nil, err
+			return latTriple{}, err
 		}
-		if fifo > sla {
+		return latTriple{alone: alone, fifo: fifo, hybrid: hybrid}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sla := workload.RUBiS().SLAMs
+	var fifoViolations, hybridViolations int
+	for i, clients := range levels {
+		r := results[i]
+		if r.fifo > sla {
 			fifoViolations++
 		}
-		if hybrid > sla {
+		if r.hybrid > sla {
 			hybridViolations++
 		}
 		out.Table.AddRow(fmt.Sprintf("%d", clients),
-			fmt.Sprintf("%.0f", alone), fmt.Sprintf("%.0f", fifo), fmt.Sprintf("%.0f", hybrid))
+			fmt.Sprintf("%.0f", r.alone), fmt.Sprintf("%.0f", r.fifo), fmt.Sprintf("%.0f", r.hybrid))
 	}
 	out.Notef("FIFO collocation violates the 2 s SLA at %d client levels; HybridMR at %d (paper: HybridMR keeps latency within bounds)",
 		fifoViolations, hybridViolations)
+	out.EventsFired = fired.Load()
 	return out, nil
 }

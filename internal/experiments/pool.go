@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism is the number of worker goroutines experiment runners use
+// to fan out independent sweep points. Values <= 0 (the default) use
+// GOMAXPROCS. Every sweep point builds its own seeded testbed and
+// sim.Engine, so results are independent of the worker count; the pool
+// assembles them in deterministic index order, which keeps rendered
+// tables and notes byte-identical at any parallelism.
+var Parallelism = 0
+
+// Workers resolves Parallelism to a concrete worker count.
+func Workers() int {
+	if Parallelism > 0 {
+		return Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) across Workers() goroutines and
+// returns the results in index order. Each fn call must be
+// self-contained: it owns its engines and rigs and touches no shared
+// mutable state. If any call fails, Map returns the error of the
+// lowest-index failure (so the reported error does not depend on
+// goroutine scheduling); results of other points are discarded.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

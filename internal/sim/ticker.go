@@ -5,10 +5,14 @@ import "time"
 // Ticker invokes a callback at a fixed virtual-time period. It is the
 // backbone of the periodic controllers in the system (the Phase II DRM
 // epoch loop, the IPS SLA monitor, and the metrics samplers).
+//
+// A ticker allocates its tick closure once and rides the engine's event
+// freelist thereafter, so steady-state ticking performs no allocations.
 type Ticker struct {
 	engine *Engine
 	period time.Duration
 	fn     func(now time.Duration)
+	tick   func()
 	ev     *Event
 	done   bool
 }
@@ -22,20 +26,21 @@ func NewTicker(engine *Engine, period time.Duration, fn func(now time.Duration))
 		t.done = true
 		return t
 	}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.ev = t.engine.After(t.period, func() {
+	t.tick = func() {
+		// The event now firing must not outlive its callback (it is
+		// recycled by the engine); drop our reference before user code
+		// runs so Stop never cancels a stale handle.
+		t.ev = nil
 		if t.done {
 			return
 		}
 		t.fn(t.engine.Now())
 		if !t.done {
-			t.schedule()
+			t.ev = t.engine.After(t.period, t.tick)
 		}
-	})
+	}
+	t.ev = engine.After(period, t.tick)
+	return t
 }
 
 // Stop cancels future firings. It is safe to call multiple times and from
@@ -46,6 +51,7 @@ func (t *Ticker) Stop() {
 	}
 	t.done = true
 	t.engine.Cancel(t.ev)
+	t.ev = nil
 }
 
 // Stopped reports whether the ticker has been stopped.

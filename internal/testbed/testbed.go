@@ -7,6 +7,7 @@ package testbed
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -57,6 +58,11 @@ type Options struct {
 	// schedule and/or chaos profile. A zero Faults.Seed derives one from
 	// the rig seed, so a chaos run is pinned by -seed alone.
 	Faults *fault.Options
+	// EventSink, when non-nil, accumulates the rig engine's fired-event
+	// total (flushed at Run/RunUntil boundaries). Experiment runners share
+	// one sink across every rig a figure builds — including concurrent
+	// sweep points — to attribute simulation events per experiment.
+	EventSink *atomic.Uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +107,9 @@ type Rig struct {
 func New(opts Options) (*Rig, error) {
 	opts = opts.withDefaults()
 	engine := sim.New()
+	if opts.EventSink != nil {
+		engine.SetFiredSink(opts.EventSink)
+	}
 	cl := cluster.New(engine, opts.ClusterConfig, opts.Seed)
 	fs := dfs.New(engine, dfs.Config{}, opts.Seed+1)
 	jt := mapred.NewJobTracker(engine, fs, opts.MapredConfig, opts.Scheduler)
