@@ -19,7 +19,12 @@
 // recording its wall-clock time, simulation events fired and events per
 // second, so the performance trajectory can be tracked across revisions.
 // Events are attributed per experiment through engine sinks, so the
-// totals stay exact even when sweep points run concurrently.
+// totals stay exact even when sweep points run concurrently. Records
+// also embed the experiment's merged metrics-registry snapshot (scheduler
+// counters, utilization gauges, latency histogram quantiles) and, where
+// the experiment surfaces them, per-benchmark critical-path summaries;
+// the merge is order-independent, so these too are byte-identical at any
+// worker count.
 package main
 
 import (
@@ -30,7 +35,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/critpath"
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 // benchRecord is the machine-readable per-experiment performance report
@@ -42,6 +49,13 @@ type benchRecord struct {
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsFired  uint64  `json:"events_fired"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Metrics is the experiment's merged metrics-registry snapshot:
+	// counters and histogram buckets summed across sweep points, gauges
+	// taking the max. Deterministic at any -parallel value.
+	Metrics trace.Snapshot `json:"metrics"`
+	// CritPaths holds per-benchmark critical-path digests where the
+	// experiment computes them (e.g. fig1a's native runs).
+	CritPaths map[string]critpath.Summary `json:"critical_paths,omitempty"`
 }
 
 func writeBenchJSON(rec benchRecord) error {
@@ -115,6 +129,7 @@ func run(args []string) error {
 			rec := benchRecord{
 				Name: e.ID, Scale: *scale, Parallel: experiments.Workers(),
 				WallSeconds: wall, EventsFired: outcome.EventsFired,
+				Metrics: outcome.Metrics, CritPaths: outcome.CritPaths,
 			}
 			if wall > 0 {
 				rec.EventsPerSec = float64(outcome.EventsFired) / wall

@@ -20,6 +20,7 @@
 // Usage:
 //
 //	hybridmr-sim -trace out.json -trace-format chrome -metrics
+//	hybridmr-sim -report out.html -audit decisions.jsonl
 //	hybridmr-sim -benchmark Sort -data-gb 8 -pms 12 -vms-per-pm 2
 //	hybridmr-sim -benchmark Kmeans -pms 24            # native cluster
 //	hybridmr-sim -benchmark Sort -pms 24 -dom0        # Dom-0 mode
@@ -31,15 +32,22 @@
 // Job mode accepts a comma-separated benchmark list; each benchmark runs
 // as its own seeded simulation, fanned across -parallel worker goroutines
 // (default GOMAXPROCS) with reports printed in list order, so the output
-// does not depend on the worker count. -trace and -metrics require a
-// single benchmark, since both would interleave events from concurrent
-// engines.
+// does not depend on the worker count. -trace, -metrics, -audit and
+// -report all work with a benchmark list too: every run gets its own
+// private tracer, registry and decision log, and file outputs gain a
+// per-benchmark suffix (out.json becomes out-Sort.json), so concurrent
+// engines never interleave and each file stays byte-deterministic.
 //
 // The trace file loads directly into Perfetto (ui.perfetto.dev) or
 // chrome://tracing when written in the default chrome format; -trace-format
-// jsonl writes one JSON event per line for ad-hoc processing. Traces
-// contain only simulated timestamps, so two runs with the same seed
-// produce byte-identical files.
+// jsonl writes one JSON event per line for ad-hoc processing. -audit
+// exports the scheduler's decision log (placement, task assignment,
+// speculation, DRM grants, migrations, fault recovery — with candidates
+// and reasons) as JSONL. -report writes a self-contained HTML observatory:
+// utilization/power timelines, a per-machine swimlane, the filterable
+// audit log and per-job critical-path breakdowns, with no external
+// assets. All outputs contain only simulated timestamps, so two runs with
+// the same seed produce byte-identical files.
 package main
 
 import (
@@ -48,13 +56,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	hybridmr "repro"
+	"repro/internal/audit"
+	"repro/internal/cluster"
+	"repro/internal/critpath"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/mapred"
+	"repro/internal/metrics"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/trace"
@@ -66,6 +80,154 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hybridmr-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// obsConfig is the observability surface requested on the command line.
+type obsConfig struct {
+	traceFile, traceFormat string
+	metricsOn              bool
+	auditFile              string
+	reportFile             string
+}
+
+// runObs bundles the observers of one simulation run. Multi-benchmark
+// job lists build one per benchmark (with a filename suffix) so
+// concurrent engines never share recording state; modes that don't need
+// a given observer leave it nil, and every consumer is nil-safe.
+type runObs struct {
+	cfg    obsConfig
+	suffix string // "" or "-<benchmark>" for job lists
+	seed   int64
+
+	tracer *trace.Tracer
+	reg    *trace.Registry
+	log    *audit.Log
+	rec    *metrics.Recorder
+
+	title  string
+	simEnd time.Duration
+	jobs   []report.JobPath
+}
+
+func newRunObs(cfg obsConfig, suffix string, seed int64) *runObs {
+	o := &runObs{cfg: cfg, suffix: suffix, seed: seed}
+	if cfg.traceFile != "" || cfg.reportFile != "" {
+		o.tracer = trace.New(nil)
+	}
+	if cfg.metricsOn || cfg.traceFile != "" || cfg.reportFile != "" {
+		o.reg = trace.NewRegistry()
+	}
+	if cfg.auditFile != "" || cfg.reportFile != "" {
+		o.log = audit.New(0)
+	}
+	return o
+}
+
+// watch attaches a utilization/power recorder to the run's cluster when
+// a report was requested; the report's timeline view reads it back.
+func (o *runObs) watch(cl *cluster.Cluster) {
+	if o.cfg.reportFile != "" {
+		o.rec = metrics.NewRecorder(cl, 10*time.Second, 0)
+	}
+}
+
+// addJob records one completed job's critical-path digest for the
+// report. A nil summary (analysis failed) is skipped.
+func (o *runObs) addJob(name string, sum *critpath.Summary) {
+	if sum != nil {
+		o.jobs = append(o.jobs, report.JobPath{Name: name, Path: *sum})
+	}
+}
+
+// suffixed inserts the per-benchmark suffix before the file extension:
+// out.json -> out-Sort.json.
+func suffixed(path, suffix string) string {
+	if suffix == "" {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + suffix + ext
+}
+
+// finish writes every requested output for one run. The report and the
+// audit export are written before the wall-clock throughput gauge is
+// set, so their bytes depend only on simulated state; eventsPerSec <= 0
+// (multi-benchmark runs, where process-global event counts would mix
+// engines) skips the gauge entirely.
+func (o *runObs) finish(out io.Writer, eventsPerSec float64) error {
+	if o.rec != nil {
+		o.rec.Stop()
+	}
+	if o.cfg.reportFile != "" {
+		d := report.Data{
+			Title:        o.title,
+			Seed:         o.seed,
+			SimEnd:       o.simEnd,
+			Events:       o.tracer.Events(),
+			Audit:        o.log.Records(),
+			AuditDropped: o.log.Dropped(),
+			Metrics:      o.reg.Snapshot(),
+			Jobs:         o.jobs,
+		}
+		if o.rec != nil {
+			d.Samples = o.rec.Samples()
+			d.EnergyWh = o.rec.EnergyWh()
+		}
+		path := suffixed(o.cfg.reportFile, o.suffix)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := report.Write(f, d); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nreport: %s (%d trace events, %d audit records, %d jobs profiled)\n",
+			path, len(d.Events), len(d.Audit), len(d.Jobs))
+	}
+	if o.cfg.auditFile != "" {
+		path := suffixed(o.cfg.auditFile, o.suffix)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := o.log.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\naudit: %d decisions -> %s\n", o.log.Len(), path)
+	}
+	// Wall-clock throughput goes to the registry only — never into the
+	// report, trace or audit files, which must stay deterministic.
+	if eventsPerSec > 0 {
+		o.reg.Gauge("engine.events_per_sec").Set(eventsPerSec)
+	}
+	if o.cfg.traceFile != "" {
+		path := suffixed(o.cfg.traceFile, o.suffix)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := o.tracer.Write(f, trace.ExportFormat(o.cfg.traceFormat)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrace: %d events -> %s (%s format)\n", o.tracer.Len(), path, o.cfg.traceFormat)
+	}
+	if o.cfg.metricsOn {
+		fmt.Fprintf(out, "\nmetrics:\n")
+		o.reg.Fprint(out)
+	}
+	return nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -86,6 +248,8 @@ func run(args []string, out io.Writer) error {
 	traceFile := fs.String("trace", "", "write a structured event trace to this file")
 	traceFormat := fs.String("trace-format", "chrome", "trace encoding: chrome (Perfetto-loadable) or jsonl")
 	metricsOn := fs.Bool("metrics", false, "print the metrics registry after the run")
+	auditFile := fs.String("audit", "", "write the scheduler decision log as JSONL to this file")
+	reportFile := fs.String("report", "", "write a self-contained HTML observatory report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,79 +266,62 @@ func run(args []string, out io.Writer) error {
 		})
 	}
 
-	var tracer *trace.Tracer
-	var reg *trace.Registry
-	if *traceFile != "" {
-		tracer = trace.New(nil)
-	}
-	if *metricsOn || *traceFile != "" {
-		reg = trace.NewRegistry()
+	cfg := obsConfig{
+		traceFile: *traceFile, traceFormat: *traceFormat,
+		metricsOn: *metricsOn, auditFile: *auditFile, reportFile: *reportFile,
 	}
 
 	firedBefore := sim.ProcessEvents()
 	wallStart := time.Now()
+	throughput := func() float64 {
+		if wall := time.Since(wallStart).Seconds(); wall > 0 {
+			return float64(sim.ProcessEvents()-firedBefore) / wall
+		}
+		return 0
+	}
 
-	var err error
 	switch mode {
 	case "quickstart":
-		err = runQuickstart(*seed, tracer, reg, out)
+		obs := newRunObs(cfg, "", *seed)
+		if err := runQuickstart(*seed, obs, out); err != nil {
+			return err
+		}
+		return obs.finish(out, throughput())
 	case "job":
-		err = runJobs(*bench, jobOptions{
+		return runJobs(*bench, jobOptions{
 			dataGB: *dataGB, pms: *pms, vmsPerPM: *vmsPerPM,
 			dom0: *dom0, split: *split, slotCaps: *slotCaps, sched: *sched, seed: *seed,
-		}, *parallel, tracer, reg, out)
+		}, *parallel, cfg, throughput, out)
 	case "chaos":
-		err = runChaos(*seed, *faultSeed, *faults, tracer, reg, out)
+		obs := newRunObs(cfg, "", *seed)
+		if err := runChaos(*seed, *faultSeed, *faults, obs, out); err != nil {
+			return err
+		}
+		return obs.finish(out, throughput())
 	default:
 		return fmt.Errorf("unknown scenario %q (quickstart, job or chaos)", mode)
 	}
-	if err != nil {
-		return err
-	}
-
-	// Wall-clock throughput goes to the registry only — never into the
-	// trace file, which must stay deterministic across runs.
-	if wall := time.Since(wallStart).Seconds(); wall > 0 {
-		reg.Gauge("engine.events_per_sec").Set(float64(sim.ProcessEvents()-firedBefore) / wall)
-	}
-
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			return err
-		}
-		if err := tracer.Write(f, trace.ExportFormat(*traceFormat)); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "\ntrace: %d events -> %s (%s format)\n", tracer.Len(), *traceFile, *traceFormat)
-	}
-	if *metricsOn {
-		fmt.Fprintf(out, "\nmetrics:\n")
-		reg.Fprint(out)
-	}
-	return nil
 }
 
 // runQuickstart exercises every traced subsystem: hybrid placement, task
 // execution with data locality, interactive-service SLA monitoring, live
 // VM migration and PM power management.
-func runQuickstart(seed int64, tracer *trace.Tracer, reg *trace.Registry, out io.Writer) error {
+func runQuickstart(seed int64, obs *runObs, out io.Writer) error {
+	obs.title = "quickstart"
 	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
 		NativePMs:      4,
 		VirtualHostPMs: 4,
 		VMsPerHost:     2,
 		Seed:           seed,
-		Tracer:         tracer,
-		Metrics:        reg,
+		Tracer:         obs.tracer,
+		Metrics:        obs.reg,
+		Audit:          obs.log,
 	})
 	if err != nil {
 		return err
 	}
 	defer dc.Close()
+	obs.watch(dc.Cluster)
 
 	svc, err := dc.DeployService(hybridmr.RUBiS())
 	if err != nil {
@@ -234,11 +381,16 @@ func runQuickstart(seed int64, tracer *trace.Tracer, reg *trace.Registry, out io
 		status := "running"
 		if s.job.Done() {
 			status = fmt.Sprintf("done, JCT %.1fs", s.job.JCT().Seconds())
+			if rep, err := s.job.CriticalPath(); err == nil {
+				sum := rep.Summary()
+				obs.addJob(s.job.Spec.Name, &sum)
+			}
 		}
 		fmt.Fprintf(out, "  %-8s -> %-7s partition  (%s)\n", s.job.Spec.Name, s.placement, status)
 	}
 	fmt.Fprintf(out, "  RUBiS    -> %.0f ms mean response (%d clients)\n",
 		svc.LatencyMs(), svc.Clients())
+	obs.simEnd = dc.Now()
 	return nil
 }
 
@@ -247,7 +399,8 @@ func runQuickstart(seed int64, tracer *trace.Tracer, reg *trace.Registry, out io
 // other kind, all drawn from the fault seed. It verifies end-to-end
 // recovery — every job completes and the DFS heals back to target
 // replication — and prints the seeds needed to replay the run.
-func runChaos(seed, faultSeed int64, profileSpec string, tracer *trace.Tracer, reg *trace.Registry, out io.Writer) error {
+func runChaos(seed, faultSeed int64, profileSpec string, obs *runObs, out io.Writer) error {
+	obs.title = "chaos"
 	profile := &fault.Profile{
 		VMCrashPerHour:     2,
 		TrackerHangPerHour: 4,
@@ -269,8 +422,9 @@ func runChaos(seed, faultSeed int64, profileSpec string, tracer *trace.Tracer, r
 		PMs:      8,
 		VMsPerPM: 2,
 		Seed:     seed,
-		Tracer:   tracer,
-		Metrics:  reg,
+		Tracer:   obs.tracer,
+		Metrics:  obs.reg,
+		Audit:    obs.log,
 		Faults: &fault.Options{
 			Seed: faultSeed,
 			// One guaranteed whole-machine crash mid-run, on top of
@@ -283,6 +437,10 @@ func runChaos(seed, faultSeed int64, profileSpec string, tracer *trace.Tracer, r
 	})
 	if err != nil {
 		return err
+	}
+	obs.watch(rig.Cluster)
+	if obs.rec != nil {
+		rig.OnAllJobsDone = obs.rec.Stop
 	}
 	results, err := rig.RunJobs([]mapred.JobSpec{
 		workload.Sort().WithInputMB(2 * 1024),
@@ -298,12 +456,14 @@ func runChaos(seed, faultSeed int64, profileSpec string, tracer *trace.Tracer, r
 	for _, r := range results {
 		fmt.Fprintf(out, "  %-8s JCT %7.1fs  (map %.1fs, reduce %.1fs)\n",
 			r.Name, r.JCT.Seconds(), r.MapPhase.Seconds(), r.ReducePhase.Seconds())
+		obs.addJob(r.Name, r.CritPath)
 	}
 	under, lost := rig.FS.UnderReplicated(), rig.FS.LostBlocks()
 	fmt.Fprintf(out, "\nDFS after recovery: %d under-replicated, %d lost\n", under, lost)
 	if under != 0 {
 		return fmt.Errorf("chaos: %d blocks still under-replicated after recovery", under)
 	}
+	obs.simEnd = rig.Engine.Now()
 	return nil
 }
 
@@ -319,9 +479,11 @@ type jobOptions struct {
 
 // runJobs fans a comma-separated benchmark list across the experiment
 // worker pool, each on its own seeded rig, and prints the reports in
-// list order. Tracing and metrics stay single-benchmark: both record
-// into shared state that concurrent engines would interleave.
-func runJobs(benchList string, o jobOptions, parallel int, tracer *trace.Tracer, reg *trace.Registry, out io.Writer) error {
+// list order. Every run records through its own tracer, registry and
+// decision log; with more than one benchmark, file outputs gain a
+// per-benchmark suffix and the wall-clock throughput gauge is skipped
+// (process-global event counts would mix concurrent engines).
+func runJobs(benchList string, o jobOptions, parallel int, cfg obsConfig, throughput func() float64, out io.Writer) error {
 	var benches []string
 	for _, b := range strings.Split(benchList, ",") {
 		if b = strings.TrimSpace(b); b != "" {
@@ -333,20 +495,22 @@ func runJobs(benchList string, o jobOptions, parallel int, tracer *trace.Tracer,
 	}
 	if len(benches) == 1 {
 		o.bench = benches[0]
-		return runJob(o, tracer, reg, out)
-	}
-	if tracer != nil {
-		return fmt.Errorf("-trace requires a single benchmark (got %d)", len(benches))
-	}
-	if reg != nil {
-		return fmt.Errorf("-metrics requires a single benchmark (got %d)", len(benches))
+		obs := newRunObs(cfg, "", o.seed)
+		if err := runJob(o, obs, out); err != nil {
+			return err
+		}
+		return obs.finish(out, throughput())
 	}
 	experiments.Parallelism = parallel
 	reports, err := experiments.Map(len(benches), func(i int) (string, error) {
 		run := o
 		run.bench = benches[i]
+		obs := newRunObs(cfg, "-"+benches[i], o.seed)
 		var buf bytes.Buffer
-		if err := runJob(run, nil, nil, &buf); err != nil {
+		if err := runJob(run, obs, &buf); err != nil {
+			return "", fmt.Errorf("%s: %w", benches[i], err)
+		}
+		if err := obs.finish(&buf, 0); err != nil {
 			return "", fmt.Errorf("%s: %w", benches[i], err)
 		}
 		return buf.String(), nil
@@ -364,7 +528,8 @@ func runJobs(benchList string, o jobOptions, parallel int, tracer *trace.Tracer,
 }
 
 // runJob is the original single-benchmark mode.
-func runJob(o jobOptions, tracer *trace.Tracer, reg *trace.Registry, out io.Writer) error {
+func runJob(o jobOptions, obs *runObs, out io.Writer) error {
+	obs.title = "job: " + o.bench
 	spec, err := workload.ByName(o.bench)
 	if err != nil {
 		return err
@@ -397,16 +562,25 @@ func runJob(o jobOptions, tracer *trace.Tracer, reg *trace.Registry, out io.Writ
 		Seed:         o.seed,
 		Scheduler:    scheduler,
 		MapredConfig: mrCfg,
-		Tracer:       tracer,
-		Metrics:      reg,
+		Tracer:       obs.tracer,
+		Metrics:      obs.reg,
+		Audit:        obs.log,
 	})
 	if err != nil {
 		return err
+	}
+	obs.watch(rig.Cluster)
+	if obs.rec != nil {
+		// Stop sampling when the job completes: the sampler's periodic
+		// ticks would otherwise keep Engine.Run from ever draining.
+		rig.OnAllJobsDone = obs.rec.Stop
 	}
 	res, err := rig.RunJob(spec)
 	if err != nil {
 		return err
 	}
+	obs.addJob(res.Name, res.CritPath)
+	obs.simEnd = rig.Engine.Now()
 	fmt.Fprintf(out, "benchmark:    %s\n", res.Name)
 	fmt.Fprintf(out, "workers:      %d (%d PMs x %d VMs/PM)\n", len(rig.Workers), o.pms, o.vmsPerPM)
 	fmt.Fprintf(out, "JCT:          %.1fs\n", res.JCT.Seconds())

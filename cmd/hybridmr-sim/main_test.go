@@ -179,16 +179,169 @@ func TestMultiBenchmarkJobListIsDeterministic(t *testing.T) {
 	}
 }
 
-func TestMultiBenchmarkRejectsTraceAndMetrics(t *testing.T) {
+// TestMultiBenchmarkSuffixedOutputs pins the job-list observability
+// contract: every benchmark in the list records through its own tracer,
+// registry and decision log, file outputs gain a per-benchmark suffix,
+// and each suffixed file matches the one a standalone run writes.
+func TestMultiBenchmarkSuffixedOutputs(t *testing.T) {
+	dir := t.TempDir()
 	var out bytes.Buffer
-	path := filepath.Join(t.TempDir(), "t.jsonl")
-	if err := run([]string{"-benchmark", "PiEst,Wcount", "-trace", path}, &out); err == nil ||
-		!strings.Contains(err.Error(), "single benchmark") {
-		t.Errorf("-trace with a benchmark list: err = %v, want single-benchmark error", err)
+	args := []string{"-benchmark", "PiEst,Wcount", "-pms", "4", "-parallel", "2",
+		"-trace", filepath.Join(dir, "t.json"), "-trace-format", "jsonl",
+		"-audit", filepath.Join(dir, "a.jsonl"),
+		"-report", filepath.Join(dir, "r.html"),
+		"-metrics"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, out.String())
 	}
-	if err := run([]string{"-benchmark", "PiEst,Wcount", "-metrics"}, &out); err == nil ||
-		!strings.Contains(err.Error(), "single benchmark") {
-		t.Errorf("-metrics with a benchmark list: err = %v, want single-benchmark error", err)
+	for _, bench := range []string{"PiEst", "Wcount"} {
+		for _, name := range []string{"t-" + bench + ".json", "a-" + bench + ".jsonl", "r-" + bench + ".html"} {
+			if fi, err := os.Stat(filepath.Join(dir, name)); err != nil || fi.Size() == 0 {
+				t.Errorf("missing or empty %s: %v", name, err)
+			}
+		}
+	}
+	if n := strings.Count(out.String(), "metrics:"); n != 2 {
+		t.Errorf("want one metrics section per benchmark, got %d", n)
+	}
+
+	// The suffixed audit log is byte-identical to a standalone run's.
+	single := t.TempDir()
+	if err := run([]string{"-benchmark", "PiEst", "-pms", "4",
+		"-audit", filepath.Join(single, "a.jsonl")}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("single PiEst: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join(single, "a.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "a-PiEst.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("a-PiEst.jsonl from the list run differs from a standalone PiEst run")
+	}
+}
+
+// TestAuditExportIsDeterministicAcrossWorkerCounts: the decision logs a
+// benchmark list writes do not depend on -parallel.
+func TestAuditExportIsDeterministicAcrossWorkerCounts(t *testing.T) {
+	render := func(parallel string) map[string][]byte {
+		t.Helper()
+		dir := t.TempDir()
+		args := []string{"-benchmark", "PiEst,Wcount,Kmeans", "-pms", "4",
+			"-parallel", parallel, "-audit", filepath.Join(dir, "a.jsonl")}
+		if err := run(args, &bytes.Buffer{}); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		files := map[string][]byte{}
+		for _, bench := range []string{"PiEst", "Wcount", "Kmeans"} {
+			data, err := os.ReadFile(filepath.Join(dir, "a-"+bench+".jsonl"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) == 0 {
+				t.Fatalf("a-%s.jsonl is empty", bench)
+			}
+			files[bench] = data
+		}
+		return files
+	}
+	serial, parallel := render("1"), render("8")
+	for bench, want := range serial {
+		if !bytes.Equal(parallel[bench], want) {
+			t.Errorf("%s audit log differs between -parallel 1 and 8", bench)
+		}
+	}
+}
+
+// TestQuickstartReportIsDeterministicAndComplete: two same-seed
+// quickstart runs write byte-identical observatory reports, and the
+// report renders every view with no external assets.
+func TestQuickstartReportIsDeterministicAndComplete(t *testing.T) {
+	render := func(name string) []byte {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), name)
+		var out bytes.Buffer
+		args := []string{"-seed", "7", "-report", path}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run(%v): %v\noutput:\n%s", args, err, out.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := render("a.html")
+	b := render("b.html")
+	if !bytes.Equal(a, b) {
+		t.Errorf("two same-seed reports differ (%d vs %d bytes)", len(a), len(b))
+	}
+	html := string(a)
+	for _, want := range []string{
+		"Utilization &amp; power timeline",
+		"Placement &amp; migration swimlane",
+		"Per-job critical paths",
+		"Scheduler decision audit log",
+		"<polyline", // recorded samples rendered
+		"phase1",    // placement decisions present
+		"makespan",  // at least one job profiled
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	for _, banned := range []string{"http://", "https://", "src="} {
+		if strings.Contains(html, banned) {
+			t.Errorf("report references external asset %q", banned)
+		}
+	}
+}
+
+// TestQuickstartAuditJSONLParsesAndIsDeterministic: the exported
+// decision log is valid JSONL with the pinned schema, identical across
+// same-seed runs, and covers the subsystems the quickstart exercises.
+func TestQuickstartAuditJSONLParsesAndIsDeterministic(t *testing.T) {
+	render := func(name string) []byte {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), name)
+		var out bytes.Buffer
+		if err := run([]string{"-seed", "7", "-audit", path}, &out); err != nil {
+			t.Fatalf("run -audit: %v", err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := render("a.jsonl")
+	if b := render("b.jsonl"); !bytes.Equal(a, b) {
+		t.Error("two same-seed audit exports differ")
+	}
+	subsystems := map[string]bool{}
+	lines := strings.Split(strings.TrimSpace(string(a)), "\n")
+	for i, line := range lines {
+		var rec struct {
+			Seq       uint64 `json:"seq"`
+			Subsystem string `json:"subsystem"`
+			Action    string `json:"action"`
+			Decision  string `json:"decision"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i+1, err)
+		}
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("line %d has seq %d, want %d", i+1, rec.Seq, i+1)
+		}
+		subsystems[rec.Subsystem] = true
+	}
+	for _, want := range []string{"phase1", "mapred", "cluster"} {
+		if !subsystems[want] {
+			t.Errorf("audit log lacks any %q decisions (have %v)", want, subsystems)
+		}
 	}
 }
 

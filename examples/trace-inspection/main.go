@@ -1,9 +1,13 @@
-// Trace inspection: run a small mixed workload with the tracer on, then
-// analyze the recorded events instead of the simulator's in-memory state —
-// the same workflow you would apply to a trace file saved by
-// `hybridmr-sim -trace`. The program ranks the five slowest task attempts
-// and shows, for each, how long the task waited for a slot versus how
-// long it actually ran, alongside each job's map/reduce phase split.
+// Trace inspection: run a small mixed workload with the tracer and the
+// decision audit log on, then analyze the recorded events instead of the
+// simulator's in-memory state — the same workflow you would apply to the
+// files saved by `hybridmr-sim -trace`/`-audit`. The program ranks the
+// five slowest task attempts and shows, for each, how long the task
+// waited for a slot versus how long it actually ran, alongside each
+// job's map/reduce phase split; then it asks the audit log *why* each
+// job landed on its partition (with the candidates Phase I weighed) and
+// which speculative launches paid off, and finally prints the critical
+// path bounding one job's completion time.
 package main
 
 import (
@@ -37,12 +41,14 @@ type event struct {
 
 func run() error {
 	tracer := hybridmr.NewTracer()
+	auditLog := hybridmr.NewAuditLog(0)
 	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
 		NativePMs:      2,
 		VirtualHostPMs: 2,
 		VMsPerHost:     2,
 		Seed:           3,
 		Tracer:         tracer,
+		Audit:          auditLog,
 	})
 	if err != nil {
 		return err
@@ -51,14 +57,17 @@ func run() error {
 
 	// A mixed workload: a shuffle-heavy sort, a scan, and a CPU-bound
 	// estimator, all competing for the same slots.
+	var jobs []*hybridmr.Job
 	for _, spec := range []hybridmr.JobSpec{
 		hybridmr.Sort().WithInputMB(1024),
 		hybridmr.DistGrep().WithInputMB(1024),
 		hybridmr.PiEst(),
 	} {
-		if _, _, err := dc.SubmitJob(spec, 0, nil); err != nil {
+		job, _, err := dc.SubmitJob(spec, 0, nil)
+		if err != nil {
 			return err
 		}
+		jobs = append(jobs, job)
 	}
 	dc.RunFor(30 * time.Minute)
 
@@ -115,5 +124,44 @@ func run() error {
 			p.Track, p.Name,
 			float64(p.TsUs)/1e6, float64(p.TsUs+p.DurUs)/1e6, float64(p.DurUs)/1e6)
 	}
+
+	// The audit log answers "why": which partition Phase I picked for
+	// each job, against what alternative, and on what grounds. The same
+	// query works on a `hybridmr-sim -audit` export with
+	// `jq 'select(.subsystem=="phase1")'`.
+	fmt.Printf("\nwhy each job landed where it did (audit log):\n\n")
+	for _, r := range auditLog.Filter(func(r hybridmr.AuditRecord) bool {
+		return r.Subsystem == "phase1" && r.Action == "place"
+	}) {
+		fmt.Printf("%-14s -> %-8s  %s\n", r.Subject, r.Decision, r.Reason)
+		for _, c := range r.Candidates {
+			mark := " "
+			if c.Chosen {
+				mark = "*"
+			}
+			fmt.Printf("  %s %-8s est. %.1fs  %s\n", mark, c.Name, c.Score, c.Note)
+		}
+	}
+	if specs := auditLog.Filter(func(r hybridmr.AuditRecord) bool {
+		return r.Action == "speculate"
+	}); len(specs) > 0 {
+		fmt.Printf("\nspeculative launches: %d (first: %s -> %s, %s)\n",
+			len(specs), specs[0].Subject, specs[0].Decision, specs[0].Reason)
+	}
+
+	// The critical-path profiler explains which chain of attempts bounded
+	// a job's completion time; waits and runs telescope to the makespan.
+	fmt.Printf("\ncritical path of %s:\n\n", jobs[0].Spec.Name)
+	rep, err := jobs[0].CriticalPath()
+	if err != nil {
+		return err
+	}
+	for _, st := range rep.Steps {
+		fmt.Printf("  %-22s on %-5s  wait %5.1fs  run %6.1fs\n",
+			st.ID, st.Where, st.Wait.Seconds(), st.Run.Seconds())
+	}
+	fmt.Printf("  makespan %.1fs = %.1fs waiting + %.1fs running (%d retried, %d speculative wins)\n",
+		rep.Makespan.Seconds(), rep.Wait.Seconds(), rep.Run.Seconds(),
+		rep.Retried, rep.SpeculativeWins)
 	return nil
 }

@@ -30,8 +30,10 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/critpath"
 	"repro/internal/dfs"
 	"repro/internal/experiments"
 	"repro/internal/fault"
@@ -84,6 +86,20 @@ type (
 	Tracer = trace.Tracer
 	// MetricsRegistry collects counters, gauges and histograms.
 	MetricsRegistry = trace.Registry
+	// MetricsSnapshot is a point-in-time, mergeable view of a registry.
+	MetricsSnapshot = trace.Snapshot
+	// AuditLog records every scheduling, migration and fault-recovery
+	// decision with its candidates and rationale; export with WriteJSONL.
+	AuditLog = audit.Log
+	// AuditRecord is one audited decision.
+	AuditRecord = audit.Record
+	// AuditCandidate is one alternative a decision weighed.
+	AuditCandidate = audit.Candidate
+	// CriticalPathReport is a completed job's critical-path profile; see
+	// Job.CriticalPath.
+	CriticalPathReport = critpath.Report
+	// CriticalPathStep is one task on the critical path.
+	CriticalPathStep = critpath.Step
 	// TraceFormat selects a trace export encoding.
 	TraceFormat = trace.ExportFormat
 	// FaultInjector injects seed-deterministic failures (machine
@@ -123,6 +139,12 @@ func NewTracer() *Tracer { return trace.New(nil) }
 
 // NewMetricsRegistry builds an empty metrics registry.
 var NewMetricsRegistry = trace.NewRegistry
+
+// NewAuditLog builds a decision log holding up to capacity records
+// (<= 0 uses a generous default); hand it to ClusterSpec.Audit or
+// RigOptions.Audit and its clock is bound to the simulation engine when
+// the cluster is assembled.
+var NewAuditLog = audit.New
 
 // Trace export formats.
 const (
@@ -211,6 +233,10 @@ type ClusterSpec struct {
 	// the given schedule and/or chaos profile, spanning both partitions.
 	// A zero Faults.Seed derives one from Seed.
 	Faults *FaultOptions
+	// Audit, when non-nil, records every Phase I placement, Phase II
+	// scheduling action, migration and fault-recovery decision made by
+	// the deployment. Its clock is bound to the cluster's engine.
+	Audit *AuditLog
 }
 
 // HybridCluster is a ready-to-use hybrid data center running HybridMR.
@@ -261,6 +287,7 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 			},
 			Tracer:  spec.Tracer,
 			Metrics: spec.Metrics,
+			Audit:   spec.Audit,
 		})
 		if err != nil {
 			return nil, err
@@ -276,6 +303,10 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 			spec.Tracer.SetClock(engine)
 			cl.SetTrace(spec.Tracer, spec.Metrics)
 		}
+		if spec.Audit != nil {
+			spec.Audit.SetClock(engine)
+			cl.SetAudit(spec.Audit)
+		}
 	}
 
 	if spec.NativePMs > 0 {
@@ -285,6 +316,9 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 		if spec.Tracer != nil || spec.Metrics != nil {
 			nativeFS.SetTrace(spec.Tracer, spec.Metrics)
 			hc.NativeJT.SetTrace(spec.Tracer, spec.Metrics)
+		}
+		if spec.Audit != nil {
+			hc.NativeJT.SetAudit(spec.Audit)
 		}
 		for _, pm := range pms {
 			hc.NativeJT.AddTracker(pm)
@@ -302,6 +336,9 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 	}
 	if spec.Tracer != nil || spec.Metrics != nil {
 		sys.SetTrace(spec.Tracer, spec.Metrics)
+	}
+	if spec.Audit != nil {
+		sys.SetAudit(spec.Audit)
 	}
 	hc.System = sys
 	hc.Cluster = cl
@@ -326,6 +363,9 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 	hc.Faults = fault.NewInjector(env, faultOpts)
 	if spec.Tracer != nil || spec.Metrics != nil {
 		hc.Faults.SetTrace(spec.Tracer, spec.Metrics)
+	}
+	if spec.Audit != nil {
+		hc.Faults.SetAudit(spec.Audit)
 	}
 	if spec.Faults != nil {
 		if err := hc.Faults.Arm(); err != nil {

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -211,7 +212,8 @@ type Cluster struct {
 	// can unwind them.
 	migrations []*migration
 
-	tracer *trace.Tracer
+	tracer   *trace.Tracer
+	auditLog *audit.Log
 
 	// Cached metric handles; nil (a no-op) until SetTrace installs a
 	// registry.
@@ -251,6 +253,11 @@ func (c *Cluster) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	c.mVMCrashes = reg.Counter("cluster.vm.crashes")
 	c.mPMCrashes = reg.Counter("cluster.pm.crashes")
 }
+
+// SetAudit installs a decision log; migration lifecycle decisions
+// (start, completion, abort, retry, abandonment) are recorded on it. A
+// nil log keeps auditing off.
+func (c *Cluster) SetAudit(l *audit.Log) { c.auditLog = l }
 
 // Config returns the effective (defaulted) configuration.
 func (c *Cluster) Config() Config { return c.cfg }

@@ -162,6 +162,9 @@ func (c *Cluster) migrate(vm *VM, dst *PM, done func(MigrationStats), retries in
 			span.End(trace.F("transferred_mb", transferred))
 			c.mMigrations.Inc()
 			c.mMigrationDowntime.Observe(downtimeSec)
+			c.auditLog.Add("cluster", "migrate-done", vmName, "running on "+dstName,
+				fmt.Sprintf("moved %.0f MB in %.1fs, %.2fs downtime",
+					transferred, (c.engine.Now()-startAt).Seconds(), downtimeSec))
 			if done != nil {
 				done(MigrationStats{
 					VM:            vmName,
@@ -181,6 +184,9 @@ func (c *Cluster) migrate(vm *VM, dst *PM, done func(MigrationStats), retries in
 		return fmt.Errorf("cluster: Migrate(%s): %w", vmName, err)
 	}
 	c.migrations = append(c.migrations, m)
+	c.auditLog.Add("cluster", "migrate-start", vmName, "pre-copy to "+dstName,
+		fmt.Sprintf("from %s: %d pre-copy round(s), %.0f MB to move, ~%.2fs stop-and-copy blackout",
+			srcName, rounds, transferred, downtimeSec))
 	return nil
 }
 
@@ -224,6 +230,8 @@ func (c *Cluster) abortMigrationsFor(pm *PM) {
 			// The source crashed: the destination discards the pages it
 			// received and the VM dies with the source.
 			m.span.End(trace.S("outcome", "aborted"), trace.S("cause", "source-failed"))
+			c.auditLog.Add("cluster", "migrate-abort", m.vm.name, "VM lost",
+				fmt.Sprintf("source %s failed mid-transfer; the VM dies with it", pm.name))
 			if m.inBlackout {
 				// Already detached from the source for stop-and-copy, so
 				// the failure sweep will not see it; destroy it here.
@@ -237,6 +245,8 @@ func (c *Cluster) abortMigrationsFor(pm *PM) {
 		// it was frozen for stop-and-copy) on the source, and the
 		// migration retries after a backoff.
 		m.span.End(trace.S("outcome", "aborted"), trace.S("cause", "destination-failed"))
+		c.auditLog.Add("cluster", "migrate-abort", m.vm.name, "stay on "+m.src.name,
+			fmt.Sprintf("destination %s failed mid-transfer; retry with backoff", pm.name))
 		m.src.settle()
 		if m.inBlackout {
 			m.src.vms = append(m.src.vms, m.vm)
@@ -256,11 +266,16 @@ func (c *Cluster) scheduleMigrationRetry(vm *VM, dst *PM, done func(MigrationSta
 				trace.S("to", dst.name),
 				trace.F("retries", float64(prevRetries)))
 		}
+		c.auditLog.Add("cluster", "migrate-abandon", vm.name, "give up",
+			fmt.Sprintf("%d retries toward %s exhausted", prevRetries, dst.name))
 		return
 	}
 	attempt := prevRetries + 1
 	backoff := c.cfg.MigrationRetryBackoff << uint(prevRetries)
 	c.mMigrationRetries.Inc()
+	c.auditLog.Add("cluster", "migrate-retry", vm.name,
+		fmt.Sprintf("retry toward %s in %v", dst.name, backoff),
+		fmt.Sprintf("attempt %d of %d, exponential backoff", attempt, c.cfg.MigrationMaxRetries))
 	if c.tracer != nil {
 		c.tracer.Instant(vm.name, "migration", "migration-retry-scheduled",
 			trace.S("to", dst.name),

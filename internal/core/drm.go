@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/interference"
 	"repro/internal/mapred"
@@ -66,6 +67,7 @@ type DRM struct {
 	Adjustments int
 
 	tracer       *trace.Tracer
+	auditLog     *audit.Log
 	mAdjustments *trace.Counter
 	mDeferrals   *trace.Counter
 }
@@ -93,6 +95,10 @@ func (d *DRM) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	d.mAdjustments = reg.Counter("drm.cap_adjustments")
 	d.mDeferrals = reg.Counter("drm.deferrals")
 }
+
+// SetAudit installs a decision log; cap grants and memory deferrals are
+// recorded on it. A nil log keeps auditing off.
+func (d *DRM) SetAudit(l *audit.Log) { d.auditLog = l }
 
 // Start begins the epoch loop. The loop parks itself whenever the job
 // queue drains and must be re-armed by the next Submit (see
@@ -139,11 +145,11 @@ func (d *DRM) tick() {
 		d.observe(attempts)
 		cap := node.UsefulCapacity()
 		if d.modes.CPU {
-			d.balanceRate(attempts, resource.CPU, cap.Get(resource.CPU))
+			d.balanceRate(node, attempts, resource.CPU, cap.Get(resource.CPU))
 		}
 		if d.modes.IO {
-			d.balanceRate(attempts, resource.DiskIO, cap.Get(resource.DiskIO))
-			d.balanceRate(attempts, resource.NetIO, cap.Get(resource.NetIO))
+			d.balanceRate(node, attempts, resource.DiskIO, cap.Get(resource.DiskIO))
+			d.balanceRate(node, attempts, resource.NetIO, cap.Get(resource.NetIO))
 		}
 		if d.modes.Memory {
 			d.balanceMemory(attempts, cap.Get(resource.Memory))
@@ -182,7 +188,7 @@ func (d *DRM) EstimatedSpeedAt(job string, kind mapred.TaskKind, frac float64) (
 // Detector) get their caps raised into the measured headroom, most
 // beneficial first; tasks holding caps far above their demand
 // (resource-hogging containers) are trimmed so the headroom is real.
-func (d *DRM) balanceRate(attempts []*mapred.Attempt, kind resource.Kind, capacity float64) {
+func (d *DRM) balanceRate(node cluster.Node, attempts []*mapred.Attempt, kind resource.Kind, capacity float64) {
 	if capacity <= 0 {
 		return
 	}
@@ -229,16 +235,35 @@ func (d *DRM) balanceRate(attempts []*mapred.Attempt, kind resource.Kind, capaci
 		return
 	}
 	sort.Slice(deficits, func(i, j int) bool { return deficits[i].benefit > deficits[j].benefit })
+	available := headroom
+	granted := 0
+	var cands []audit.Candidate
 	for _, df := range deficits {
-		if headroom <= 0 {
-			break
+		grant := 0.0
+		if headroom > 0 {
+			grant = df.demand - df.cap
+			if grant > headroom {
+				grant = headroom
+			}
+			d.setCap(df.a.Consumer(), kind, df.cap+grant)
+			headroom -= grant
+			granted++
 		}
-		grant := df.demand - df.cap
-		if grant > headroom {
-			grant = headroom
+		if d.auditLog != nil {
+			cands = append(cands, audit.Candidate{
+				Name:   df.a.Consumer().Name,
+				Score:  df.benefit,
+				Chosen: grant > 0,
+				Note:   "predicted benefit (s) of lifting cap to demand",
+			})
 		}
-		d.setCap(df.a.Consumer(), kind, df.cap+grant)
-		headroom -= grant
+	}
+	if d.auditLog != nil {
+		d.auditLog.Add("drm", "cap-grant",
+			fmt.Sprintf("%s/%s", node.Name(), kind),
+			fmt.Sprintf("raised %d of %d deficit cap(s)", granted, len(deficits)),
+			fmt.Sprintf("%.3g %s headroom, most beneficial first", available, kind),
+			cands...)
 	}
 }
 
@@ -292,6 +317,8 @@ func (d *DRM) balanceMemory(attempts []*mapred.Attempt, capacityMB float64) {
 			if d.deferred[c] {
 				delete(d.deferred, c)
 				d.setCap(c, resource.CPU, c.Demand.Get(resource.CPU))
+				d.auditLog.Add("drm", "resume-deferred", c.Name, "restore cpu+mem caps",
+					fmt.Sprintf("%.0f MB of container memory freed up", budget))
 			}
 			budget -= want
 			if abs64(c.Cap.Get(resource.Memory)-want) > 1 {
@@ -311,6 +338,8 @@ func (d *DRM) balanceMemory(attempts []*mapred.Attempt, capacityMB float64) {
 					trace.S("task", c.Name),
 					trace.F("demand_mb", want))
 			}
+			d.auditLog.Add("drm", "defer", c.Name, "swap out (least progressed first)",
+				fmt.Sprintf("resident demand %.0f MB exceeds the %.0f MB left in the container; thrashing every task is worse", want, budget))
 		}
 	}
 }

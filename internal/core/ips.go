@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/interference"
 	"repro/internal/mapred"
@@ -42,8 +43,9 @@ type IPS struct {
 	backoff     map[*cluster.PM]*blacklistBackoff
 	actions     []IPSAction
 
-	tracer *trace.Tracer
-	reg    *trace.Registry
+	tracer   *trace.Tracer
+	reg      *trace.Registry
+	auditLog *audit.Log
 
 	// PauseStreak is the number of consecutive violating epochs before
 	// the Arbiter escalates from relocation/throttling to pausing a
@@ -81,6 +83,10 @@ func (p *IPS) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	p.tracer = tr
 	p.reg = reg
 }
+
+// SetAudit installs a decision log; every Arbiter mitigation is
+// recorded on it. A nil log keeps auditing off.
+func (p *IPS) SetAudit(l *audit.Log) { p.auditLog = l }
 
 // Watch registers an interactive service for SLA monitoring.
 func (p *IPS) Watch(svc *workload.Service) {
@@ -124,6 +130,12 @@ func (p *IPS) log(kind, service, target string) {
 			trace.S("service", service),
 			trace.S("target", target))
 	}
+	reason := "SLA violation by " + service
+	switch kind {
+	case "resume", "unblacklist":
+		reason = "host services comfortably under SLA again (" + service + ")"
+	}
+	p.auditLog.Add("ips", kind, target, kind, reason)
 }
 
 // tick is one monitoring epoch.

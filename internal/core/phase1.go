@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/mapred"
 	"repro/internal/profiler"
 )
@@ -42,6 +43,19 @@ type ReasonedPlacer interface {
 	PlaceWithReason(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, string, error)
 }
 
+// ExplainedPlacer is an optional further extension that also reports
+// the candidates the placer actually weighed — the per-partition JCT
+// estimates — so the System can audit the decision. Only estimates the
+// placer computed anyway appear as scored candidates: explaining a
+// decision must never add profiler work (and thus training simulations)
+// that an unaudited run would not do.
+type ExplainedPlacer interface {
+	ReasonedPlacer
+	// PlaceExplained returns the placement, the justification, and the
+	// candidates considered with their scores.
+	PlaceExplained(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, string, []audit.Candidate, error)
+}
+
 // ProfilingPlacer is HybridMR's Phase I scheduler (Algorithm 2): profile
 // the job, estimate its virtual-cluster completion time, and keep it on
 // the virtual cluster only when that estimate meets the job's desired
@@ -59,7 +73,7 @@ type ProfilingPlacer struct {
 	OverheadThreshold float64
 }
 
-var _ ReasonedPlacer = (*ProfilingPlacer)(nil)
+var _ ExplainedPlacer = (*ProfilingPlacer)(nil)
 
 // Place implements Algorithm 2 for batch jobs.
 func (p *ProfilingPlacer) Place(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, error) {
@@ -70,41 +84,61 @@ func (p *ProfilingPlacer) Place(spec mapred.JobSpec, desiredJCT time.Duration) (
 // PlaceWithReason implements Algorithm 2 and reports why the partition
 // was chosen.
 func (p *ProfilingPlacer) PlaceWithReason(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, string, error) {
+	placement, reason, _, err := p.PlaceExplained(spec, desiredJCT)
+	return placement, reason, err
+}
+
+// PlaceExplained implements Algorithm 2 and reports the estimates it
+// weighed. Candidate scores are estimated JCT seconds; deadline
+// placements only estimate the virtual partition (Algorithm 2 never
+// profiles native execution in that mode), so the native candidate then
+// carries no score.
+func (p *ProfilingPlacer) PlaceExplained(spec mapred.JobSpec, desiredJCT time.Duration) (Placement, string, []audit.Candidate, error) {
 	if p.Profiler == nil {
-		return 0, "", fmt.Errorf("core: ProfilingPlacer has no profiler")
+		return 0, "", nil, fmt.Errorf("core: ProfilingPlacer has no profiler")
 	}
 	if p.VirtualNodes <= 0 {
-		return PlacedNative, "no virtual partition", nil
+		return PlacedNative, "no virtual partition", nil, nil
 	}
 	if p.NativeNodes <= 0 {
-		return PlacedVirtual, "no native partition", nil
+		return PlacedVirtual, "no native partition", nil, nil
 	}
 	estVirtual, err := p.Profiler.EstimateJCT(spec, profiler.Virtual, p.VirtualNodes)
 	if err != nil {
-		return 0, "", fmt.Errorf("core: estimate virtual JCT of %s: %w", spec.Name, err)
+		return 0, "", nil, fmt.Errorf("core: estimate virtual JCT of %s: %w", spec.Name, err)
 	}
 	if desiredJCT > 0 {
-		if estVirtual >= desiredJCT.Seconds() {
+		virtualWins := estVirtual < desiredJCT.Seconds()
+		cands := []audit.Candidate{
+			{Name: "virtual", Score: estVirtual, Chosen: virtualWins, Note: "estimated JCT (s) vs deadline"},
+			{Name: "native", Chosen: !virtualWins, Note: "deadline fallback, not estimated"},
+		}
+		if !virtualWins {
 			return PlacedNative,
-				fmt.Sprintf("virtual estimate %.0fs misses %.0fs deadline", estVirtual, desiredJCT.Seconds()), nil
+				fmt.Sprintf("virtual estimate %.0fs misses %.0fs deadline", estVirtual, desiredJCT.Seconds()), cands, nil
 		}
 		return PlacedVirtual,
-			fmt.Sprintf("virtual estimate %.0fs meets %.0fs deadline", estVirtual, desiredJCT.Seconds()), nil
+			fmt.Sprintf("virtual estimate %.0fs meets %.0fs deadline", estVirtual, desiredJCT.Seconds()), cands, nil
 	}
 	estNative, err := p.Profiler.EstimateJCT(spec, profiler.Native, p.NativeNodes)
 	if err != nil {
-		return 0, "", fmt.Errorf("core: estimate native JCT of %s: %w", spec.Name, err)
+		return 0, "", nil, fmt.Errorf("core: estimate native JCT of %s: %w", spec.Name, err)
 	}
 	threshold := p.OverheadThreshold
 	if threshold <= 0 {
 		threshold = 0.25
 	}
-	if estNative > 0 && estVirtual/estNative-1 > threshold {
+	nativeWins := estNative > 0 && estVirtual/estNative-1 > threshold
+	cands := []audit.Candidate{
+		{Name: "native", Score: estNative, Chosen: nativeWins, Note: "estimated JCT (s)"},
+		{Name: "virtual", Score: estVirtual, Chosen: !nativeWins, Note: "estimated JCT (s)"},
+	}
+	if nativeWins {
 		return PlacedNative,
 			fmt.Sprintf("virtual overhead %.0f%% exceeds %.0f%% threshold",
-				(estVirtual/estNative-1)*100, threshold*100), nil
+				(estVirtual/estNative-1)*100, threshold*100), cands, nil
 	}
-	return PlacedVirtual, "virtual overhead acceptable", nil
+	return PlacedVirtual, "virtual overhead acceptable", cands, nil
 }
 
 // RandomPlacer is the paper's baseline for Figure 8(a): first-come-first-

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/mapred"
 	"repro/internal/profiler"
@@ -81,6 +82,7 @@ type System struct {
 	placements map[*mapred.Job]Placement
 
 	tracer      *trace.Tracer
+	auditLog    *audit.Log
 	mPlacements *trace.Counter
 }
 
@@ -148,6 +150,20 @@ func (s *System) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	}
 }
 
+// SetAudit installs a decision log on the system and its Phase II
+// controllers. Phase I placements (with the JCT estimates weighed), DRM
+// cap grants/deferrals and IPS mitigations are recorded on it; a nil
+// log keeps auditing off.
+func (s *System) SetAudit(l *audit.Log) {
+	s.auditLog = l
+	if s.drm != nil {
+		s.drm.SetAudit(l)
+	}
+	if s.ips != nil {
+		s.ips.SetAudit(l)
+	}
+}
+
 // Profiler exposes the Phase I profiler (e.g. for pre-training or
 // accuracy experiments).
 func (s *System) Profiler() *profiler.Profiler { return s.prof }
@@ -188,21 +204,28 @@ func (s *System) Services() []*workload.Service {
 func (s *System) SubmitJob(spec mapred.JobSpec, desiredJCT time.Duration, onDone func(*mapred.Job)) (*mapred.Job, Placement, error) {
 	var placement Placement
 	var reason string
+	var candidates []audit.Candidate
 	var err error
-	if rp, ok := s.Placer.(ReasonedPlacer); ok {
-		placement, reason, err = rp.PlaceWithReason(spec, desiredJCT)
-	} else {
+	switch p := s.Placer.(type) {
+	case ExplainedPlacer:
+		placement, reason, candidates, err = p.PlaceExplained(spec, desiredJCT)
+	case ReasonedPlacer:
+		placement, reason, err = p.PlaceWithReason(spec, desiredJCT)
+	default:
 		placement, err = s.Placer.Place(spec, desiredJCT)
 	}
 	if err != nil {
 		return nil, 0, err
 	}
 	// Degrade gracefully when the chosen partition does not exist.
+	degraded := ""
 	if placement == PlacedNative && s.NativeJT == nil {
 		placement = PlacedVirtual
+		degraded = "; native partition missing, degraded to virtual"
 	}
 	if placement == PlacedVirtual && s.VirtualJT == nil {
 		placement = PlacedNative
+		degraded = "; virtual partition missing, degraded to native"
 	}
 	jt := s.VirtualJT
 	env := profiler.Virtual
@@ -228,15 +251,18 @@ func (s *System) SubmitJob(spec mapred.JobSpec, desiredJCT time.Duration, onDone
 	}
 	s.placements[job] = placement
 	s.mPlacements.Inc()
+	if reason == "" {
+		reason = "placer gave no reason"
+	}
 	if s.tracer != nil {
-		if reason == "" {
-			reason = "placer gave no reason"
-		}
 		s.tracer.Instant("phase1", "placement", spec.Name,
 			trace.S("placement", placement.String()),
 			trace.S("reason", reason),
 			trace.F("desired_jct_sec", desiredJCT.Seconds()))
 	}
+	s.auditLog.Add("phase1", "place",
+		fmt.Sprintf("%s-%d", spec.Name, job.ID),
+		placement.String(), reason+degraded, candidates...)
 	if placement == PlacedVirtual && s.drm != nil {
 		s.drm.Start()
 	}

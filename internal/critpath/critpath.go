@@ -1,0 +1,239 @@
+// Package critpath performs post-run critical-path analysis over a
+// completed job's scheduled DAG. Given the nodes of a dependency graph
+// with their actual start/end times, Analyze walks backward from the
+// last finisher picking, at each node, the dependency that finished
+// last — reconstructing the chain of work and waiting that bounded the
+// makespan. It also runs a classic CPM backward pass to report each
+// node's slack (how much later it could have finished without moving
+// the makespan).
+//
+// The package depends only on the standard library so any layer
+// (mapred, experiments, CLIs) can build node lists for it without
+// import cycles.
+package critpath
+
+import (
+	"fmt"
+	"time"
+)
+
+// Node is one scheduled unit of work (a task attempt, a phase barrier)
+// in the completed DAG. Deps index earlier entries of the same slice;
+// every dependency index must be smaller than the node's own index,
+// which makes the graph acyclic by construction.
+type Node struct {
+	ID          string        // stable identifier, e.g. "sort-1/m-3"
+	Kind        string        // "map", "reduce", "barrier", ...
+	Where       string        // node/tracker that ran it, "" for barriers
+	Start, End  time.Duration // actual scheduled times, End >= Start
+	Deps        []int         // indices of nodes this one waited for
+	Attempts    int           // attempts launched for this unit (>= 1)
+	Speculative bool          // the winning attempt was a speculative backup
+	Barrier     bool          // synthetic zero-duration synchronization point
+}
+
+// Step is one hop of the critical path, oldest first. Wait is the gap
+// between the latest-finishing dependency (or the origin for root
+// nodes) and this node's start; Run is the node's own duration. Waits
+// and runs of all steps, barriers included, telescope exactly to the
+// makespan.
+type Step struct {
+	ID          string
+	Kind        string
+	Where       string
+	Start, End  time.Duration
+	Wait, Run   time.Duration
+	Attempts    int
+	Speculative bool
+}
+
+// Phase aggregates critical-path time by node kind, in order of first
+// appearance along the path. Total = sum of Wait+Run of that kind's
+// steps, so summing Total over phases yields the makespan.
+type Phase struct {
+	Kind  string
+	Total time.Duration
+}
+
+// Report is the result of analyzing one completed DAG.
+type Report struct {
+	Origin   time.Duration // analysis origin (job submission)
+	Makespan time.Duration // latest End minus Origin
+	Steps    []Step        // the critical path, barriers filtered out
+	Phases   []Phase       // per-kind breakdown including barrier steps
+	Wait     time.Duration // total time the path spent waiting
+	Run      time.Duration // total time the path spent running
+
+	// Slack[i] is how much later node i could have finished without
+	// delaying the makespan, indexed like the Analyze input. Critical
+	// nodes followed immediately by their successor have zero slack; a
+	// scheduling gap on the path (e.g. a slot wait before the critical
+	// reduce) shows up as that much slack on everything upstream of it,
+	// since all of it could have run that much later.
+	Slack []time.Duration
+
+	// Straggler / re-execution attribution over the whole DAG, not
+	// just the path: units that needed more than one attempt, and
+	// units won by a speculative backup.
+	Retried         int
+	SpeculativeWins int
+
+	onPath []bool
+}
+
+// OnPath reports whether the node with the given input index lies on
+// the reconstructed critical path (barriers included).
+func (r *Report) OnPath(i int) bool { return r.onPath[i] }
+
+// Analyze reconstructs the critical path of a completed DAG. origin is
+// the instant the work became runnable (job submission); nodes must be
+// topologically ordered (deps point at lower indices).
+func Analyze(origin time.Duration, nodes []Node) (*Report, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("critpath: no nodes")
+	}
+	for i, n := range nodes {
+		if n.End < n.Start {
+			return nil, fmt.Errorf("critpath: node %d (%s) ends before it starts", i, n.ID)
+		}
+		for _, d := range n.Deps {
+			if d < 0 || d >= i {
+				return nil, fmt.Errorf("critpath: node %d (%s) has dependency index %d (want 0..%d)", i, n.ID, d, i-1)
+			}
+		}
+	}
+
+	// Sink: latest End, ties broken toward the lowest index so the
+	// walk is deterministic.
+	sink := 0
+	for i, n := range nodes {
+		if n.End > nodes[sink].End {
+			sink = i
+		}
+	}
+	makespan := nodes[sink].End - origin
+
+	// Backward walk: from the sink, repeatedly hop to the dependency
+	// that finished last (ties toward the lowest index).
+	onPath := make([]bool, len(nodes))
+	var rev []int
+	for i := sink; ; {
+		onPath[i] = true
+		rev = append(rev, i)
+		n := nodes[i]
+		if len(n.Deps) == 0 {
+			break
+		}
+		next := n.Deps[0]
+		for _, d := range n.Deps[1:] {
+			if nodes[d].End > nodes[next].End {
+				next = d
+			}
+		}
+		i = next
+	}
+
+	rep := &Report{
+		Origin:   origin,
+		Makespan: makespan,
+		Slack:    make([]time.Duration, len(nodes)),
+	}
+	rep.onPath = onPath
+
+	// Build steps oldest-first. The wait of each step is measured from
+	// the previous path node's End (the origin for the first), which
+	// telescopes: sum(Wait+Run) == Makespan. Negative waits (clock
+	// inconsistencies) are rejected rather than clamped so the
+	// telescoping invariant cannot silently break.
+	phaseIdx := map[string]int{}
+	prevEnd := origin
+	for k := len(rev) - 1; k >= 0; k-- {
+		n := nodes[rev[k]]
+		wait := n.Start - prevEnd
+		if wait < 0 {
+			return nil, fmt.Errorf("critpath: node %s starts %v before its critical dependency finished", n.ID, -wait)
+		}
+		run := n.End - n.Start
+		rep.Wait += wait
+		rep.Run += run
+		j, ok := phaseIdx[n.Kind]
+		if !ok {
+			j = len(rep.Phases)
+			phaseIdx[n.Kind] = j
+			rep.Phases = append(rep.Phases, Phase{Kind: n.Kind})
+		}
+		rep.Phases[j].Total += wait + run
+		if !n.Barrier {
+			rep.Steps = append(rep.Steps, Step{
+				ID: n.ID, Kind: n.Kind, Where: n.Where,
+				Start: n.Start, End: n.End,
+				Wait: wait, Run: run,
+				Attempts: n.Attempts, Speculative: n.Speculative,
+			})
+		}
+		prevEnd = n.End
+	}
+
+	// CPM backward pass for slack: the latest finish of a node is the
+	// minimum latest start of its successors (the sink End for nodes
+	// with no successors). Latest start = latest finish − duration,
+	// but since waits are schedule artifacts we treat each node's
+	// duration as its actual Run time.
+	sinkEnd := nodes[sink].End
+	lf := make([]time.Duration, len(nodes))
+	for i := range lf {
+		lf[i] = sinkEnd
+	}
+	for i := len(nodes) - 1; i >= 0; i-- {
+		ls := lf[i] - (nodes[i].End - nodes[i].Start)
+		for _, d := range nodes[i].Deps {
+			if ls < lf[d] {
+				lf[d] = ls
+			}
+		}
+	}
+	for i, n := range nodes {
+		rep.Slack[i] = lf[i] - n.End
+		if n.Attempts > 1 {
+			rep.Retried++
+		}
+		if n.Speculative {
+			rep.SpeculativeWins++
+		}
+	}
+	return rep, nil
+}
+
+// PhaseSummary is the JSON-friendly form of a Phase.
+type PhaseSummary struct {
+	Kind string  `json:"kind"`
+	Sec  float64 `json:"sec"`
+}
+
+// Summary is a compact, JSON-friendly digest of a Report, for embedding
+// in benchmark records. Phase seconds sum to the makespan.
+type Summary struct {
+	MakespanSec     float64        `json:"makespan_sec"`
+	WaitSec         float64        `json:"wait_sec"`
+	RunSec          float64        `json:"run_sec"`
+	Steps           int            `json:"steps"`
+	Retried         int            `json:"retried"`
+	SpeculativeWins int            `json:"speculative_wins"`
+	Phases          []PhaseSummary `json:"phases"`
+}
+
+// Summary digests the report.
+func (r *Report) Summary() Summary {
+	s := Summary{
+		MakespanSec:     r.Makespan.Seconds(),
+		WaitSec:         r.Wait.Seconds(),
+		RunSec:          r.Run.Seconds(),
+		Steps:           len(r.Steps),
+		Retried:         r.Retried,
+		SpeculativeWins: r.SpeculativeWins,
+	}
+	for _, p := range r.Phases {
+		s.Phases = append(s.Phases, PhaseSummary{Kind: p.Kind, Sec: p.Total.Seconds()})
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package critpath
+
+import (
+	"testing"
+	"time"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// A hand-built map→barrier→reduce job with a known longest chain:
+//
+//	m0: 0..10   m1: 0..30 (the straggler, 2 attempts)   m2: 5..20
+//	barrier at 30
+//	r0: 30..50  r1: 32..70 (critical)
+//
+// Longest chain: m1 (wait 0, run 30) → barrier → r1 (wait 2, run 38),
+// makespan 70.
+func testDAG() []Node {
+	return []Node{
+		{ID: "m0", Kind: "map", Where: "tr-0", Start: 0, End: sec(10)},
+		{ID: "m1", Kind: "map", Where: "tr-1", Start: 0, End: sec(30), Attempts: 2, Speculative: true},
+		{ID: "m2", Kind: "map", Where: "tr-2", Start: sec(5), End: sec(20)},
+		{ID: "barrier", Kind: "barrier", Start: sec(30), End: sec(30), Deps: []int{0, 1, 2}, Barrier: true},
+		{ID: "r0", Kind: "reduce", Where: "tr-0", Start: sec(30), End: sec(50), Deps: []int{3}},
+		{ID: "r1", Kind: "reduce", Where: "tr-1", Start: sec(32), End: sec(70), Deps: []int{3}},
+	}
+}
+
+func TestAnalyzeFindsKnownLongestChain(t *testing.T) {
+	rep, err := Analyze(0, testDAG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != sec(70) {
+		t.Errorf("makespan = %v, want 70s", rep.Makespan)
+	}
+	// Path: m1 → (barrier, filtered) → r1.
+	if len(rep.Steps) != 2 || rep.Steps[0].ID != "m1" || rep.Steps[1].ID != "r1" {
+		t.Fatalf("steps = %+v, want m1 then r1", rep.Steps)
+	}
+	if rep.Steps[0].Wait != 0 || rep.Steps[0].Run != sec(30) {
+		t.Errorf("m1 wait/run = %v/%v, want 0/30s", rep.Steps[0].Wait, rep.Steps[0].Run)
+	}
+	if rep.Steps[1].Wait != sec(2) || rep.Steps[1].Run != sec(38) {
+		t.Errorf("r1 wait/run = %v/%v, want 2s/38s", rep.Steps[1].Wait, rep.Steps[1].Run)
+	}
+	for i, want := range []bool{false, true, false, true, false, true} {
+		if rep.OnPath(i) != want {
+			t.Errorf("OnPath(%d) = %v, want %v", i, rep.OnPath(i), want)
+		}
+	}
+}
+
+func TestPhaseTotalsTelescopeToMakespan(t *testing.T) {
+	rep, err := Analyze(0, testDAG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum time.Duration
+	for _, p := range rep.Phases {
+		sum += p.Total
+	}
+	if sum != rep.Makespan {
+		t.Errorf("phase totals sum to %v, makespan is %v", sum, rep.Makespan)
+	}
+	if rep.Wait+rep.Run != rep.Makespan {
+		t.Errorf("wait %v + run %v != makespan %v", rep.Wait, rep.Run, rep.Makespan)
+	}
+	// Phase order follows first appearance along the path.
+	if len(rep.Phases) != 3 || rep.Phases[0].Kind != "map" || rep.Phases[1].Kind != "barrier" || rep.Phases[2].Kind != "reduce" {
+		t.Errorf("phases = %+v", rep.Phases)
+	}
+}
+
+func TestNonZeroOriginAccountsSubmissionWait(t *testing.T) {
+	nodes := []Node{{ID: "m", Kind: "map", Start: sec(12), End: sec(20)}}
+	rep, err := Analyze(sec(10), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != sec(10) {
+		t.Errorf("makespan = %v, want 10s", rep.Makespan)
+	}
+	if rep.Steps[0].Wait != sec(2) {
+		t.Errorf("root wait = %v, want 2s (start − origin)", rep.Steps[0].Wait)
+	}
+}
+
+func TestSlack(t *testing.T) {
+	rep, err := Analyze(0, testDAG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sink has zero slack by definition.
+	if rep.Slack[5] != 0 {
+		t.Errorf("slack[r1] = %v, want 0 (sink)", rep.Slack[5])
+	}
+	// r1 started 2s after the barrier (a slot wait), so everything
+	// upstream of that gap — the barrier and all maps, even critical
+	// m1 — carries those 2s of slack.
+	if rep.Slack[1] != sec(2) || rep.Slack[3] != sec(2) {
+		t.Errorf("slack[m1]/slack[barrier] = %v/%v, want 2s/2s", rep.Slack[1], rep.Slack[3])
+	}
+	// m0 ran 0..10 but only had to finish by 32 (r1's latest start): slack 22.
+	if rep.Slack[0] != sec(22) {
+		t.Errorf("slack[m0] = %v, want 22s", rep.Slack[0])
+	}
+	// r0 finished at 50; it could finish as late as 70: slack 20.
+	if rep.Slack[4] != sec(20) {
+		t.Errorf("slack[r0] = %v, want 20s", rep.Slack[4])
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	rep, err := Analyze(0, testDAG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retried != 1 || rep.SpeculativeWins != 1 {
+		t.Errorf("retried/specwins = %d/%d, want 1/1", rep.Retried, rep.SpeculativeWins)
+	}
+}
+
+func TestTieBreaksTowardLowestIndex(t *testing.T) {
+	nodes := []Node{
+		{ID: "a", Kind: "map", Start: 0, End: sec(10)},
+		{ID: "b", Kind: "map", Start: 0, End: sec(10)},
+		{ID: "c", Kind: "reduce", Start: sec(10), End: sec(20), Deps: []int{0, 1}},
+	}
+	rep, err := Analyze(0, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps[0].ID != "a" {
+		t.Errorf("tied dependency resolved to %s, want a (lowest index)", rep.Steps[0].ID)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Analyze(0, nil); err == nil {
+		t.Error("empty DAG accepted")
+	}
+	if _, err := Analyze(0, []Node{{ID: "x", Start: sec(5), End: sec(1)}}); err == nil {
+		t.Error("End < Start accepted")
+	}
+	if _, err := Analyze(0, []Node{{ID: "x", Deps: []int{0}}}); err == nil {
+		t.Error("self/forward dependency accepted")
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/critpath"
 	"repro/internal/mapred"
+	"repro/internal/trace"
 )
 
 // Scale shrinks experiment input sizes for quick runs (1 = the paper's
@@ -109,6 +111,15 @@ type Outcome struct {
 	// process-global counter, so concurrent experiments don't bleed
 	// into each other's totals.
 	EventsFired uint64
+	// Metrics is the merged metrics-registry snapshot across every rig
+	// the experiment built (counters and histogram buckets summed,
+	// gauges maxed), recorded into BENCH_<id>.json by hybridmr-bench
+	// -json. The merge is order-independent, so it is byte-identical at
+	// any worker count.
+	Metrics trace.Snapshot
+	// CritPaths digests the critical path of representative jobs, keyed
+	// by a deterministic label (typically the benchmark name).
+	CritPaths map[string]critpath.Summary
 }
 
 // Notef appends a formatted note.

@@ -61,8 +61,10 @@ func ExtIterative() (*Outcome, error) {
 		}
 	}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	run := func(virtual, inMemory bool) (float64, error) {
-		opts := testbed.Options{PMs: 8, Seed: 1201, EventSink: &fired}
+		reg := pool.registry()
+		opts := testbed.Options{PMs: 8, Seed: 1201, EventSink: &fired, Metrics: reg}
 		if virtual {
 			opts.VMsPerPM = 2
 		}
@@ -70,6 +72,7 @@ func ExtIterative() (*Outcome, error) {
 		if err != nil {
 			return 0, err
 		}
+		defer pool.fold(reg)
 		base := pageRank(scaledMB(2 * workload.GB))
 		base.InMemory = inMemory
 		ij, err := rig.JT.SubmitIterative(mapred.IterativeSpec{
@@ -110,6 +113,7 @@ func ExtIterative() (*Outcome, error) {
 	out.Notef("in-memory iteration gains %.2fx on big-memory nodes but only %.2fx on 1 GB guests, where cached partitions page — the Spark-on-small-VMs trade-off the paper's future work anticipates",
 		speedups[0], speedups[1])
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
@@ -125,11 +129,14 @@ func ExtStream() (*Outcome, error) {
 		compliance float64
 	}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	run := func(hybrid bool) (result, error) {
-		h, err := newHybridRig(8, 8, 1207, hybrid, &fired)
+		reg := pool.registry()
+		h, err := newHybridRig(8, 8, 1207, hybrid, &fired, reg)
 		if err != nil {
 			return result{}, err
 		}
+		defer pool.fold(reg)
 		cfg := core.Config{TrainingSeed: 1207, EventSink: &fired}
 		if !hybrid {
 			cfg.DisableDRM = true
@@ -212,6 +219,7 @@ func ExtStream() (*Outcome, error) {
 	out.Notef("HybridMR changes mean JCT by %.0f%% and SLA compliance from %.2f to %.2f under an open arrival process",
 		(vanilla.meanJCT-hybrid.meanJCT)/vanilla.meanJCT*100, vanilla.compliance, hybrid.compliance)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
@@ -219,15 +227,20 @@ func ExtStream() (*Outcome, error) {
 // with one antagonist-loaded straggler node, with and without backups.
 func AblSpeculation() (*Outcome, error) {
 	var fired atomic.Uint64
+	pool := newMetricsPool()
+	var paths critPaths
 	run := func(disable bool) (float64, error) {
+		reg := pool.registry()
 		rig, err := testbed.New(testbed.Options{
 			PMs: 8, Seed: 1217,
 			MapredConfig: mapred.Config{DisableSpeculation: disable},
 			EventSink:    &fired,
+			Metrics:      reg,
 		})
 		if err != nil {
 			return 0, err
 		}
+		defer pool.fold(reg)
 		antagonist := &cluster.Consumer{
 			Name:   "antagonist",
 			Demand: resource.NewVector(2, 0, 85, 0),
@@ -241,6 +254,11 @@ func AblSpeculation() (*Outcome, error) {
 		if err != nil {
 			return 0, err
 		}
+		label := "speculation-on"
+		if disable {
+			label = "speculation-off"
+		}
+		paths.add(label, res.CritPath)
 		return res.JCT.Seconds(), nil
 	}
 	both, err := Map(2, func(i int) (float64, error) {
@@ -258,7 +276,12 @@ func AblSpeculation() (*Outcome, error) {
 	out.Table.AddRow("on", fmt.Sprintf("%.1f", withSpec))
 	out.Table.AddRow("off", fmt.Sprintf("%.1f", without))
 	out.Notef("speculative execution cuts the straggler-bound JCT by %.0f%%", (without-withSpec)/without*100)
+	if sp, ok := paths.m["speculation-on"]; ok {
+		out.Notef("critical path with speculation: %d retried unit(s), %d speculative win(s)", sp.Retried, sp.SpeculativeWins)
+	}
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
+	out.CritPaths = paths.m
 	return out, nil
 }
 
@@ -267,7 +290,9 @@ func AblSpeculation() (*Outcome, error) {
 // fixed heartbeat order.
 func AblCapacity() (*Outcome, error) {
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	run := func(aware bool) (jct float64, latency float64, err error) {
+		reg := pool.registry()
 		rig, err := testbed.New(testbed.Options{
 			PMs: 8, VMsPerPM: 2, Seed: 1223,
 			MapredConfig: mapred.Config{
@@ -275,10 +300,12 @@ func AblCapacity() (*Outcome, error) {
 				CapacityAware: aware,
 			},
 			EventSink: &fired,
+			Metrics:   reg,
 		})
 		if err != nil {
 			return 0, 0, err
 		}
+		defer pool.fold(reg)
 		var services []*workload.Service
 		for i := 0; i < 3; i++ {
 			svcVM, err := addServiceVM(rig, i, fmt.Sprintf("s%d", i))
@@ -332,6 +359,7 @@ func AblCapacity() (*Outcome, error) {
 	out.Notef("steering tasks toward lightly-loaded hosts changes Sort JCT by %.0f%% and service mean latency by %.0f%%",
 		(blindJCT-awareJCT)/blindJCT*100, (blindLat-awareLat)/blindLat*100)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
@@ -340,15 +368,19 @@ func AblCapacity() (*Outcome, error) {
 // task's residency proportionally.
 func AblDeferral() (*Outcome, error) {
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	run := func(disableDeferral bool) (float64, error) {
+		reg := pool.registry()
 		rig, err := testbed.New(testbed.Options{
 			PMs: 8, VMsPerPM: 2, Seed: 1229,
 			MapredConfig: mapred.Config{SlotCaps: mapred.DefaultSlotCaps()},
 			EventSink:    &fired,
+			Metrics:      reg,
 		})
 		if err != nil {
 			return 0, err
 		}
+		defer pool.fold(reg)
 		var jobs []*mapred.Job
 		for _, spec := range []mapred.JobSpec{
 			workload.Twitter().WithInputMB(scaledMB(3 * workload.GB)),
@@ -390,5 +422,6 @@ func AblDeferral() (*Outcome, error) {
 	out.Table.AddRow("proportional paging", fmt.Sprintf("%.1f", proportional))
 	out.Notef("deferral vs proportional paging: %.1f%% mean-JCT difference", (proportional-defer2)/proportional*100)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }

@@ -23,8 +23,11 @@ func ExtFaults() (*Outcome, error) {
 	const pms = 8
 	rates := []float64{0, 2, 4, 8} // crashes per machine-hour
 	var fired atomic.Uint64
+	pool := newMetricsPool()
+	var paths critPaths
 	run := func(virtual bool, rate float64) (float64, error) {
-		opts := testbed.Options{PMs: pms, Seed: 1237, EventSink: &fired}
+		reg := pool.registry()
+		opts := testbed.Options{PMs: pms, Seed: 1237, EventSink: &fired, Metrics: reg}
 		if virtual {
 			opts.VMsPerPM = 2
 		}
@@ -42,6 +45,7 @@ func ExtFaults() (*Outcome, error) {
 		if err != nil {
 			return 0, err
 		}
+		defer pool.fold(reg)
 		res, err := rig.RunJob(workload.Sort().WithInputMB(scaledMB(8 * workload.GB)))
 		if err != nil {
 			return 0, err
@@ -49,6 +53,11 @@ func ExtFaults() (*Outcome, error) {
 		if got := rig.FS.UnderReplicated(); got != 0 {
 			return 0, fmt.Errorf("ext-faults: %d blocks under-replicated after recovery", got)
 		}
+		mode := "native"
+		if virtual {
+			mode = "virtual"
+		}
+		paths.add(fmt.Sprintf("%s-%.0f-crashes", mode, rate), res.CritPath)
 		return res.JCT.Seconds(), nil
 	}
 	out := &Outcome{Table: &Table{
@@ -84,5 +93,7 @@ func ExtFaults() (*Outcome, error) {
 	out.Notef("at 8 crashes/machine-hour Sort slows %.0f%% native and %.0f%% virtual; every job still completes and all surviving blocks heal to target replication (fault seed %d)",
 		(worst[0]-base[0])/base[0]*100, (worst[1]-base[1])/base[1]*100, faultSeed)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
+	out.CritPaths = paths.m
 	return out, nil
 }

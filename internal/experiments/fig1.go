@@ -23,11 +23,12 @@ const testbedPMs = 24
 // seeded runs as in the paper's methodology. Fired-event totals
 // accumulate into sink (which may be shared across concurrent sweep
 // points).
-func runIsolated(spec mapred.JobSpec, vmsPerPM int, seed int64, sink *atomic.Uint64) (testbed.JobResult, error) {
+func runIsolated(spec mapred.JobSpec, vmsPerPM int, seed int64, sink *atomic.Uint64, pool *metricsPool) (testbed.JobResult, error) {
 	var sum testbed.JobResult
 	const repeats = 3
 	for r := 0; r < repeats; r++ {
-		opts := testbed.Options{Seed: seed + int64(r)*131, PMs: testbedPMs, VMsPerPM: vmsPerPM, EventSink: sink}
+		reg := pool.registry()
+		opts := testbed.Options{Seed: seed + int64(r)*131, PMs: testbedPMs, VMsPerPM: vmsPerPM, EventSink: sink, Metrics: reg}
 		if vmsPerPM == 1 {
 			// A single VM per PM is sized to fill the host, as an
 			// operator would configure it.
@@ -42,7 +43,9 @@ func runIsolated(spec mapred.JobSpec, vmsPerPM int, seed int64, sink *atomic.Uin
 		if err != nil {
 			return testbed.JobResult{}, err
 		}
+		pool.fold(reg)
 		sum.Name = res.Name
+		sum.CritPath = res.CritPath
 		sum.JCT += res.JCT / repeats
 		sum.MapPhase += res.MapPhase / repeats
 		sum.ReducePhase += res.ReducePhase / repeats
@@ -62,12 +65,13 @@ func Fig1a() (*Outcome, error) {
 	specs := workload.Benchmarks()
 	densities := []int{0, 1, 2, 4}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	// Every (benchmark, density) pair is an independent sweep point:
 	// fan them all out, then assemble rows in paper order.
 	results, err := Map(len(specs)*len(densities), func(i int) (testbed.JobResult, error) {
 		spec := specs[i/len(densities)]
 		vpp := densities[i%len(densities)]
-		res, err := runIsolated(spec, vpp, 101, &fired)
+		res, err := runIsolated(spec, vpp, 101, &fired, pool)
 		if err != nil {
 			return testbed.JobResult{}, fmt.Errorf("fig1a %s %d-VM: %w", spec.Name, vpp, err)
 		}
@@ -103,6 +107,14 @@ func Fig1a() (*Outcome, error) {
 	out.Notef("I/O-bound jobs degrade %.0f-%.0f%% on virtual (paper: 7-24%%)", ioMin*100, ioMax*100)
 	out.Notef("CPU-bound jobs degrade at most %.0f%% (paper: within 8%%)", cpuMax*100)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
+	var paths critPaths
+	for si, spec := range specs {
+		// The native run's critical path, per benchmark (the last of the
+		// three averaged repeats).
+		paths.add(spec.Name, results[si*len(densities)].CritPath)
+	}
+	out.CritPaths = paths.m
 	return out, nil
 }
 
@@ -117,10 +129,11 @@ func Fig1b() (*Outcome, error) {
 	sizes := []float64{1 * workload.GB, 8 * workload.GB, 16 * workload.GB}
 	densities := []int{0, 1, 2, 4}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	results, err := Map(len(densities)*len(sizes), func(i int) (testbed.JobResult, error) {
 		vpp := densities[i/len(sizes)]
 		mb := sizes[i%len(sizes)]
-		return runIsolated(workload.Sort().WithInputMB(mb), vpp, 103, &fired)
+		return runIsolated(workload.Sort().WithInputMB(mb), vpp, 103, &fired, pool)
 	})
 	if err != nil {
 		return nil, err
@@ -148,6 +161,7 @@ func Fig1b() (*Outcome, error) {
 	out.Notef("4-VM virtual gap grows from %.0f%% at 1 GB to %.0f%% at 16 GB (paper: gap widens with data size)",
 		gapSmall*100, gapLarge*100)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
@@ -162,11 +176,16 @@ func Fig1c() (*Outcome, error) {
 	}}
 	type point struct{ rio, wio, rtp, wtp float64 }
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	run := func(vmsPerPM int, totalMB float64) (point, error) {
 		engine := sim.New()
 		engine.SetFiredSink(&fired)
+		reg := pool.registry()
 		cl := cluster.New(engine, cluster.Config{}, 107)
+		cl.SetTrace(nil, reg)
 		fs := dfs.New(engine, dfs.Config{}, 107)
+		fs.SetTrace(nil, reg)
+		defer pool.fold(reg)
 		var nodes []cluster.Node
 		if vmsPerPM <= 0 {
 			for _, pm := range cl.AddPMs("pm", testbedPMs) {
@@ -234,5 +253,6 @@ func Fig1c() (*Outcome, error) {
 	out.Notef("virtual HDFS runs below native everywhere; read-IO ratio falls from %.2f at 1 GB to %.2f at 16 GB (paper: gap broadens with data size)",
 		firstR, lastR)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }

@@ -19,10 +19,12 @@ func Fig2a() (*Outcome, error) {
 		Columns: []string{"data(GB)", "Same-Host", "Cross-Host"},
 	}}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	// The paper squeezes 16 one-vCPU VMs onto 2 dual-core PMs for the
 	// Same-Host case; VMs are shrunk to 480 MB with single task slots so
 	// that eight guests fit in 4 GB of host memory.
 	run := func(pms int, mb float64) (float64, error) {
+		reg := pool.registry()
 		rig, err := testbed.New(testbed.Options{
 			PMs:          pms,
 			VMsPerPM:     16 / pms,
@@ -30,6 +32,7 @@ func Fig2a() (*Outcome, error) {
 			Seed:         211,
 			MapredConfig: mapred.Config{MapSlots: 1, ReduceSlots: 1},
 			EventSink:    &fired,
+			Metrics:      reg,
 		})
 		if err != nil {
 			return 0, err
@@ -38,6 +41,7 @@ func Fig2a() (*Outcome, error) {
 		if err != nil {
 			return 0, err
 		}
+		pool.fold(reg)
 		return res.JCT.Seconds(), nil
 	}
 	sizes := []float64{1, 2, 3, 4, 5}
@@ -72,6 +76,7 @@ func Fig2a() (*Outcome, error) {
 	out.Notef("JCTs grow with input size in both layouts (Same-Host %.0fs -> %.0fs), matching the paper's trend", firstSame, lastSame)
 	out.Notef("KNOWN DIVERGENCE: the paper measures Cross-Host as slower (network-delay bound); our disk model charges all spill I/O to the consolidated hosts' two spindles, which dominates instead (%d/5 sizes have Cross-Host slower). The paper's 1-5 GB inputs largely fit the page cache, which this simulator does not model.", worseCount)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
@@ -97,15 +102,18 @@ func Fig2b() (*Outcome, error) {
 	}
 	sizes := []float64{1, 4, 8}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	flat, err := Map(len(cfgs)*len(sizes), func(i int) (float64, error) {
 		c := cfgs[i/len(sizes)]
 		gb := sizes[i%len(sizes)]
+		reg := pool.registry()
 		rig, err := testbed.New(testbed.Options{
 			PMs:          12,
 			VMsPerPM:     c.vmsPerPM,
 			Seed:         223,
 			MapredConfig: mapred.Config{MapSlots: c.mapSlots, ReduceSlots: c.redSlots},
 			EventSink:    &fired,
+			Metrics:      reg,
 		})
 		if err != nil {
 			return 0, err
@@ -114,6 +122,7 @@ func Fig2b() (*Outcome, error) {
 		if err != nil {
 			return 0, err
 		}
+		pool.fold(reg)
 		return res.JCT.Seconds(), nil
 	})
 	if err != nil {
@@ -134,6 +143,7 @@ func Fig2b() (*Outcome, error) {
 	gain8 := 1 - jcts["V4-4M-6R"][2]/jcts["V1-1M-1R"][2]
 	out.Notef("V4 beats V1 by %.0f%% at 1 GB and %.0f%% at 8 GB (paper: CPU-bound jobs gain from more VMs, more at larger inputs)", gain1*100, gain8*100)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
@@ -147,9 +157,10 @@ func Fig2c() (*Outcome, error) {
 	}}
 	specs := workload.Benchmarks()
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	ratios, err := Map(len(specs), func(i int) (float64, error) {
 		spec := specs[i]
-		nat, err := runIsolated(spec, 0, 229, &fired)
+		nat, err := runIsolated(spec, 0, 229, &fired, pool)
 		if err != nil {
 			return 0, err
 		}
@@ -173,6 +184,7 @@ func Fig2c() (*Outcome, error) {
 	}
 	out.Notef("average Dom-0 overhead %.1f%% (paper: under 5%% on average)", sum/float64(len(specs))*100)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
@@ -186,13 +198,14 @@ func Fig2d() (*Outcome, error) {
 	}}
 	specs := workload.Benchmarks()
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	ratios, err := Map(len(specs), func(i int) (float64, error) {
 		spec := specs[i]
-		combined, err := runOnRig(testbed.Options{PMs: 24, VMsPerPM: 2, Seed: 233, EventSink: &fired}, spec)
+		combined, err := runOnRig(testbed.Options{PMs: 24, VMsPerPM: 2, Seed: 233, EventSink: &fired}, spec, pool)
 		if err != nil {
 			return 0, err
 		}
-		split, err := runOnRig(testbed.Options{PMs: 24, VMsPerPM: 2, Split: true, Seed: 233, EventSink: &fired}, spec)
+		split, err := runOnRig(testbed.Options{PMs: 24, VMsPerPM: 2, Split: true, Seed: 233, EventSink: &fired}, spec, pool)
 		if err != nil {
 			return 0, err
 		}
@@ -208,10 +221,13 @@ func Fig2d() (*Outcome, error) {
 	}
 	out.Notef("split architecture improves JCT by %.1f%% on average (paper: 12.8%%)", sum/float64(len(specs))*100)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
-func runOnRig(opts testbed.Options, spec mapred.JobSpec) (float64, error) {
+func runOnRig(opts testbed.Options, spec mapred.JobSpec, pool *metricsPool) (float64, error) {
+	reg := pool.registry()
+	opts.Metrics = reg
 	rig, err := testbed.New(opts)
 	if err != nil {
 		return 0, err
@@ -220,5 +236,6 @@ func runOnRig(opts testbed.Options, spec mapred.JobSpec) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	pool.fold(reg)
 	return res.JCT.Seconds(), nil
 }

@@ -12,17 +12,22 @@ import (
 
 // virtualJCT runs a spec on a virtual cluster of the given VM count
 // (2 VMs per PM) and returns the phase timings.
-func virtualJCT(spec mapred.JobSpec, vms int, seed int64, sink *atomic.Uint64) (testbed.JobResult, error) {
+func virtualJCT(spec mapred.JobSpec, vms int, seed int64, sink *atomic.Uint64, pool *metricsPool) (testbed.JobResult, error) {
 	pms := (vms + 1) / 2
 	vpp := 2
 	if vms == 1 {
 		pms, vpp = 1, 1
 	}
-	rig, err := testbed.New(testbed.Options{PMs: pms, VMsPerPM: vpp, Seed: seed, EventSink: sink})
+	reg := pool.registry()
+	rig, err := testbed.New(testbed.Options{PMs: pms, VMsPerPM: vpp, Seed: seed, EventSink: sink, Metrics: reg})
 	if err != nil {
 		return testbed.JobResult{}, err
 	}
-	return rig.RunJob(spec)
+	res, err := rig.RunJob(spec)
+	if err == nil {
+		pool.fold(reg)
+	}
+	return res, err
 }
 
 // Fig5a reproduces Figure 5(a): end-to-end JCT versus cluster size
@@ -40,10 +45,11 @@ func Fig5a() (*Outcome, error) {
 		Columns: []string{"VMs", "Sort", "PiEst", "DistGrep"},
 	}}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	flat, err := Map(len(specs)*len(clusterSizes), func(i int) (float64, error) {
 		spec := specs[i/len(clusterSizes)]
 		n := clusterSizes[i%len(clusterSizes)]
-		res, err := virtualJCT(spec, n, 503, &fired)
+		res, err := virtualJCT(spec, n, 503, &fired, pool)
 		if err != nil {
 			return 0, fmt.Errorf("fig5a %s/%d: %w", spec.Name, n, err)
 		}
@@ -70,12 +76,13 @@ func Fig5a() (*Outcome, error) {
 	}
 	out.Notef("Sort JCT vs cluster size fits A + B/x with R²=%.3f (paper: inverse relation)", fit.R2)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
 // fig5Phases runs the Figure 5(b)/(c) sweep: Sort at 2-5 GB over 2-12
 // VMs, returning map and reduce phase times.
-func fig5Phases(fired *atomic.Uint64) (clusterSizes []int, sizesGB []float64, mapSec, redSec map[string]float64, err error) {
+func fig5Phases(fired *atomic.Uint64, pool *metricsPool) (clusterSizes []int, sizesGB []float64, mapSec, redSec map[string]float64, err error) {
 	clusterSizes = []int{2, 4, 6, 8, 10, 12}
 	sizesGB = []float64{2, 3, 4, 5}
 	mapSec = make(map[string]float64)
@@ -83,7 +90,7 @@ func fig5Phases(fired *atomic.Uint64) (clusterSizes []int, sizesGB []float64, ma
 	results, err := Map(len(sizesGB)*len(clusterSizes), func(i int) (testbed.JobResult, error) {
 		gb := sizesGB[i/len(clusterSizes)]
 		n := clusterSizes[i%len(clusterSizes)]
-		return virtualJCT(workload.Sort().WithInputMB(scaledMB(gb*workload.GB)), n, 509, fired)
+		return virtualJCT(workload.Sort().WithInputMB(scaledMB(gb*workload.GB)), n, 509, fired, pool)
 	})
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -111,7 +118,8 @@ func Fig5c() (*Outcome, error) {
 
 func fig5PhaseTable(id, title string, mapPhase bool) (*Outcome, error) {
 	var fired atomic.Uint64
-	clusterSizes, sizesGB, mapSec, redSec, err := fig5Phases(&fired)
+	pool := newMetricsPool()
+	clusterSizes, sizesGB, mapSec, redSec, err := fig5Phases(&fired, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +153,7 @@ func fig5PhaseTable(id, title string, mapPhase bool) (*Outcome, error) {
 		out.Notef("5 GB series piece-wise fit R²=%.3f (paper: map inverse, reduce piece-wise)", pw.R2)
 	}
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
@@ -159,10 +168,11 @@ func Fig5d() (*Outcome, error) {
 		Columns: []string{"data(GB)", "C1", "C2", "C4", "C8", "C16"},
 	}}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	flat, err := Map(len(sizesGB)*len(clusterSizes), func(i int) (float64, error) {
 		gb := sizesGB[i/len(clusterSizes)]
 		n := clusterSizes[i%len(clusterSizes)]
-		res, err := virtualJCT(workload.Sort().WithInputMB(scaledMB(gb*workload.GB)), n, 521, &fired)
+		res, err := virtualJCT(workload.Sort().WithInputMB(scaledMB(gb*workload.GB)), n, 521, &fired, pool)
 		if err != nil {
 			return 0, err
 		}
@@ -197,5 +207,6 @@ func Fig5d() (*Outcome, error) {
 	}
 	out.Notef("C4 series linear fit R²=%.3f (paper: JCT almost linearly proportional to data size)", fit.R2)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }

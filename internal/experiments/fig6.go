@@ -21,6 +21,7 @@ import (
 // error with 9.7% standard deviation.
 func Fig6a() (*Outcome, error) {
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	prof := profiler.New(core.SimRunner(testbed.Options{Seed: 601, EventSink: &fired}))
 	// Profile a slightly denser training grid than the placement default,
 	// as the paper's accuracy study accumulates more history.
@@ -40,7 +41,7 @@ func Fig6a() (*Outcome, error) {
 		vms := vmGrid[i/len(gbGrid)]
 		gb := gbGrid[i%len(gbGrid)]
 		spec := workload.Sort().WithInputMB(scaledMB(gb * workload.GB))
-		res, err := virtualJCT(spec, vms, 607, &fired)
+		res, err := virtualJCT(spec, vms, 607, &fired, pool)
 		if err != nil {
 			return testbed.JobResult{}, fmt.Errorf("fig6a actual: %w", err)
 		}
@@ -76,6 +77,7 @@ func Fig6a() (*Outcome, error) {
 	out.Notef("mean profiling error %.1f%% ± %.1f%% (paper: 10.8%% ± 9.7%%)",
 		stats.Mean(errs)*100, stats.StdDev(errs)*100)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
@@ -105,11 +107,14 @@ func interferenceRig(sink *atomic.Uint64) (*sim.Engine, *cluster.Cluster, []*clu
 // victimJCT runs a victim task on vms[0] with antagonists spreading the
 // given total CPU (cores) and disk (MB/s) demand over vms[1:3], and
 // returns the victim's completion time in seconds.
-func victimJCT(victim resource.Vector, antagonistCPU, antagonistDisk float64, sink *atomic.Uint64) (float64, error) {
-	engine, _, vms, err := interferenceRig(sink)
+func victimJCT(victim resource.Vector, antagonistCPU, antagonistDisk float64, sink *atomic.Uint64, pool *metricsPool) (float64, error) {
+	engine, cl, vms, err := interferenceRig(sink)
 	if err != nil {
 		return 0, err
 	}
+	reg := pool.registry()
+	cl.SetTrace(nil, reg)
+	defer pool.fold(reg)
 	// The victim VM competes like a single busy thread; antagonist VMs
 	// carry as much scheduler weight as the threads they run, as the Xen
 	// credit scheduler grants runnable vCPUs.
@@ -157,17 +162,17 @@ func sortVictim() resource.Vector { return resource.NewVector(0.2, 380, 60, 0) }
 // the pool.
 type victimPair struct{ pi, srt float64 }
 
-func interferenceSweep(levels []float64, load func(level float64) (cpu, disk float64), fired *atomic.Uint64) (base victimPair, points []victimPair, err error) {
+func interferenceSweep(levels []float64, load func(level float64) (cpu, disk float64), fired *atomic.Uint64, pool *metricsPool) (base victimPair, points []victimPair, err error) {
 	results, err := Map(len(levels)+1, func(i int) (victimPair, error) {
 		cpu, disk := 0.0, 0.0
 		if i > 0 {
 			cpu, disk = load(levels[i-1])
 		}
-		pi, err := victimJCT(piVictim(), cpu, disk, fired)
+		pi, err := victimJCT(piVictim(), cpu, disk, fired, pool)
 		if err != nil {
 			return victimPair{}, err
 		}
-		srt, err := victimJCT(sortVictim(), cpu, disk, fired)
+		srt, err := victimJCT(sortVictim(), cpu, disk, fired, pool)
 		if err != nil {
 			return victimPair{}, err
 		}
@@ -189,9 +194,10 @@ func Fig6b() (*Outcome, error) {
 	}}
 	pcts := []float64{0, 100, 300, 500, 700, 900}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	base, points, err := interferenceSweep(pcts, func(pct float64) (float64, float64) {
 		return pct / 100, 0
-	}, &fired)
+	}, &fired, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -208,6 +214,7 @@ func Fig6b() (*Outcome, error) {
 	out.Notef("PiEst slowdown grows with collocated CPU (linear fit slope %.4f/%%, R²=%.2f); Sort unaffected (paper: same shape)",
 		fit.Slope, fit.R2)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
@@ -221,9 +228,10 @@ func Fig6c() (*Outcome, error) {
 	}}
 	rates := []float64{0, 10, 20, 30, 40, 50, 60}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	base, points, err := interferenceSweep(rates, func(rate float64) (float64, float64) {
 		return 0, rate
-	}, &fired)
+	}, &fired, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +248,7 @@ func Fig6c() (*Outcome, error) {
 	out.Notef("Sort slowdown fits %.2f*exp(%.3f*x) with R²=%.2f — super-linear under I/O contention; PiEst flat (paper: exponential increase)",
 		fit.A, fit.B, fit.R2)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -27,7 +28,7 @@ type hybridRig struct {
 	vms       []*cluster.VM
 }
 
-func newHybridRig(nativePMs, vmHosts int, seed int64, capacityAware bool, sink *atomic.Uint64) (*hybridRig, error) {
+func newHybridRig(nativePMs, vmHosts int, seed int64, capacityAware bool, sink *atomic.Uint64, reg *trace.Registry) (*hybridRig, error) {
 	rig, err := testbed.New(testbed.Options{
 		PMs:      vmHosts,
 		VMsPerPM: 2,
@@ -37,6 +38,7 @@ func newHybridRig(nativePMs, vmHosts int, seed int64, capacityAware bool, sink *
 			CapacityAware: capacityAware,
 		},
 		EventSink: sink,
+		Metrics:   reg,
 	})
 	if err != nil {
 		return nil, err
@@ -71,11 +73,12 @@ type mixResult struct {
 // runMix drives nServices interactive applications and nJobs batch jobs
 // on a hybrid rig under the given placement policy, returning mean batch
 // JCT and mean interactive latency.
-func runMix(nServices, nJobs int, usePhase1 bool, seed int64, sink *atomic.Uint64) (mixResult, error) {
+func runMix(nServices, nJobs int, usePhase1 bool, seed int64, sink *atomic.Uint64, pool *metricsPool) (mixResult, error) {
 	// 8 native PMs plus 16 PMs hosting 32 VMs: the virtual partition
 	// keeps real spare capacity, which is the premise the paper's
 	// consolidation argument rests on.
-	h, err := newHybridRig(8, 16, seed, usePhase1, sink)
+	reg := pool.registry()
+	h, err := newHybridRig(8, 16, seed, usePhase1, sink, reg)
 	if err != nil {
 		return mixResult{}, err
 	}
@@ -169,6 +172,7 @@ func runMix(nServices, nJobs int, usePhase1 bool, seed int64, sink *atomic.Uint6
 	for _, j := range jobs {
 		js.add(j.JCT().Seconds())
 	}
+	pool.fold(reg)
 	return mixResult{meanJCT: js.mean(), meanLatency: stats.Mean(latencies)}, nil
 }
 
@@ -195,12 +199,13 @@ func Fig8a() (*Outcome, error) {
 		{"wmix-3 (80/20)", 10, 3},
 	}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	// Each (mix, policy) run is independent: even index = random
 	// placement, odd = Phase I.
 	results, err := Map(len(mixes)*2, func(i int) (mixResult, error) {
 		mix := mixes[i/2]
 		usePhase1 := i%2 == 1
-		res, err := runMix(mix.services, mix.jobs, usePhase1, 801, &fired)
+		res, err := runMix(mix.services, mix.jobs, usePhase1, 801, &fired, pool)
 		if err != nil {
 			policy := "random"
 			if usePhase1 {
@@ -225,13 +230,15 @@ func Fig8a() (*Outcome, error) {
 	}
 	out.Notef("profiled placement helps both classes in the batch-heavy mixes; best batch gain %.0f%% (paper: gains up to ~0.4, magnitude varying with mix); wmix-3 has too little batch work for placement to matter much", best*100)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
 // drmJCT runs jobs on a 48-VM virtual cluster with static slot caps,
 // optionally managed by the DRM in the given mode, and returns each
 // job's JCT by benchmark name.
-func drmJCT(specs []mapred.JobSpec, managed bool, modes core.ResourceModes, seed int64, sink *atomic.Uint64) (map[string]float64, error) {
+func drmJCT(specs []mapred.JobSpec, managed bool, modes core.ResourceModes, seed int64, sink *atomic.Uint64, pool *metricsPool) (map[string]float64, error) {
+	reg := pool.registry()
 	rig, err := testbed.New(testbed.Options{
 		PMs:      24,
 		VMsPerPM: 2,
@@ -241,6 +248,7 @@ func drmJCT(specs []mapred.JobSpec, managed bool, modes core.ResourceModes, seed
 			CapacityAware: managed,
 		},
 		EventSink: sink,
+		Metrics:   reg,
 	})
 	if err != nil {
 		return nil, err
@@ -266,6 +274,7 @@ func drmJCT(specs []mapred.JobSpec, managed bool, modes core.ResourceModes, seed
 		}
 		out[j.Spec.Name] = j.JCT().Seconds()
 	}
+	pool.fold(reg)
 	return out, nil
 }
 
@@ -299,10 +308,11 @@ func fig8bc(id, title string, together bool, paperAvg, paperMax float64) (*Outco
 		cfgs = append(cfgs, drmCfg{true, m.modes})
 	}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	var byCfg []map[string]float64
 	if together {
 		res, err := Map(len(cfgs), func(i int) (map[string]float64, error) {
-			return drmJCT(specs, cfgs[i].managed, cfgs[i].modes, 811, &fired)
+			return drmJCT(specs, cfgs[i].managed, cfgs[i].modes, 811, &fired, pool)
 		})
 		if err != nil {
 			return nil, err
@@ -311,7 +321,7 @@ func fig8bc(id, title string, together bool, paperAvg, paperMax float64) (*Outco
 	} else {
 		flat, err := Map(len(cfgs)*len(specs), func(i int) (map[string]float64, error) {
 			c := cfgs[i/len(specs)]
-			return drmJCT([]mapred.JobSpec{specs[i%len(specs)]}, c.managed, c.modes, 811, &fired)
+			return drmJCT([]mapred.JobSpec{specs[i%len(specs)]}, c.managed, c.modes, 811, &fired, pool)
 		})
 		if err != nil {
 			return nil, err
@@ -353,6 +363,7 @@ func fig8bc(id, title string, together bool, paperAvg, paperMax float64) (*Outco
 	out.Notef("CPU+Mem+I/O mode: average JCT reduction %.1f%%, max %.1f%% (paper: %.1f%% / %.1f%%)",
 		avg*100, max*100, paperAvg, paperMax)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }
 
@@ -377,7 +388,9 @@ func Fig8d() (*Outcome, error) {
 		Columns: []string{"clients", "RUBiS", "RUBiS+MapReduce", "HybridMR"},
 	}}
 	var fired atomic.Uint64
+	pool := newMetricsPool()
 	run := func(clients int, batch, ips bool) (float64, error) {
+		reg := pool.registry()
 		rig, err := testbed.New(testbed.Options{
 			PMs:      12,
 			VMsPerPM: 2,
@@ -388,6 +401,7 @@ func Fig8d() (*Outcome, error) {
 			},
 			Scheduler: mapred.FIFO{},
 			EventSink: &fired,
+			Metrics:   reg,
 		})
 		if err != nil {
 			return 0, err
@@ -432,6 +446,7 @@ func Fig8d() (*Outcome, error) {
 		})
 		rig.Engine.RunUntil(6 * time.Minute)
 		tick.Stop()
+		pool.fold(reg)
 		return stats.Mean(lat), nil
 	}
 	var levels []int
@@ -474,5 +489,6 @@ func Fig8d() (*Outcome, error) {
 	out.Notef("FIFO collocation violates the 2 s SLA at %d client levels; HybridMR at %d (paper: HybridMR keeps latency within bounds)",
 		fifoViolations, hybridViolations)
 	out.EventsFired = fired.Load()
+	out.Metrics = pool.snapshot()
 	return out, nil
 }

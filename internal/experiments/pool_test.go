@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/critpath"
+	"repro/internal/trace"
 )
 
 // withParallelism runs fn with the worker-pool width pinned and restores
@@ -91,9 +95,10 @@ func TestParallelDeterminism(t *testing.T) {
 			if !ok {
 				t.Fatalf("unknown experiment %s", id)
 			}
-			render := func(workers int) (string, uint64) {
+			render := func(workers int) (string, uint64, string) {
 				var text string
 				var events uint64
+				var snap string
 				withParallelism(t, workers, func() {
 					outcome, err := exp.Run()
 					if err != nil {
@@ -103,11 +108,19 @@ func TestParallelDeterminism(t *testing.T) {
 					outcome.Fprint(&sb)
 					text = sb.String()
 					events = outcome.EventsFired
+					data, err := json.Marshal(struct {
+						M trace.Snapshot              `json:"metrics"`
+						C map[string]critpath.Summary `json:"critical_paths"`
+					}{outcome.Metrics, outcome.CritPaths})
+					if err != nil {
+						t.Fatalf("%s: marshal metrics: %v", id, err)
+					}
+					snap = string(data)
 				})
-				return text, events
+				return text, events, snap
 			}
-			serial, serialEvents := render(1)
-			parallel, parallelEvents := render(8)
+			serial, serialEvents, serialSnap := render(1)
+			parallel, parallelEvents, parallelSnap := render(8)
 			if serial != parallel {
 				t.Errorf("%s output differs between parallelism 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", id, serial, parallel)
 			}
@@ -116,6 +129,15 @@ func TestParallelDeterminism(t *testing.T) {
 			}
 			if serialEvents == 0 {
 				t.Errorf("%s attributed zero events — sink not plumbed", id)
+			}
+			// The merged metrics snapshot (and any critical-path digests)
+			// must also be worker-count independent: Registry.Merge is
+			// order-independent by construction.
+			if serialSnap != parallelSnap {
+				t.Errorf("%s metrics snapshot differs between parallelism 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", id, serialSnap, parallelSnap)
+			}
+			if serialSnap == `{"metrics":{},"critical_paths":null}` {
+				t.Errorf("%s recorded no metrics — pool not plumbed", id)
 			}
 		}
 	})

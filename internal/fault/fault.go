@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/dfs"
 	"repro/internal/mapred"
@@ -129,12 +130,13 @@ type Env struct {
 // through every layer in the right order, so tests and scenarios use
 // them directly.
 type Injector struct {
-	env    Env
-	opts   Options
-	armed  bool
-	tracer *trace.Tracer
-	reg    *trace.Registry
-	byKind map[Kind]int
+	env      Env
+	opts     Options
+	armed    bool
+	tracer   *trace.Tracer
+	reg      *trace.Registry
+	auditLog *audit.Log
+	byKind   map[Kind]int
 }
 
 // NewInjector builds an injector over the environment. Nothing fires
@@ -148,6 +150,11 @@ func (in *Injector) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	in.tracer = tr
 	in.reg = reg
 }
+
+// SetAudit installs a decision log; every injected fault is recorded
+// on it so recovery actions can be traced back to their trigger. A nil
+// log keeps auditing off.
+func (in *Injector) SetAudit(l *audit.Log) { in.auditLog = l }
 
 // Injections returns how many faults of each kind have fired so far.
 func (in *Injector) Injections() map[Kind]int {
@@ -185,6 +192,8 @@ func (in *Injector) record(kind Kind, target string, args ...trace.Arg) {
 		all := append([]trace.Arg{trace.S("target", target)}, args...)
 		in.tracer.Instant("fault", "fault", string(kind), all...)
 	}
+	in.auditLog.Add("fault", string(kind), target, "injected",
+		"deterministic fault injection (schedule or seeded chaos profile)")
 }
 
 // Arm schedules the declarative schedule and, when a profile is set,

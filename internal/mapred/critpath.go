@@ -1,0 +1,75 @@
+package mapred
+
+import (
+	"fmt"
+
+	"repro/internal/critpath"
+)
+
+// CriticalPath reconstructs the chain of task attempts and barrier
+// waits that bounded this job's completion time. The DAG handed to the
+// analyzer is the job as it actually ran: one node per task (its
+// winning attempt — for re-executed maps, the last attempt whose
+// output survived), plus a synthetic zero-duration barrier at the
+// map→reduce transition so the edge count stays O(maps+reduces).
+//
+// The per-phase totals in the returned report telescope exactly to the
+// job's JCT. Only completed jobs can be analyzed.
+func (j *Job) CriticalPath() (*critpath.Report, error) {
+	if j.state != JobDone {
+		return nil, fmt.Errorf("mapred: CriticalPath(%s-%d): job not done", j.Spec.Name, j.ID)
+	}
+	nodes := make([]critpath.Node, 0, len(j.maps)+1+len(j.reduces))
+	for _, t := range j.maps {
+		n, err := winningNode(t)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	if len(j.reduces) > 0 {
+		barrier := len(nodes)
+		deps := make([]int, len(j.maps))
+		for i := range deps {
+			deps[i] = i
+		}
+		nodes = append(nodes, critpath.Node{
+			ID: "map-barrier", Kind: "barrier",
+			Start: j.mapsDoneAt, End: j.mapsDoneAt,
+			Deps: deps, Attempts: 1, Barrier: true,
+		})
+		for _, t := range j.reduces {
+			n, err := winningNode(t)
+			if err != nil {
+				return nil, err
+			}
+			// A reduce that completed before a map-output-loss rollback
+			// predates the final barrier; it did not wait on it.
+			if n.Start >= j.mapsDoneAt {
+				n.Deps = []int{barrier}
+			}
+			nodes = append(nodes, n)
+		}
+	}
+	return critpath.Analyze(j.submittedAt, nodes)
+}
+
+// winningNode maps a completed task to its DAG node: the last attempt
+// that finished successfully (re-executions after output loss finish
+// later than the original, and losing speculative racers never finish).
+func winningNode(t *Task) (critpath.Node, error) {
+	var win *Attempt
+	for _, a := range t.attempts {
+		if a.finished && (win == nil || a.FinishedAt > win.FinishedAt) {
+			win = a
+		}
+	}
+	if win == nil {
+		return critpath.Node{}, fmt.Errorf("mapred: task %s has no completed attempt", t.ID())
+	}
+	return critpath.Node{
+		ID: t.ID(), Kind: t.Kind.String(), Where: win.Tracker.Compute.Name(),
+		Start: win.StartedAt, End: win.FinishedAt,
+		Attempts: len(t.attempts), Speculative: win.Speculative,
+	}, nil
+}

@@ -122,6 +122,14 @@ func (jt *JobTracker) trackersLost(batch []*TaskTracker, cause string) int {
 			}
 			jt.tracer.Instant(tr.Compute.Name(), "mapred", "tracker-lost", args...)
 		}
+		if jt.auditLog != nil {
+			decision := "rejoin on next responsive heartbeat"
+			if blacklisted {
+				decision = fmt.Sprintf("blacklist for %v", tr.blacklistUntil-now)
+			}
+			jt.auditLog.Add("mapred", "tracker-lost", tr.Compute.Name(), decision,
+				fmt.Sprintf("%s; failure %d of %d tolerated", cause, tr.failures, jt.cfg.TrackerFailureLimit))
+		}
 	}
 	if len(lost) == 0 {
 		return 0
@@ -154,6 +162,8 @@ func (jt *JobTracker) restoreTracker(tr *TaskTracker) {
 		jt.tracer.Instant(tr.Compute.Name(), "mapred", "tracker-restored",
 			trace.F("failures", float64(tr.failures)))
 	}
+	jt.auditLog.Add("mapred", "tracker-restored", tr.Compute.Name(), "rejoin",
+		fmt.Sprintf("responsive again after %d failure(s), blacklist hold-off expired", tr.failures))
 	jt.schedule()
 }
 
@@ -186,8 +196,19 @@ func (jt *JobTracker) reexecuteLostMaps(tr *TaskTracker) int {
 			continue
 		}
 		total += n
+		rolledBack := false
 		if job.state == JobReducePhase {
 			jt.rollbackToMapPhase(job)
+			rolledBack = true
+		}
+		if jt.auditLog != nil {
+			decision := fmt.Sprintf("re-queue %d completed map(s)", n)
+			if rolledBack {
+				decision += ", roll job back to map phase"
+			}
+			jt.auditLog.Add("mapred", "reexecute-maps",
+				fmt.Sprintf("%s-%d", job.Spec.Name, job.ID), decision,
+				fmt.Sprintf("map outputs lived on lost tracker %s; reducers can no longer fetch them", tr.Compute.Name()))
 		}
 		if jt.tracer != nil {
 			jt.tracer.Instant(fmt.Sprintf("job:%s-%d", job.Spec.Name, job.ID),

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/dfs"
 	"repro/internal/resource"
@@ -218,6 +219,7 @@ type JobTracker struct {
 	attempts map[*Attempt]struct{}
 
 	tracer     *trace.Tracer
+	auditLog   *audit.Log
 	countReads bool
 
 	// Cached metric handles; nil (a no-op) until SetTrace installs a
@@ -284,6 +286,11 @@ func (jt *JobTracker) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	jt.mTrackersBlacklisted = reg.Counter("mapred.trackers.blacklisted")
 	jt.mMapsReexecuted = reg.Counter("mapred.maps.reexecuted")
 }
+
+// SetAudit installs a decision log. Slot assignments, speculation
+// triggers and tracker blacklisting decisions are recorded on it; a nil
+// log keeps auditing off.
+func (jt *JobTracker) SetAudit(l *audit.Log) { jt.auditLog = l }
 
 // Close stops the background speculation and health scanners.
 func (jt *JobTracker) Close() {
@@ -556,6 +563,17 @@ func (jt *JobTracker) launch(task *Task, tr *TaskTracker, speculative bool) erro
 		}
 		a.span = jt.tracer.Begin(tr.Compute.Name(), "task", task.ID(), args...)
 	}
+	if jt.auditLog != nil {
+		reason := "fixed heartbeat order (vanilla Hadoop)"
+		if jt.cfg.CapacityAware {
+			reason = "capacity-aware: least-pressure machine first"
+		}
+		if speculative {
+			reason = "speculative backup on the least-loaded alternative"
+		}
+		jt.auditLog.Add("mapred", "assign", task.ID(), tr.Compute.Name(), reason,
+			jt.assignCandidates(task.Kind, tr)...)
+	}
 	if serveDisk > 0 && tr.split() {
 		a.serve = &cluster.Consumer{
 			Name:   fmt.Sprintf("%s-serve@%s", task.ID(), tr.Storage.Name()),
@@ -574,6 +592,35 @@ func (jt *JobTracker) launch(task *Task, tr *TaskTracker, speculative bool) erro
 	}
 	jt.attempts[a] = struct{}{}
 	return nil
+}
+
+// assignCandidates lists, for the audit log, the trackers that had a
+// free slot of the kind when one of them was chosen, scored by machine
+// pressure. The list is capped (the chosen tracker is always kept) so
+// records stay readable on large clusters.
+func (jt *JobTracker) assignCandidates(kind TaskKind, chosen *TaskTracker) []audit.Candidate {
+	const maxCandidates = 8
+	var out []audit.Candidate
+	for _, tr := range jt.trackers {
+		if tr != chosen && (tr.disabled || tr.lost || tr.FreeSlots(kind) <= 0) {
+			continue
+		}
+		c := audit.Candidate{
+			Name:   tr.Compute.Name(),
+			Score:  trackerPressure(tr),
+			Chosen: tr == chosen,
+			Note:   "machine pressure",
+		}
+		if len(out) == maxCandidates {
+			if tr != chosen {
+				continue
+			}
+			out[len(out)-1] = c // chosen beyond the cap replaces the tail
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 // attemptFinished handles a completed attempt: the first completion wins
@@ -846,12 +893,46 @@ func (jt *JobTracker) speculate() {
 				if a.Speed() >= reference*jt.cfg.SpeculationSlowdown {
 					continue
 				}
+				reason := fmt.Sprintf("straggler: speed %.3f below %.3f (reference %.3f × slowdown %.2f)",
+					a.Speed(), reference*jt.cfg.SpeculationSlowdown, reference, jt.cfg.SpeculationSlowdown)
 				if tr := jt.freeTrackerExcluding(a.Tracker, a.Task.Kind); tr != nil {
-					_ = jt.launch(a.Task, tr, true)
+					if err := jt.launch(a.Task, tr, true); err == nil && jt.auditLog != nil {
+						jt.auditLog.Add("mapred", "speculate", a.Task.ID(),
+							tr.Compute.Name(), reason, speedCandidates(attempts, a)...)
+					}
+				} else if jt.auditLog != nil {
+					jt.auditLog.Add("mapred", "speculate", a.Task.ID(),
+						"none", reason+"; no free tracker for a backup",
+						speedCandidates(attempts, a)...)
 				}
 			}
 		}
 	}
+}
+
+// speedCandidates lists, for the audit log, the progress rates the
+// straggler detector compared: each running attempt of the scanned
+// job/kind group, the flagged straggler marked chosen.
+func speedCandidates(attempts []*Attempt, straggler *Attempt) []audit.Candidate {
+	const maxCandidates = 8
+	var out []audit.Candidate
+	for _, a := range attempts {
+		c := audit.Candidate{
+			Name:   a.consumer.Name,
+			Score:  a.Speed(),
+			Chosen: a == straggler,
+			Note:   "progress rate",
+		}
+		if len(out) == maxCandidates {
+			if a != straggler {
+				continue
+			}
+			out[len(out)-1] = c
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 // freeTrackerExcluding picks the least-loaded tracker with a free slot —

@@ -1,0 +1,136 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/critpath"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/trace"
+)
+
+func sampleData() Data {
+	reg := trace.NewRegistry()
+	reg.Counter("mapred.tasks_completed").Add(42)
+	reg.Gauge("cluster.pms_on").Set(7)
+	reg.Histogram("mapred.task_sec").Observe(12.5)
+	return Data{
+		Title:  "test run",
+		Seed:   7,
+		SimEnd: 90 * time.Second,
+		Samples: []metrics.Sample{
+			{At: 10 * time.Second, Util: resource.NewVector(0.4, 0.2, 0.1, 0.3), PowerW: 900, PMsOn: 8},
+			{At: 20 * time.Second, Util: resource.NewVector(0.7, 0.5, 0.2, 0.6), PowerW: 1200, PMsOn: 8},
+			{At: 30 * time.Second, Util: resource.NewVector(0.3, 0.1, 0.1, 0.2), PowerW: 700, PMsOn: 6},
+		},
+		EnergyWh: 5.5,
+		Events: []trace.Event{
+			{Track: "pm-0", Category: "task", Name: "m-0", Start: 5 * time.Second, Duration: 8 * time.Second},
+			{Track: "vm-1", Category: "migration", Name: "migrate", Start: 12 * time.Second, Duration: 6 * time.Second},
+			{Track: "pm-1", Category: "power", Name: "off", Start: 40 * time.Second, Instant: true},
+		},
+		Audit: []audit.Record{
+			{Seq: 1, At: 2 * time.Second, Subsystem: "phase1", Action: "place", Subject: "Sort-1",
+				Decision: "native", Reason: "shorter estimated JCT",
+				Candidates: []audit.Candidate{{Name: "native", Score: 80, Chosen: true}, {Name: "virtual", Score: 120}}},
+			{Seq: 2, At: 3 * time.Second, Subsystem: "mapred", Action: "assign", Subject: "Sort-1/m-0",
+				Decision: "tt-pm-0", Reason: "node-local block"},
+		},
+		Metrics: reg.Snapshot(),
+		Jobs: []JobPath{{
+			Name: "Sort-1",
+			Path: critpath.Summary{
+				MakespanSec: 80, WaitSec: 10, RunSec: 70, Steps: 5,
+				Phases: []critpath.PhaseSummary{{Kind: "map", Sec: 50}, {Kind: "reduce", Sec: 30}},
+			},
+		}},
+	}
+}
+
+func render(t *testing.T, d Data) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := Write(&b, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return b.String()
+}
+
+func TestReportRendersAllViews(t *testing.T) {
+	out := render(t, sampleData())
+	for _, want := range []string{
+		"Utilization &amp; power timeline",
+		"Placement &amp; migration swimlane",
+		"Per-job critical paths",
+		"Scheduler decision audit log",
+		"Metrics registry snapshot",
+		"<polyline",              // timeline series
+		"pm-0",                   // swimlane lane
+		"shorter estimated JCT",  // audit reason
+		"mapred.tasks_completed", // metric counter
+		"makespan 80.0s",         // critical-path summary
+		"aflt",                   // inline filter script
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestReportIsSelfContained(t *testing.T) {
+	out := render(t, sampleData())
+	for _, banned := range []string{"http://", "https://", "src=", "link rel", "@import"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("report references external asset: found %q", banned)
+		}
+	}
+}
+
+func TestReportIsDeterministic(t *testing.T) {
+	a := render(t, sampleData())
+	b := render(t, sampleData())
+	if a != b {
+		t.Fatal("two renders of identical data differ")
+	}
+}
+
+func TestReportEmptyDataStillShowsViews(t *testing.T) {
+	out := render(t, Data{Title: "empty", Seed: 1})
+	for _, want := range []string{
+		"no utilization samples recorded",
+		"no trace events recorded",
+		"no completed jobs to profile",
+		"no audit records",
+		"no metrics recorded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty report missing %q", want)
+		}
+	}
+}
+
+func TestReportEscapesContent(t *testing.T) {
+	d := Data{Title: "<script>alert(1)</script>", Seed: 1}
+	out := render(t, d)
+	if strings.Contains(out, "<script>alert(1)</script>") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestReportCapsAuditRows(t *testing.T) {
+	d := Data{Title: "big", Seed: 1}
+	for i := 0; i < maxAuditRows+50; i++ {
+		d.Audit = append(d.Audit, audit.Record{Seq: uint64(i + 1), Subsystem: "mapred", Action: "assign"})
+	}
+	out := render(t, d)
+	if !strings.Contains(out, "showing the first 2000 of 2050 retained records") {
+		t.Error("audit truncation not called out")
+	}
+	if n := strings.Count(out, "<tr><td class=\"num\">"); n != maxAuditRows {
+		t.Errorf("rendered %d audit rows, want %d", n, maxAuditRows)
+	}
+}

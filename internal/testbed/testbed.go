@@ -10,7 +10,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
+	"repro/internal/critpath"
 	"repro/internal/dfs"
 	"repro/internal/fault"
 	"repro/internal/mapred"
@@ -54,6 +56,10 @@ type Options struct {
 	// Metrics, when non-nil, receives the rig's counters, gauges and
 	// histograms.
 	Metrics *trace.Registry
+	// Audit, when non-nil, records every scheduling, migration and
+	// fault-recovery decision the rig makes. Its clock is bound to the
+	// rig's engine.
+	Audit *audit.Log
 	// Faults, when non-nil, arms the rig's fault injector with the given
 	// schedule and/or chaos profile. A zero Faults.Seed derives one from
 	// the rig seed, so a chaos run is pinned by -seed alone.
@@ -101,6 +107,11 @@ type Rig struct {
 	// (manual injection works on any rig) and armed only when
 	// Options.Faults was set.
 	Faults *fault.Injector
+	// OnAllJobsDone, if set before RunJob/RunJobs, fires when the last
+	// submitted job completes — while the engine is still draining.
+	// Callers use it to stop periodic observers (utilization samplers)
+	// whose ticks would otherwise keep the event queue alive forever.
+	OnAllJobsDone func()
 }
 
 // New assembles a rig.
@@ -119,6 +130,11 @@ func New(opts Options) (*Rig, error) {
 		cl.SetTrace(opts.Tracer, opts.Metrics)
 		fs.SetTrace(opts.Tracer, opts.Metrics)
 		jt.SetTrace(opts.Tracer, opts.Metrics)
+	}
+	if opts.Audit != nil {
+		opts.Audit.SetClock(engine)
+		cl.SetAudit(opts.Audit)
+		jt.SetAudit(opts.Audit)
 	}
 
 	rig := &Rig{Engine: engine, Cluster: cl, FS: fs, JT: jt}
@@ -178,6 +194,9 @@ func New(opts Options) (*Rig, error) {
 	if opts.Tracer != nil || opts.Metrics != nil {
 		rig.Faults.SetTrace(opts.Tracer, opts.Metrics)
 	}
+	if opts.Audit != nil {
+		rig.Faults.SetAudit(opts.Audit)
+	}
 	if opts.Faults != nil {
 		if err := rig.Faults.Arm(); err != nil {
 			return nil, err
@@ -195,15 +214,23 @@ type JobResult struct {
 	// MapPhase and ReducePhase split the completion time.
 	MapPhase    time.Duration
 	ReducePhase time.Duration
+	// CritPath digests the job's critical path (longest chain of waits
+	// and task runs bounding the JCT); nil when analysis failed.
+	CritPath *critpath.Summary
 }
 
 func resultOf(j *mapred.Job) JobResult {
-	return JobResult{
+	res := JobResult{
 		Name:        j.Spec.Name,
 		JCT:         j.JCT(),
 		MapPhase:    j.MapPhase(),
 		ReducePhase: j.ReducePhase(),
 	}
+	if rep, err := j.CriticalPath(); err == nil {
+		sum := rep.Summary()
+		res.CritPath = &sum
+	}
+	return res
 }
 
 // FailPM crashes one of the rig's physical machines and propagates the
@@ -219,7 +246,11 @@ func (r *Rig) FailPM(pm *cluster.PM) (dfs.FailureReport, error) {
 
 // RunJob submits a job and drives the simulation until it completes.
 func (r *Rig) RunJob(spec mapred.JobSpec) (JobResult, error) {
-	job, err := r.JT.Submit(spec, nil)
+	job, err := r.JT.Submit(spec, func(*mapred.Job) {
+		if r.OnAllJobsDone != nil {
+			r.OnAllJobsDone()
+		}
+	})
 	if err != nil {
 		return JobResult{}, err
 	}
@@ -234,8 +265,13 @@ func (r *Rig) RunJob(spec mapred.JobSpec) (JobResult, error) {
 // one completes.
 func (r *Rig) RunJobs(specs []mapred.JobSpec) ([]JobResult, error) {
 	jobs := make([]*mapred.Job, 0, len(specs))
+	remaining := len(specs)
 	for _, spec := range specs {
-		job, err := r.JT.Submit(spec, nil)
+		job, err := r.JT.Submit(spec, func(*mapred.Job) {
+			if remaining--; remaining == 0 && r.OnAllJobsDone != nil {
+				r.OnAllJobsDone()
+			}
+		})
 		if err != nil {
 			return nil, err
 		}
