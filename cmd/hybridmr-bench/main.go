@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hybridmr-bench [-scale 1.0] [-parallel 8] [-only fig1a,fig8b] [-list] [-json]
+//	hybridmr-bench [-scale 1.0] [-parallel 8] [-only fig1a,fig8b] [-list] [-json] [-check]
 //
 // Each experiment prints the same rows/series the paper plots, followed
 // by headline notes comparing measured numbers against the paper's
@@ -25,18 +25,35 @@
 // the experiment surfaces them, per-benchmark critical-path summaries;
 // the merge is order-independent, so these too are byte-identical at any
 // worker count.
+//
+// With -check, every experiment's outcome is additionally judged against
+// the paper-fidelity assertion suite (internal/fidelity): the headline
+// claim of each figure as a machine-checkable predicate, with documented
+// waivers where the simulator knowingly diverges. The verdicts are
+// written to FIDELITY.json (-fidelity-out), a summary table is printed,
+// and the command exits non-zero if any unwaived assertion fails. The
+// fidelity report carries no timestamps, so it is byte-identical at any
+// -parallel value.
+//
+// -baseline compares each experiment's measured events/sec against a
+// committed baseline file and fails if throughput drops below a third
+// of the recorded value — a coarse tripwire for order-of-magnitude
+// regressions that tolerates machine-to-machine variance. -write-baseline
+// regenerates the file from the current run.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/critpath"
 	"repro/internal/experiments"
+	"repro/internal/fidelity"
 	"repro/internal/trace"
 )
 
@@ -66,14 +83,24 @@ func writeBenchJSON(rec benchRecord) error {
 	return os.WriteFile("BENCH_"+rec.Name+".json", append(data, '\n'), 0o644)
 }
 
+// baselineFile is the committed throughput floor: events/sec per
+// experiment, recorded at a known scale. The guard trips only below
+// baseline/baselineTolerance, so routine machine variance passes.
+type baselineFile struct {
+	Scale        float64            `json:"scale"`
+	EventsPerSec map[string]float64 `json:"events_per_sec"`
+}
+
+const baselineTolerance = 3.0
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridmr-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hybridmr-bench", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1.0, "input-size scale factor (1 = paper sizes)")
 	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS)")
@@ -81,17 +108,24 @@ func run(args []string) error {
 	ext := fs.Bool("ext", false, "include the extension and ablation experiments")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	jsonOut := fs.Bool("json", false, "write BENCH_<id>.json perf records")
+	check := fs.Bool("check", false, "run the paper-fidelity assertion suite (implies -ext)")
+	fidelityOut := fs.String("fidelity-out", "FIDELITY.json", "fidelity report path (with -check)")
+	baselinePath := fs.String("baseline", "", "compare events/sec against this baseline file")
+	writeBaseline := fs.Bool("write-baseline", false, "write the -baseline file from this run instead of comparing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
 		}
 		for _, e := range experiments.Extensions() {
-			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
 		}
 		return nil
+	}
+	if *writeBaseline && *baselinePath == "" {
+		return fmt.Errorf("-write-baseline needs -baseline <path>")
 	}
 	experiments.Scale = *scale
 	experiments.Parallelism = *parallel
@@ -99,7 +133,9 @@ func run(args []string) error {
 	var selected []experiments.Experiment
 	if *only == "" {
 		selected = experiments.All()
-		if *ext {
+		// The fidelity gate covers the extensions too: every registered
+		// experiment must face its assertions.
+		if *ext || *check {
 			selected = append(selected, experiments.Extensions()...)
 		}
 	} else {
@@ -113,15 +149,27 @@ func run(args []string) error {
 		}
 	}
 
+	report := &fidelity.Report{Scale: *scale}
+	measured := make(map[string]float64, len(selected))
 	for _, e := range selected {
 		start := time.Now()
 		outcome, err := e.Run()
 		if err != nil {
+			if *check {
+				// The gate reports a broken experiment as a failure
+				// rather than aborting the remaining figures.
+				report.Add(fidelity.FigureResult{ID: e.ID, Error: err.Error()})
+				fmt.Fprintf(stdout, "%s: ERROR: %v\n\n", e.ID, err)
+				continue
+			}
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		wall := time.Since(start).Seconds()
-		outcome.Fprint(os.Stdout)
-		fmt.Printf("  (%s completed in %.1fs wall time)\n\n", e.ID, wall)
+		outcome.Fprint(stdout)
+		fmt.Fprintf(stdout, "  (%s completed in %.1fs wall time)\n\n", e.ID, wall)
+		if wall > 0 {
+			measured[e.ID] = float64(outcome.EventsFired) / wall
+		}
 		if *jsonOut {
 			// EventsFired comes from the experiment's own engine sinks,
 			// not a process-global delta, so concurrent experiments (or
@@ -132,12 +180,86 @@ func run(args []string) error {
 				Metrics: outcome.Metrics, CritPaths: outcome.CritPaths,
 			}
 			if wall > 0 {
-				rec.EventsPerSec = float64(outcome.EventsFired) / wall
+				rec.EventsPerSec = measured[e.ID]
 			}
 			if err := writeBenchJSON(rec); err != nil {
 				return fmt.Errorf("%s: write bench json: %w", e.ID, err)
 			}
 		}
+		if *check {
+			report.Add(fidelity.Evaluate(e.ID, outcome, *scale))
+		}
+	}
+
+	if *baselinePath != "" {
+		order := make([]string, 0, len(selected))
+		for _, e := range selected {
+			order = append(order, e.ID)
+		}
+		if err := handleBaseline(*baselinePath, *writeBaseline, *scale, order, measured, stdout); err != nil {
+			return err
+		}
+	}
+	if *check {
+		data, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*fidelityOut, data, 0o644); err != nil {
+			return fmt.Errorf("write fidelity report: %w", err)
+		}
+		report.Summary(stdout)
+		if report.HasFailures() {
+			return fmt.Errorf("fidelity: %d assertion(s) failed (see %s)", report.Failed, *fidelityOut)
+		}
+	}
+	return nil
+}
+
+// handleBaseline either records this run's throughput as the new
+// baseline or compares against the committed one, failing on any
+// experiment that ran more than baselineTolerance times slower.
+func handleBaseline(path string, write bool, scale float64, order []string, measured map[string]float64, stdout io.Writer) error {
+	if write {
+		base := baselineFile{Scale: scale, EventsPerSec: measured}
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write baseline: %w", err)
+		}
+		fmt.Fprintf(stdout, "wrote throughput baseline for %d experiment(s) to %s\n", len(measured), path)
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if base.Scale != scale {
+		return fmt.Errorf("baseline %s was recorded at scale %g, run at %g", path, base.Scale, scale)
+	}
+	var regressions []string
+	for _, id := range order {
+		got, ran := measured[id]
+		want, ok := base.EventsPerSec[id]
+		if !ran || !ok || want <= 0 {
+			continue
+		}
+		floor := want / baselineTolerance
+		if got < floor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f events/sec, floor %.0f (baseline %.0f)", id, got, floor, want))
+		} else {
+			fmt.Fprintf(stdout, "throughput %s: %.0f events/sec vs baseline %.0f (floor %.0f) ok\n", id, got, want, floor)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("throughput regression:\n  %s", strings.Join(regressions, "\n  "))
 	}
 	return nil
 }

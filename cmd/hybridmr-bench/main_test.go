@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentIDErrors(t *testing.T) {
+	err := run([]string{"-only", "fig999"}, io.Discard)
+	if err == nil {
+		t.Fatal("run with an unknown -only id should error")
+	}
+	if !strings.Contains(err.Error(), "unknown experiment") || !strings.Contains(err.Error(), "fig999") {
+		t.Fatalf("error should name the unknown id: %v", err)
+	}
+}
+
+func TestListDoesNotRunExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1a", "fig11", "ext-faults", "abl-deferral"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestWriteBaselineRequiresPath(t *testing.T) {
+	if err := run([]string{"-write-baseline"}, io.Discard); err == nil {
+		t.Fatal("-write-baseline without -baseline should error")
+	}
+}
+
+// TestFidelityReportDeterministic drives the real -check pipeline over
+// two fast figures and requires the FIDELITY.json bytes to be identical
+// at 1 and 8 workers — the determinism contract the CI gate depends on.
+func TestFidelityReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "fid1.json"), filepath.Join(dir, "fid8.json")}
+	for i, workers := range []string{"1", "8"} {
+		err := run([]string{
+			"-check", "-only", "fig5a,fig6c", "-scale", "0.1",
+			"-parallel", workers, "-fidelity-out", paths[i],
+		}, io.Discard)
+		if err != nil {
+			t.Fatalf("-check at %s workers: %v", workers, err)
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("FIDELITY.json differs between -parallel 1 and -parallel 8:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte(`"fig5a"`)) || !bytes.Contains(a, []byte(`"fig6c"`)) {
+		t.Fatalf("report missing selected figures:\n%s", a)
+	}
+	if !bytes.Contains(a, []byte(`"failed": 0`)) {
+		t.Fatalf("fidelity checks failed at scale 0.1:\n%s", a)
+	}
+}
+
+// TestBaselineGuard exercises both directions of the throughput
+// tripwire against a synthetic baseline file.
+func TestBaselineGuard(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	measured := map[string]float64{"figX": 900}
+	order := []string{"figX"}
+
+	if err := handleBaseline(path, true, 0.1, order, measured, io.Discard); err != nil {
+		t.Fatalf("write baseline: %v", err)
+	}
+	// Same throughput: passes.
+	if err := handleBaseline(path, false, 0.1, order, measured, io.Discard); err != nil {
+		t.Fatalf("equal throughput should pass: %v", err)
+	}
+	// A 2x slowdown stays inside the 3x tolerance.
+	if err := handleBaseline(path, false, 0.1, order, map[string]float64{"figX": 450}, io.Discard); err != nil {
+		t.Fatalf("2x slowdown should pass: %v", err)
+	}
+	// A >3x slowdown trips the guard.
+	err := handleBaseline(path, false, 0.1, order, map[string]float64{"figX": 250}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "throughput regression") {
+		t.Fatalf("4x slowdown should trip the guard, got %v", err)
+	}
+	// Experiments absent from the baseline are skipped, not failed.
+	if err := handleBaseline(path, false, 0.1, []string{"figY"}, map[string]float64{"figY": 1}, io.Discard); err != nil {
+		t.Fatalf("unknown experiment should be skipped: %v", err)
+	}
+	// A scale mismatch refuses to compare apples to oranges.
+	if err := handleBaseline(path, false, 1.0, order, measured, io.Discard); err == nil {
+		t.Fatal("scale mismatch should error")
+	}
+}

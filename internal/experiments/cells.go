@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Cell is one table cell: the formatted text a runner prints plus,
+// when the cell renders a measurement, the numeric value behind it.
+// Recording the number next to the string lets the fidelity suite
+// (internal/fidelity) check each figure's headline claims against the
+// exact values its table shows, instead of re-parsing formatted text.
+type Cell struct {
+	// Text is the formatted cell content.
+	Text string
+	// Value is the measurement the text renders; meaningful only when
+	// Numeric is set.
+	Value float64
+	// Numeric marks cells that carry a measurement (as opposed to
+	// labels and config names).
+	Numeric bool
+}
+
+// Str is a label cell with no numeric value.
+func Str(s string) Cell { return Cell{Text: s} }
+
+// Num pairs custom formatted text with its numeric value.
+func Num(text string, v float64) Cell { return Cell{Text: text, Value: v, Numeric: true} }
+
+// Int renders an integer count.
+func Int(n int) Cell { return Num(strconv.Itoa(n), float64(n)) }
+
+// Pct renders a fraction as a percentage ("12.5%"); the value stays a
+// fraction.
+func Pct(v float64) Cell { return Num(fmtPct(v), v) }
+
+// F3 renders with three decimals ("0.469").
+func F3(v float64) Cell { return Num(fmtF(v), v) }
+
+// F1 renders with one decimal ("43.2").
+func F1(v float64) Cell { return Num(fmt.Sprintf("%.1f", v), v) }
+
+// F0 renders with no decimals ("43").
+func F0(v float64) Cell { return Num(fmt.Sprintf("%.0f", v), v) }
+
+// Sec renders a duration in seconds ("7.4s"); the value is seconds.
+func Sec(d time.Duration) Cell { return Num(fmtDur(d), d.Seconds()) }

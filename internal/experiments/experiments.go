@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"time"
 
@@ -57,11 +58,105 @@ type Table struct {
 	Columns []string
 	// Rows hold formatted cells, parallel to Columns.
 	Rows [][]string
+	// Vals hold the numeric value behind each formatted cell, parallel
+	// to Rows; cells that render no measurement (labels, config names)
+	// carry NaN. The fidelity suite checks the paper's claims against
+	// these, so they are exactly the numbers the table prints.
+	Vals [][]float64
 }
 
-// AddRow appends a formatted row.
+// AddRow appends a row of label-only cells (no numeric values).
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+	vals := make([]float64, len(cells))
+	for i := range vals {
+		vals[i] = math.NaN()
+	}
+	t.Vals = append(t.Vals, vals)
+}
+
+// AddCells appends a row of cells, keeping each cell's numeric value
+// alongside its formatted text.
+func (t *Table) AddCells(cells ...Cell) {
+	row := make([]string, len(cells))
+	vals := make([]float64, len(cells))
+	for i, c := range cells {
+		row[i] = c.Text
+		if c.Numeric {
+			vals[i] = c.Value
+		} else {
+			vals[i] = math.NaN()
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	t.Vals = append(t.Vals, vals)
+}
+
+// ColIndex resolves a column header to its index, or -1.
+func (t *Table) ColIndex(col string) int {
+	for i, c := range t.Columns {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// RowIndex resolves a row by the text of its first cell, or -1.
+func (t *Table) RowIndex(label string) int {
+	for i, row := range t.Rows {
+		if len(row) > 0 && row[0] == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value looks up the numeric value of the cell at (row label, column
+// header). The second return is false when the cell does not exist or
+// is not numeric.
+func (t *Table) Value(rowLabel, col string) (float64, bool) {
+	ri, ci := t.RowIndex(rowLabel), t.ColIndex(col)
+	if ri < 0 || ci < 0 || ci >= len(t.Vals[ri]) {
+		return 0, false
+	}
+	v := t.Vals[ri][ci]
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// Column returns the numeric values down a column in row order,
+// skipping rows whose cell is not numeric.
+func (t *Table) Column(col string) []float64 {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return nil
+	}
+	var out []float64
+	for _, vals := range t.Vals {
+		if ci < len(vals) && !math.IsNaN(vals[ci]) {
+			out = append(out, vals[ci])
+		}
+	}
+	return out
+}
+
+// RowValues returns the numeric values across the row with the given
+// first-cell label, skipping non-numeric cells.
+func (t *Table) RowValues(label string) []float64 {
+	ri := t.RowIndex(label)
+	if ri < 0 {
+		return nil
+	}
+	var out []float64
+	for _, v := range t.Vals[ri] {
+		if !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Fprint renders the table with aligned columns.
@@ -105,6 +200,10 @@ type Outcome struct {
 	Table *Table
 	// Notes are "measured vs paper" headlines.
 	Notes []string
+	// Scalars are the named headline measurements behind the notes
+	// (degradation extremes, fit qualities, savings ratios). The
+	// fidelity suite asserts the paper's claims against these by name.
+	Scalars map[string]float64
 	// EventsFired counts the simulation events this experiment fired
 	// across all of its rigs — including nested Phase I training
 	// simulations — attributed via per-engine sinks rather than the
@@ -125,6 +224,14 @@ type Outcome struct {
 // Notef appends a formatted note.
 func (o *Outcome) Notef(format string, args ...any) {
 	o.Notes = append(o.Notes, fmt.Sprintf(format, args...))
+}
+
+// Scalar records a named headline measurement.
+func (o *Outcome) Scalar(name string, v float64) {
+	if o.Scalars == nil {
+		o.Scalars = make(map[string]float64)
+	}
+	o.Scalars[name] = v
 }
 
 // Fprint renders the outcome.

@@ -107,11 +107,13 @@ func ExtIterative() (*Outcome, error) {
 		classic, inMem := jcts[pi*2], jcts[pi*2+1]
 		speedup := classic / inMem
 		speedups = append(speedups, speedup)
-		out.Table.AddRow(platform.name,
-			fmt.Sprintf("%.1f", classic), fmt.Sprintf("%.1f", inMem), fmt.Sprintf("%.2fx", speedup))
+		out.Table.AddCells(Str(platform.name),
+			F1(classic), F1(inMem), Num(fmt.Sprintf("%.2fx", speedup), speedup))
 	}
 	out.Notef("in-memory iteration gains %.2fx on big-memory nodes but only %.2fx on 1 GB guests, where cached partitions page — the Spark-on-small-VMs trade-off the paper's future work anticipates",
 		speedups[0], speedups[1])
+	out.Scalar("speedup_native", speedups[0])
+	out.Scalar("speedup_virtual", speedups[1])
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -212,12 +214,17 @@ func ExtStream() (*Outcome, error) {
 		Title:   "Two-hour Poisson job stream on an 8 PM + 16 VM hybrid fleet",
 		Columns: []string{"metric", "vanilla", "hybridmr"},
 	}}
-	out.Table.AddRow("jobs completed", fmt.Sprintf("%d", vanilla.completed), fmt.Sprintf("%d", hybrid.completed))
-	out.Table.AddRow("mean JCT (s)", fmt.Sprintf("%.0f", vanilla.meanJCT), fmt.Sprintf("%.0f", hybrid.meanJCT))
-	out.Table.AddRow("p95 JCT (s)", fmt.Sprintf("%.0f", vanilla.p95JCT), fmt.Sprintf("%.0f", hybrid.p95JCT))
-	out.Table.AddRow("SLA compliance", fmtF(vanilla.compliance), fmtF(hybrid.compliance))
+	out.Table.AddCells(Str("jobs completed"), Int(vanilla.completed), Int(hybrid.completed))
+	out.Table.AddCells(Str("mean JCT (s)"), F0(vanilla.meanJCT), F0(hybrid.meanJCT))
+	out.Table.AddCells(Str("p95 JCT (s)"), F0(vanilla.p95JCT), F0(hybrid.p95JCT))
+	out.Table.AddCells(Str("SLA compliance"), F3(vanilla.compliance), F3(hybrid.compliance))
 	out.Notef("HybridMR changes mean JCT by %.0f%% and SLA compliance from %.2f to %.2f under an open arrival process",
 		(vanilla.meanJCT-hybrid.meanJCT)/vanilla.meanJCT*100, vanilla.compliance, hybrid.compliance)
+	out.Scalar("compliance_vanilla", vanilla.compliance)
+	out.Scalar("compliance_hybrid", hybrid.compliance)
+	out.Scalar("jct_delta", (vanilla.meanJCT-hybrid.meanJCT)/vanilla.meanJCT)
+	out.Scalar("completed_vanilla", float64(vanilla.completed))
+	out.Scalar("completed_hybrid", float64(hybrid.completed))
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -273,9 +280,10 @@ func AblSpeculation() (*Outcome, error) {
 		Title:   "Sort JCT (s) with one straggling node",
 		Columns: []string{"speculation", "JCT"},
 	}}
-	out.Table.AddRow("on", fmt.Sprintf("%.1f", withSpec))
-	out.Table.AddRow("off", fmt.Sprintf("%.1f", without))
+	out.Table.AddCells(Str("on"), F1(withSpec))
+	out.Table.AddCells(Str("off"), F1(without))
 	out.Notef("speculative execution cuts the straggler-bound JCT by %.0f%%", (without-withSpec)/without*100)
+	out.Scalar("speculation_gain", (without-withSpec)/without)
 	if sp, ok := paths.m["speculation-on"]; ok {
 		out.Notef("critical path with speculation: %d retried unit(s), %d speculative win(s)", sp.Retried, sp.SpeculativeWins)
 	}
@@ -354,10 +362,12 @@ func AblCapacity() (*Outcome, error) {
 		Title:   "Capacity-aware placement: Sort + 3 loaded services on 16 VMs",
 		Columns: []string{"placement", "Sort JCT (s)", "service mean latency (ms)"},
 	}}
-	out.Table.AddRow("heartbeat order", fmt.Sprintf("%.1f", blindJCT), fmt.Sprintf("%.0f", blindLat))
-	out.Table.AddRow("capacity-aware", fmt.Sprintf("%.1f", awareJCT), fmt.Sprintf("%.0f", awareLat))
+	out.Table.AddCells(Str("heartbeat order"), F1(blindJCT), F0(blindLat))
+	out.Table.AddCells(Str("capacity-aware"), F1(awareJCT), F0(awareLat))
 	out.Notef("steering tasks toward lightly-loaded hosts changes Sort JCT by %.0f%% and service mean latency by %.0f%%",
 		(blindJCT-awareJCT)/blindJCT*100, (blindLat-awareLat)/blindLat*100)
+	out.Scalar("jct_delta", (blindJCT-awareJCT)/blindJCT)
+	out.Scalar("lat_delta", (blindLat-awareLat)/blindLat)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -418,9 +428,10 @@ func AblDeferral() (*Outcome, error) {
 		Title:   "DRM memory policy on an overcommitted two-job mix (mean JCT, s)",
 		Columns: []string{"policy", "mean JCT"},
 	}}
-	out.Table.AddRow("defer youngest", fmt.Sprintf("%.1f", defer2))
-	out.Table.AddRow("proportional paging", fmt.Sprintf("%.1f", proportional))
+	out.Table.AddCells(Str("defer youngest"), F1(defer2))
+	out.Table.AddCells(Str("proportional paging"), F1(proportional))
 	out.Notef("deferral vs proportional paging: %.1f%% mean-JCT difference", (proportional-defer2)/proportional*100)
+	out.Scalar("jct_delta", (proportional-defer2)/proportional)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil

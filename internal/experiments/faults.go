@@ -87,11 +87,12 @@ func ExtFaults() (*Outcome, error) {
 			base = [2]float64{nat, virt}
 		}
 		worst = [2]float64{nat, virt}
-		out.Table.AddRow(fmt.Sprintf("%.0f", rate),
-			fmt.Sprintf("%.1f", nat), fmt.Sprintf("%.1f", virt))
+		out.Table.AddCells(Str(fmt.Sprintf("%.0f", rate)), F1(nat), F1(virt))
 	}
 	out.Notef("at 8 crashes/machine-hour Sort slows %.0f%% native and %.0f%% virtual; every job still completes and all surviving blocks heal to target replication (fault seed %d)",
 		(worst[0]-base[0])/base[0]*100, (worst[1]-base[1])/base[1]*100, faultSeed)
+	out.Scalar("slowdown_native", (worst[0]-base[0])/base[0])
+	out.Scalar("slowdown_virtual", (worst[1]-base[1])/base[1])
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	out.CritPaths = paths.m

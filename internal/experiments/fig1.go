@@ -84,11 +84,11 @@ func Fig1a() (*Outcome, error) {
 	ioMin = 1e9
 	for si, spec := range specs {
 		native := results[si*len(densities)]
-		row := []string{spec.Name}
+		row := []Cell{Str(spec.Name)}
 		for di := 1; di < len(densities); di++ {
 			virt := results[si*len(densities)+di]
 			incr := virt.JCT.Seconds()/native.JCT.Seconds() - 1
-			row = append(row, fmtPct(incr))
+			row = append(row, Pct(incr))
 			if workload.IsCPUBound(spec) {
 				if incr > cpuMax {
 					cpuMax = incr
@@ -102,10 +102,13 @@ func Fig1a() (*Outcome, error) {
 				}
 			}
 		}
-		out.Table.AddRow(row...)
+		out.Table.AddCells(row...)
 	}
 	out.Notef("I/O-bound jobs degrade %.0f-%.0f%% on virtual (paper: 7-24%%)", ioMin*100, ioMax*100)
 	out.Notef("CPU-bound jobs degrade at most %.0f%% (paper: within 8%%)", cpuMax*100)
+	out.Scalar("io_degrade_min", ioMin)
+	out.Scalar("io_degrade_max", ioMax)
+	out.Scalar("cpu_degrade_max", cpuMax)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	var paths critPaths
@@ -142,10 +145,10 @@ func Fig1b() (*Outcome, error) {
 	natives := results[:len(sizes)]
 	for di := 1; di < len(densities); di++ {
 		vpp := densities[di]
-		row := []string{fmt.Sprintf("%d-VM", vpp)}
+		row := []Cell{Str(fmt.Sprintf("%d-VM", vpp))}
 		for i := range sizes {
 			res := results[di*len(sizes)+i]
-			row = append(row, fmtDur(res.JCT))
+			row = append(row, Sec(res.JCT))
 			if vpp == 4 {
 				gap := res.JCT.Seconds()/natives[i].JCT.Seconds() - 1
 				if i == 0 {
@@ -156,10 +159,12 @@ func Fig1b() (*Outcome, error) {
 				}
 			}
 		}
-		out.Table.AddRow(row...)
+		out.Table.AddCells(row...)
 	}
 	out.Notef("4-VM virtual gap grows from %.0f%% at 1 GB to %.0f%% at 16 GB (paper: gap widens with data size)",
 		gapSmall*100, gapLarge*100)
+	out.Scalar("gap_small", gapSmall)
+	out.Scalar("gap_large", gapLarge)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -235,14 +240,19 @@ func Fig1c() (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	firstR, lastR := 0.0, 0.0
+	firstR, lastR, maxNorm := 0.0, 0.0, 0.0
 	for i, gb := range sizes {
 		nat, virt := results[i].nat, results[i].virt
 		norm := point{
 			rio: virt.rio / nat.rio, wio: virt.wio / nat.wio,
 			rtp: virt.rtp / nat.rtp, wtp: virt.wtp / nat.wtp,
 		}
-		out.Table.AddRow(fmt.Sprintf("%.0f", gb), fmtF(norm.rio), fmtF(norm.wio), fmtF(norm.rtp), fmtF(norm.wtp))
+		out.Table.AddCells(Str(fmt.Sprintf("%.0f", gb)), F3(norm.rio), F3(norm.wio), F3(norm.rtp), F3(norm.wtp))
+		for _, v := range []float64{norm.rio, norm.wio, norm.rtp, norm.wtp} {
+			if v > maxNorm {
+				maxNorm = v
+			}
+		}
 		if i == 0 {
 			firstR = norm.rio
 		}
@@ -252,6 +262,9 @@ func Fig1c() (*Outcome, error) {
 	}
 	out.Notef("virtual HDFS runs below native everywhere; read-IO ratio falls from %.2f at 1 GB to %.2f at 16 GB (paper: gap broadens with data size)",
 		firstR, lastR)
+	out.Scalar("read_io_first", firstR)
+	out.Scalar("read_io_last", lastR)
+	out.Scalar("max_norm", maxNorm)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil

@@ -117,13 +117,19 @@ func Fig10a() (*Outcome, error) {
 	_, ioB := base.Series(resource.DiskIO)
 	_, ioH := hyb.Series(resource.DiskIO)
 	for m := 4; m < len(cpuB) && m < len(cpuH); m += 5 {
-		out.Table.AddRow(fmt.Sprintf("%d", m+1),
-			fmtF(cpuB[m]), fmtF(cpuH[m]), fmtF(memB[m]), fmtF(memH[m]), fmtF(ioB[m]), fmtF(ioH[m]))
+		out.Table.AddCells(Str(fmt.Sprintf("%d", m+1)),
+			F3(cpuB[m]), F3(cpuH[m]), F3(memB[m]), F3(memH[m]), F3(ioB[m]), F3(ioH[m]))
 	}
 	out.Notef("mean CPU util %.2f -> %.2f, memory %.2f -> %.2f, I/O %.2f -> %.2f under HybridMR (paper: HybridMR boosts all three)",
 		base.MeanUtil(resource.CPU), hyb.MeanUtil(resource.CPU),
 		base.MeanUtil(resource.Memory), hyb.MeanUtil(resource.Memory),
 		base.MeanUtil(resource.DiskIO), hyb.MeanUtil(resource.DiskIO))
+	out.Scalar("cpu_base_mean", base.MeanUtil(resource.CPU))
+	out.Scalar("cpu_hyb_mean", hyb.MeanUtil(resource.CPU))
+	out.Scalar("mem_base_mean", base.MeanUtil(resource.Memory))
+	out.Scalar("mem_hyb_mean", hyb.MeanUtil(resource.Memory))
+	out.Scalar("io_base_mean", base.MeanUtil(resource.DiskIO))
+	out.Scalar("io_hyb_mean", hyb.MeanUtil(resource.DiskIO))
 	out.EventsFired = fired.Load()
 	return out, nil
 }
@@ -217,11 +223,11 @@ func Fig10b() (*Outcome, error) {
 		Columns: []string{"node", "Idle-0.5GB", "Idle-1GB", "Wcount-0.5GB", "Wcount-1GB"},
 	}}
 	for i := 0; i < 24; i++ {
-		row := []string{fmt.Sprintf("%d", i)}
+		row := []Cell{Str(fmt.Sprintf("%d", i))}
 		for _, cfg := range migrationConfigs {
-			row = append(row, fmt.Sprintf("%.1f", all[cfg.name][i].TotalTime.Seconds()))
+			row = append(row, F1(all[cfg.name][i].TotalTime.Seconds()))
 		}
-		out.Table.AddRow(row...)
+		out.Table.AddCells(row...)
 	}
 	mean := func(name string) float64 {
 		var s float64
@@ -232,6 +238,10 @@ func Fig10b() (*Outcome, error) {
 	}
 	out.Notef("mean migration time: idle-1GB %.1fs vs Wcount-1GB %.1fs (paper: more memory and active Hadoop lengthen migration)",
 		mean("Idle-1GB"), mean("Wcount-1GB"))
+	out.Scalar("mean_idle_05", mean("Idle-0.5GB"))
+	out.Scalar("mean_idle_1", mean("Idle-1GB"))
+	out.Scalar("mean_wcount_05", mean("Wcount-0.5GB"))
+	out.Scalar("mean_wcount_1", mean("Wcount-1GB"))
 	out.EventsFired = fired.Load()
 	return out, nil
 }
@@ -251,11 +261,11 @@ func Fig10c() (*Outcome, error) {
 	}}
 	names := []string{"Idle-1GB", "Wcount-0.5GB", "Wcount-1GB"}
 	for i := 0; i < 24; i++ {
-		row := []string{fmt.Sprintf("%d", i)}
+		row := []Cell{Str(fmt.Sprintf("%d", i))}
 		for _, name := range names {
-			row = append(row, fmt.Sprintf("%.0f", float64(all[name][i].Downtime.Milliseconds())))
+			row = append(row, F0(float64(all[name][i].Downtime.Milliseconds())))
 		}
-		out.Table.AddRow(row...)
+		out.Table.AddCells(row...)
 	}
 	spread := func(name string) (lo, hi float64) {
 		lo, hi = 1e18, 0
@@ -274,6 +284,8 @@ func Fig10c() (*Outcome, error) {
 	wLo, wHi := spread("Wcount-1GB")
 	out.Notef("downtime spread: idle-1GB %.0f-%.0f ms, Wcount-1GB %.0f-%.0f ms (paper: loaded VMs vary widely)",
 		iLo, iHi, wLo, wHi)
+	out.Scalar("idle_spread_ms", iHi-iLo)
+	out.Scalar("wcount_spread_ms", wHi-wLo)
 	out.EventsFired = fired.Load()
 	return out, nil
 }

@@ -230,16 +230,23 @@ func Fig11() (*Outcome, error) {
 		if max > 0 {
 			norm = values[i] / max
 		}
-		out.Table.AddRow(cfg.name, fmt.Sprintf("%d", cfg.nativePMs), fmt.Sprintf("%d", cfg.vms), fmtF(norm))
+		out.Table.AddCells(Str(cfg.name), Int(cfg.nativePMs), Int(cfg.vms), F3(norm))
 	}
 	out.Notef("best split %s (%d PMs, %d VMs); worst %s (%d PMs, %d VMs)",
 		configs[best].name, configs[best].nativePMs, configs[best].vms,
 		configs[worst].name, configs[worst].nativePMs, configs[worst].vms)
+	mixed := 0.0
 	if configs[best].nativePMs > 0 && configs[best].vms > 0 {
+		mixed = 1
 		out.Notef("a mixed configuration maximizes performance/energy, matching the paper's qualitative claim (paper: 12 PM + 12 VM best, 24 PM + 0 VM worst)")
 	} else {
 		out.Notef("NOTE: an extreme configuration won performance/energy in this run, diverging from the paper's balanced-hybrid claim")
 	}
+	out.Scalar("best_is_mixed", mixed)
+	out.Scalar("best_pms", float64(configs[best].nativePMs))
+	out.Scalar("best_vms", float64(configs[best].vms))
+	out.Scalar("worst_pms", float64(configs[worst].nativePMs))
+	out.Scalar("worst_vms", float64(configs[worst].vms))
 	out.EventsFired = fired.Load()
 	return out, nil
 }

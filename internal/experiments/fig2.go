@@ -71,10 +71,13 @@ func Fig2a() (*Outcome, error) {
 			firstSame = same
 		}
 		lastSame = same
-		out.Table.AddRow(fmt.Sprintf("%.0f", gb), fmt.Sprintf("%.1f", same), fmt.Sprintf("%.1f", cross))
+		out.Table.AddCells(Str(fmt.Sprintf("%.0f", gb)), F1(same), F1(cross))
 	}
 	out.Notef("JCTs grow with input size in both layouts (Same-Host %.0fs -> %.0fs), matching the paper's trend", firstSame, lastSame)
 	out.Notef("KNOWN DIVERGENCE: the paper measures Cross-Host as slower (network-delay bound); our disk model charges all spill I/O to the consolidated hosts' two spindles, which dominates instead (%d/5 sizes have Cross-Host slower). The paper's 1-5 GB inputs largely fit the page cache, which this simulator does not model.", worseCount)
+	out.Scalar("cross_host_slower_sizes", float64(worseCount))
+	out.Scalar("same_host_first", firstSame)
+	out.Scalar("same_host_last", lastSame)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -133,15 +136,17 @@ func Fig2b() (*Outcome, error) {
 		jcts[c.name] = flat[ci*len(sizes) : (ci+1)*len(sizes)]
 	}
 	for _, c := range cfgs {
-		row := []string{c.name}
+		row := []Cell{Str(c.name)}
 		for i := range sizes {
-			row = append(row, fmtF(jcts[c.name][i]/jcts["V1-1M-1R"][i]))
+			row = append(row, F3(jcts[c.name][i]/jcts["V1-1M-1R"][i]))
 		}
-		out.Table.AddRow(row...)
+		out.Table.AddCells(row...)
 	}
 	gain1 := 1 - jcts["V4-4M-6R"][0]/jcts["V1-1M-1R"][0]
 	gain8 := 1 - jcts["V4-4M-6R"][2]/jcts["V1-1M-1R"][2]
 	out.Notef("V4 beats V1 by %.0f%% at 1 GB and %.0f%% at 8 GB (paper: CPU-bound jobs gain from more VMs, more at larger inputs)", gain1*100, gain8*100)
+	out.Scalar("gain_1gb", gain1)
+	out.Scalar("gain_8gb", gain8)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -180,9 +185,10 @@ func Fig2c() (*Outcome, error) {
 	var sum float64
 	for i, spec := range specs {
 		sum += ratios[i] - 1
-		out.Table.AddRow(spec.Name, "1.000", fmtF(ratios[i]))
+		out.Table.AddCells(Str(spec.Name), F3(1), F3(ratios[i]))
 	}
 	out.Notef("average Dom-0 overhead %.1f%% (paper: under 5%% on average)", sum/float64(len(specs))*100)
+	out.Scalar("dom0_overhead_avg", sum/float64(len(specs)))
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -217,9 +223,10 @@ func Fig2d() (*Outcome, error) {
 	var sum float64
 	for i, spec := range specs {
 		sum += 1 - ratios[i]
-		out.Table.AddRow(spec.Name, "1.000", fmtF(ratios[i]))
+		out.Table.AddCells(Str(spec.Name), F3(1), F3(ratios[i]))
 	}
 	out.Notef("split architecture improves JCT by %.1f%% on average (paper: 12.8%%)", sum/float64(len(specs))*100)
+	out.Scalar("split_gain_avg", sum/float64(len(specs)))
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil

@@ -63,7 +63,7 @@ func Fig5a() (*Outcome, error) {
 		series[si] = stats.Normalize(flat[si*len(clusterSizes) : (si+1)*len(clusterSizes)])
 	}
 	for i, n := range clusterSizes {
-		out.Table.AddRow(fmt.Sprintf("%d", n), fmtF(series[0][i]), fmtF(series[1][i]), fmtF(series[2][i]))
+		out.Table.AddCells(Str(fmt.Sprintf("%d", n)), F3(series[0][i]), F3(series[1][i]), F3(series[2][i]))
 	}
 	// Quantify the inverse relation with the same fit the profiler uses.
 	xs := make([]float64, len(clusterSizes))
@@ -75,6 +75,7 @@ func Fig5a() (*Outcome, error) {
 		return nil, err
 	}
 	out.Notef("Sort JCT vs cluster size fits A + B/x with R²=%.3f (paper: inverse relation)", fit.R2)
+	out.Scalar("inverse_r2", fit.R2)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -133,11 +134,11 @@ func fig5PhaseTable(id, title string, mapPhase bool) (*Outcome, error) {
 		Columns: []string{"VMs", "5GB", "4GB", "3GB", "2GB"},
 	}}
 	for _, n := range clusterSizes {
-		row := []string{fmt.Sprintf("%d", n)}
+		row := []Cell{Str(fmt.Sprintf("%d", n))}
 		for i := len(sizesGB) - 1; i >= 0; i-- {
-			row = append(row, fmt.Sprintf("%.1f", src[fmt.Sprintf("%.0f/%d", sizesGB[i], n)]))
+			row = append(row, F1(src[fmt.Sprintf("%.0f/%d", sizesGB[i], n)]))
 		}
-		out.Table.AddRow(row...)
+		out.Table.AddCells(row...)
 	}
 	// Characterize the 5 GB series' fit quality under the two families.
 	xs := make([]float64, len(clusterSizes))
@@ -148,9 +149,11 @@ func fig5PhaseTable(id, title string, mapPhase bool) (*Outcome, error) {
 	}
 	if inv, err := stats.FitInverseLinear(xs, ys); err == nil {
 		out.Notef("5 GB series inverse fit R²=%.3f", inv.R2)
+		out.Scalar("inverse_r2", inv.R2)
 	}
 	if pw, err := stats.FitPiecewiseLinear(xs, ys); err == nil {
 		out.Notef("5 GB series piece-wise fit R²=%.3f (paper: map inverse, reduce piece-wise)", pw.R2)
+		out.Scalar("piecewise_r2", pw.R2)
 	}
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
@@ -188,11 +191,11 @@ func Fig5d() (*Outcome, error) {
 		jct[fmt.Sprintf("%.0f/%d", gb, n)] = v
 	}
 	for _, gb := range sizesGB {
-		row := []string{fmt.Sprintf("%.0f", gb)}
+		row := []Cell{Str(fmt.Sprintf("%.0f", gb))}
 		for _, n := range clusterSizes {
-			row = append(row, fmt.Sprintf("%.1f", jct[fmt.Sprintf("%.0f/%d", gb, n)]))
+			row = append(row, F1(jct[fmt.Sprintf("%.0f/%d", gb, n)]))
 		}
-		out.Table.AddRow(row...)
+		out.Table.AddCells(row...)
 	}
 	// Linearity check on C4.
 	xs := make([]float64, len(sizesGB))
@@ -206,6 +209,7 @@ func Fig5d() (*Outcome, error) {
 		return nil, err
 	}
 	out.Notef("C4 series linear fit R²=%.3f (paper: JCT almost linearly proportional to data size)", fit.R2)
+	out.Scalar("linear_r2", fit.R2)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil

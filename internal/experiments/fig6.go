@@ -63,19 +63,21 @@ func Fig6a() (*Outcome, error) {
 			actuals = append(actuals, actual)
 			estimates = append(estimates, est)
 			sample++
-			out.Table.AddRow(
-				fmt.Sprintf("%d", sample),
-				fmt.Sprintf("%d", vms),
-				fmt.Sprintf("%.0f", gb),
-				fmt.Sprintf("%.1f", actual),
-				fmt.Sprintf("%.1f", est),
-				fmtPct(absf(actual-est)/actual),
+			out.Table.AddCells(
+				Str(fmt.Sprintf("%d", sample)),
+				Int(vms),
+				F0(gb),
+				F1(actual),
+				F1(est),
+				Pct(absf(actual-est)/actual),
 			)
 		}
 	}
 	errs := stats.AbsPercentErrors(actuals, estimates)
 	out.Notef("mean profiling error %.1f%% ± %.1f%% (paper: 10.8%% ± 9.7%%)",
 		stats.Mean(errs)*100, stats.StdDev(errs)*100)
+	out.Scalar("mean_err", stats.Mean(errs))
+	out.Scalar("stddev_err", stats.StdDev(errs))
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -202,8 +204,13 @@ func Fig6b() (*Outcome, error) {
 		return nil, err
 	}
 	var cpuXs, piYs []float64
+	sortMax := 0.0
 	for i, pct := range pcts {
-		out.Table.AddRow(fmt.Sprintf("%.0f", pct), fmtF(points[i].srt/base.srt), fmtF(points[i].pi/base.pi))
+		sortRatio := points[i].srt / base.srt
+		if sortRatio > sortMax {
+			sortMax = sortRatio
+		}
+		out.Table.AddCells(Str(fmt.Sprintf("%.0f", pct)), F3(sortRatio), F3(points[i].pi/base.pi))
 		cpuXs = append(cpuXs, pct)
 		piYs = append(piYs, points[i].pi/base.pi)
 	}
@@ -213,6 +220,9 @@ func Fig6b() (*Outcome, error) {
 	}
 	out.Notef("PiEst slowdown grows with collocated CPU (linear fit slope %.4f/%%, R²=%.2f); Sort unaffected (paper: same shape)",
 		fit.Slope, fit.R2)
+	out.Scalar("pi_fit_r2", fit.R2)
+	out.Scalar("pi_slowdown_max", piYs[len(piYs)-1])
+	out.Scalar("sort_slowdown_max", sortMax)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -236,8 +246,13 @@ func Fig6c() (*Outcome, error) {
 		return nil, err
 	}
 	var xs, sortYs []float64
+	piMax := 0.0
 	for i, rate := range rates {
-		out.Table.AddRow(fmt.Sprintf("%.0f", rate), fmtF(points[i].srt/base.srt), fmtF(points[i].pi/base.pi))
+		piRatio := points[i].pi / base.pi
+		if piRatio > piMax {
+			piMax = piRatio
+		}
+		out.Table.AddCells(Str(fmt.Sprintf("%.0f", rate)), F3(points[i].srt/base.srt), F3(piRatio))
 		xs = append(xs, rate)
 		sortYs = append(sortYs, points[i].srt/base.srt)
 	}
@@ -247,6 +262,9 @@ func Fig6c() (*Outcome, error) {
 	}
 	out.Notef("Sort slowdown fits %.2f*exp(%.3f*x) with R²=%.2f — super-linear under I/O contention; PiEst flat (paper: exponential increase)",
 		fit.A, fit.B, fit.R2)
+	out.Scalar("sort_fit_r2", fit.R2)
+	out.Scalar("sort_slowdown_max", sortYs[len(sortYs)-1])
+	out.Scalar("pi_slowdown_max", piMax)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil

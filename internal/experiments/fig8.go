@@ -226,9 +226,10 @@ func Fig8a() (*Outcome, error) {
 		if batchGain > best {
 			best = batchGain
 		}
-		out.Table.AddRow(mix.name, fmtF(transGain), fmtF(batchGain))
+		out.Table.AddCells(Str(mix.name), F3(transGain), F3(batchGain))
 	}
 	out.Notef("profiled placement helps both classes in the batch-heavy mixes; best batch gain %.0f%% (paper: gains up to ~0.4, magnitude varying with mix); wmix-3 has too little batch work for placement to matter much", best*100)
+	out.Scalar("best_batch_gain", best)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -348,20 +349,22 @@ func fig8bc(id, title string, together bool, paperAvg, paperMax float64) (*Outco
 	}
 	var all []float64
 	for _, spec := range specs {
-		row := []string{spec.Name}
+		row := []Cell{Str(spec.Name)}
 		for _, m := range drmModes {
 			r := reductions[spec.Name][m.name]
-			row = append(row, fmtPct(r))
+			row = append(row, Pct(r))
 			if m.name == "CPU+Mem+I/O" {
 				all = append(all, r)
 			}
 		}
-		out.Table.AddRow(row...)
+		out.Table.AddCells(row...)
 	}
 	avg := stats.Mean(all)
 	max := stats.Percentile(all, 100)
 	out.Notef("CPU+Mem+I/O mode: average JCT reduction %.1f%%, max %.1f%% (paper: %.1f%% / %.1f%%)",
 		avg*100, max*100, paperAvg, paperMax)
+	out.Scalar("allmode_avg_reduction", avg)
+	out.Scalar("allmode_max_reduction", max)
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil
@@ -483,11 +486,13 @@ func Fig8d() (*Outcome, error) {
 		if r.hybrid > sla {
 			hybridViolations++
 		}
-		out.Table.AddRow(fmt.Sprintf("%d", clients),
-			fmt.Sprintf("%.0f", r.alone), fmt.Sprintf("%.0f", r.fifo), fmt.Sprintf("%.0f", r.hybrid))
+		out.Table.AddCells(Str(fmt.Sprintf("%d", clients)),
+			F0(r.alone), F0(r.fifo), F0(r.hybrid))
 	}
 	out.Notef("FIFO collocation violates the 2 s SLA at %d client levels; HybridMR at %d (paper: HybridMR keeps latency within bounds)",
 		fifoViolations, hybridViolations)
+	out.Scalar("fifo_sla_violations", float64(fifoViolations))
+	out.Scalar("hybrid_sla_violations", float64(hybridViolations))
 	out.EventsFired = fired.Load()
 	out.Metrics = pool.snapshot()
 	return out, nil

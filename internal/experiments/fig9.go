@@ -81,7 +81,7 @@ func Fig9a() (*Outcome, error) {
 		rig.Engine.RunUntil(time.Duration(minute) * time.Minute)
 		r := rubis.LatencyMs()
 		w := tpcw.LatencyMs()
-		out.Table.AddRow(fmt.Sprintf("%d", minute), fmt.Sprintf("%.0f", r), fmt.Sprintf("%.0f", w))
+		out.Table.AddCells(Str(fmt.Sprintf("%d", minute)), F0(r), F0(w))
 		if r > sla || w > sla {
 			above++
 			everViolated = true
@@ -91,6 +91,9 @@ func Fig9a() (*Outcome, error) {
 	}
 	out.Notef("%d/35 minutes above SLA, %d minutes recovered after IPS intervention; %d mitigation actions (paper: violations around min 12-14, then restored)",
 		above, recovered, len(ips.Actions()))
+	out.Scalar("minutes_above_sla", float64(above))
+	out.Scalar("minutes_recovered", float64(recovered))
+	out.Scalar("ips_actions", float64(len(ips.Actions())))
 	out.EventsFired = fired.Load()
 	return out, nil
 }
@@ -310,11 +313,11 @@ func Fig9b() (*Outcome, error) {
 				max = r.jct[b]
 			}
 		}
-		row := []string{b}
+		row := []Cell{Str(b)}
 		for _, r := range results {
-			row = append(row, fmtF(r.jct[b]/max))
+			row = append(row, F3(r.jct[b]/max))
 		}
-		out.Table.AddRow(row...)
+		out.Table.AddCells(row...)
 		if results[0].jct[b] <= results[2].jct[b] && results[2].jct[b] <= results[1].jct[b] {
 			ordered++
 		}
@@ -322,6 +325,11 @@ func Fig9b() (*Outcome, error) {
 	gain := 1 - results[2].meanJCT/results[1].meanJCT
 	out.Notef("Native <= HybridMR <= Virtual holds for %d/6 benchmarks; HybridMR improves mean JCT over Virtual by %.0f%% (paper: up to 40%%)",
 		ordered, gain*100)
+	out.Scalar("ordered_benchmarks", float64(ordered))
+	out.Scalar("hybrid_gain_vs_virtual", gain)
+	out.Scalar("mean_jct_native", results[0].meanJCT)
+	out.Scalar("mean_jct_virtual", results[1].meanJCT)
+	out.Scalar("mean_jct_hybrid", results[2].meanJCT)
 	out.EventsFired = fired.Load()
 	return out, nil
 }
@@ -352,7 +360,7 @@ func Fig9c() (*Outcome, error) {
 	}
 	addRow := func(name string, vals []float64) {
 		n := stats.Normalize(vals)
-		out.Table.AddRow(name, fmtF(n[0]), fmtF(n[1]), fmtF(n[2]))
+		out.Table.AddCells(Str(name), F3(n[0]), F3(n[1]), F3(n[2]))
 	}
 	addRow("Perf/Energy", perf)
 	addRow("Energy", energy)
@@ -367,6 +375,11 @@ func Fig9c() (*Outcome, error) {
 	} else {
 		out.Notef("HybridMR achieves the best Performance/Energy of the three designs (matches paper)")
 	}
+	out.Scalar("energy_saving_vs_native", energySaving)
+	out.Scalar("util_boost_vs_native", utilBoost)
+	out.Scalar("perf_energy_native", perf[0])
+	out.Scalar("perf_energy_virtual", perf[1])
+	out.Scalar("perf_energy_hybrid", perf[2])
 	out.EventsFired = fired.Load()
 	return out, nil
 }

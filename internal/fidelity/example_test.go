@@ -1,0 +1,41 @@
+package fidelity_test
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/fidelity"
+)
+
+// Example shows the three moving parts a figure's checks combine: a
+// runner records numeric values next to its formatted table, the suite
+// states the paper's claim as a predicate, and Eval judges the claim
+// at a given scale — here the Figure 1(a) headline that I/O-bound
+// benchmarks degrade more under virtualization than CPU-bound ones.
+func Example() {
+	out := &experiments.Outcome{Table: &experiments.Table{}}
+	out.Scalar("io_degrade_max", 0.31)
+	out.Scalar("cpu_degrade_max", 0.04)
+
+	ordering := fidelity.Ordering{
+		Desc:   "I/O-bound degrades more than CPU-bound",
+		A:      fidelity.Ref{Scalar: "io_degrade_max"},
+		B:      fidelity.Ref{Scalar: "cpu_degrade_max"},
+		MinGap: 0.05,
+	}
+	band := fidelity.RatioBand{
+		Desc:  "worst I/O-bound degradation in the paper's range",
+		Value: fidelity.Ref{Scalar: "io_degrade_max"},
+		// Full-scale bound plus a looser one for runs below scale 0.5,
+		// where the 256 MB input floor changes the experiment's shape.
+		Band: fidelity.Two(fidelity.Band{Lo: 0.15, Hi: 0.60}, fidelity.Band{Lo: 0.10, Hi: 0.50}),
+	}
+
+	for _, check := range []fidelity.Check{ordering, band} {
+		res := check.Eval(out, 1.0)
+		fmt.Printf("%s: %s (%s)\n", res.Status, res.Name, res.Detail)
+	}
+	// Output:
+	// pass: I/O-bound degrades more than CPU-bound (io_degrade_max=0.31 vs cpu_degrade_max=0.04, need gap >= 0.05)
+	// pass: worst I/O-bound degradation in the paper's range (io_degrade_max=0.31, want [0.15, 0.6])
+}

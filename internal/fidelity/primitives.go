@@ -1,0 +1,187 @@
+package fidelity
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// Ordering asserts A - B >= MinGap: the paper's "X degrades (or
+// improves, or costs) more than Y" claims. A MinGap of zero accepts a
+// tie; a small negative MinGap tolerates measurement noise on claims
+// that only promise "no worse".
+type Ordering struct {
+	Desc   string
+	A, B   Ref
+	MinGap float64
+}
+
+func (c Ordering) Name() string { return c.Desc }
+
+func (c Ordering) Eval(o *experiments.Outcome, scale float64) Result {
+	a, err := c.A.fetch(o)
+	if err != nil {
+		return errResult(c.Desc, err)
+	}
+	b, err := c.B.fetch(o)
+	if err != nil {
+		return errResult(c.Desc, err)
+	}
+	detail := fmt.Sprintf("%s=%.4g vs %s=%.4g, need gap >= %g", c.A, a, c.B, b, c.MinGap)
+	if a-b >= c.MinGap {
+		return pass(c.Desc, detail)
+	}
+	return fail(c.Desc, detail)
+}
+
+// RatioBand asserts a single value sits inside a (possibly
+// scale-dependent) band: savings percentages, fit qualities, counts.
+type RatioBand struct {
+	Desc  string
+	Value Ref
+	Band  ScaledBand
+}
+
+func (c RatioBand) Name() string { return c.Desc }
+
+func (c RatioBand) Eval(o *experiments.Outcome, scale float64) Result {
+	v, err := c.Value.fetch(o)
+	if err != nil {
+		return errResult(c.Desc, err)
+	}
+	band := c.Band.at(scale)
+	detail := fmt.Sprintf("%s=%.4g, want %s", c.Value, v, band)
+	if band.contains(v) {
+		return pass(c.Desc, detail)
+	}
+	return fail(c.Desc, detail)
+}
+
+// Monotone asserts a series rises (or, with Decreasing, falls) along
+// its axis, allowing per-step reversals up to Tolerance — the paper's
+// "JCT grows with input size" and "JCT shrinks with cluster size"
+// claims.
+type Monotone struct {
+	Desc       string
+	Series     Series
+	Decreasing bool
+	Tolerance  float64
+}
+
+func (c Monotone) Name() string { return c.Desc }
+
+func (c Monotone) Eval(o *experiments.Outcome, scale float64) Result {
+	vals, err := c.Series.fetch(o.Table)
+	if err != nil {
+		return errResult(c.Desc, err)
+	}
+	if len(vals) < 2 {
+		return fail(c.Desc, fmt.Sprintf("%s has %d value(s), need >= 2", c.Series, len(vals)))
+	}
+	dir := "rise"
+	if c.Decreasing {
+		dir = "fall"
+	}
+	for i := 0; i+1 < len(vals); i++ {
+		step := vals[i+1] - vals[i]
+		if c.Decreasing {
+			step = -step
+		}
+		if step < -c.Tolerance {
+			return fail(c.Desc, fmt.Sprintf("%s must %s: step %d goes %.4g -> %.4g (tolerance %g)",
+				c.Series, dir, i, vals[i], vals[i+1], c.Tolerance))
+		}
+	}
+	return pass(c.Desc, fmt.Sprintf("%s %ss over %d points: %.4g -> %.4g",
+		c.Series, dir, len(vals), vals[0], vals[len(vals)-1]))
+}
+
+// Crossover asserts a series peaks strictly in the interior of its
+// sweep, with both endpoints at most (1-EndDrop) of the peak — the
+// Figure 11 claim that a mixed native/virtual split beats both
+// extremes of the trade-off.
+type Crossover struct {
+	Desc    string
+	Series  Series
+	EndDrop float64
+}
+
+func (c Crossover) Name() string { return c.Desc }
+
+func (c Crossover) Eval(o *experiments.Outcome, scale float64) Result {
+	vals, err := c.Series.fetch(o.Table)
+	if err != nil {
+		return errResult(c.Desc, err)
+	}
+	if len(vals) < 3 {
+		return fail(c.Desc, fmt.Sprintf("%s has %d value(s), need >= 3", c.Series, len(vals)))
+	}
+	peak := 0
+	for i, v := range vals {
+		if v > vals[peak] {
+			peak = i
+		}
+	}
+	cap := (1 - c.EndDrop) * vals[peak]
+	detail := fmt.Sprintf("%s: peak %.4g at index %d/%d, ends %.4g and %.4g, end cap %.4g",
+		c.Series, vals[peak], peak, len(vals)-1, vals[0], vals[len(vals)-1], cap)
+	if peak == 0 || peak == len(vals)-1 {
+		return fail(c.Desc, detail+" (peak at an endpoint)")
+	}
+	if vals[0] > cap || vals[len(vals)-1] > cap {
+		return fail(c.Desc, detail+" (an endpoint rivals the peak)")
+	}
+	return pass(c.Desc, detail)
+}
+
+// WithinPct asserts a fractional error stays at or below a ceiling —
+// the profiling-accuracy claims. Reduced, when positive, replaces Max
+// below the reduced-scale threshold.
+type WithinPct struct {
+	Desc    string
+	Value   Ref
+	Max     float64
+	Reduced float64
+}
+
+func (c WithinPct) Name() string { return c.Desc }
+
+func (c WithinPct) Eval(o *experiments.Outcome, scale float64) Result {
+	v, err := c.Value.fetch(o)
+	if err != nil {
+		return errResult(c.Desc, err)
+	}
+	max := c.Max
+	if scale < reducedScale && c.Reduced > 0 {
+		max = c.Reduced
+	}
+	detail := fmt.Sprintf("%s=%.2f%%, ceiling %.2f%%", c.Value, v*100, max*100)
+	if v <= max {
+		return pass(c.Desc, detail)
+	}
+	return fail(c.Desc, detail)
+}
+
+// KnownDivergence documents a paper claim the simulator knowingly does
+// not reproduce. It never passes — at best it reports Waived, keeping
+// the gap visible in every report. The optional Instead check guards
+// the behavior the simulator does exhibit in that figure; if the guard
+// regresses, the waiver fails like any other check.
+type KnownDivergence struct {
+	Desc    string
+	Why     string
+	Instead Check
+}
+
+func (c KnownDivergence) Name() string { return c.Desc }
+
+func (c KnownDivergence) Eval(o *experiments.Outcome, scale float64) Result {
+	if c.Instead == nil {
+		return Result{Name: c.Desc, Status: Waived, Waiver: c.Why}
+	}
+	guard := c.Instead.Eval(o, scale)
+	if guard.Status == Fail {
+		return Result{Name: c.Desc, Status: Fail, Detail: "guard failed: " + guard.Detail, Waiver: c.Why}
+	}
+	return Result{Name: c.Desc, Status: Waived, Detail: "guard holds: " + guard.Detail, Waiver: c.Why}
+}

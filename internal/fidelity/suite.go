@@ -1,0 +1,439 @@
+package fidelity
+
+// Checks returns the assertion suite: every registered figure and
+// extension maps to at least one check or explicit waiver. Bounds come
+// from the paper's reported numbers where the simulator tracks them,
+// and from measured envelopes (with headroom) where the claim is
+// qualitative; ScaledBand pairs carry separate reduced-scale bounds
+// for figures whose shape changes when inputs hit the 256 MB floor.
+func Checks() map[string][]Check {
+	return map[string][]Check{
+		"fig1a": {
+			Ordering{
+				Desc:   "I/O-bound jobs degrade more than CPU-bound under virtualization",
+				A:      Ref{Scalar: "io_degrade_max"},
+				B:      Ref{Scalar: "cpu_degrade_max"},
+				MinGap: 0.05,
+			},
+			RatioBand{
+				Desc:  "CPU-bound degradation stays within the paper's 8%",
+				Value: Ref{Scalar: "cpu_degrade_max"},
+				Band:  One(-0.01, 0.08),
+			},
+			RatioBand{
+				Desc:  "I/O-bound worst-case degradation is substantial",
+				Value: Ref{Scalar: "io_degrade_max"},
+				Band:  Two(Band{0.15, 0.60}, Band{0.10, 0.50}),
+			},
+			Ordering{
+				Desc:   "Wcount suffers more than PiEst at 4 VMs per PM",
+				A:      Ref{Row: "Wcount", Col: "4-VM"},
+				B:      Ref{Row: "PiEst", Col: "4-VM"},
+				MinGap: 0.10,
+			},
+		},
+		"fig1b": {
+			Monotone{
+				Desc:   "4-VM Sort JCT grows with input size",
+				Series: Series{Row: "4-VM"},
+			},
+			Monotone{
+				Desc:   "1-VM Sort JCT grows with input size",
+				Series: Series{Row: "1-VM"},
+			},
+			KnownDivergence{
+				Desc: "native/virtual gap widens with data size",
+				Why: "the simulated 4-VM gap narrows slightly with input size " +
+					"(24% at 1 GB to 18% at 16 GB at full scale) because disk " +
+					"contention saturates early; the paper's widening rides " +
+					"page-cache exhaustion, which the simulator does not model",
+				Instead: RatioBand{
+					Desc:  "a substantial 4-VM gap persists at the largest input",
+					Value: Ref{Scalar: "gap_large"},
+					Band:  One(0.08, 0.40),
+				},
+			},
+		},
+		"fig1c": {
+			RatioBand{
+				Desc:  "virtual HDFS runs below native everywhere",
+				Value: Ref{Scalar: "max_norm"},
+				Band:  One(0.30, 0.90),
+			},
+			KnownDivergence{
+				Desc: "read-IO gap broadens with data size",
+				Why: "the simulated read-IO ratio is flat (~0.47 at every size) " +
+					"because the disk model has no cache cliff to fall off; the " +
+					"constant virtualization tax still keeps virtual well below native",
+				Instead: RatioBand{
+					Desc:  "read-IO ratio at the largest size stays well below native",
+					Value: Ref{Scalar: "read_io_last"},
+					Band:  One(0.30, 0.70),
+				},
+			},
+		},
+		"fig2a": {
+			Monotone{
+				Desc:      "Same-Host Sort JCT grows with input size",
+				Series:    Series{Col: "Same-Host"},
+				Tolerance: 0.5,
+			},
+			Monotone{
+				Desc:      "Cross-Host Sort JCT grows with input size",
+				Series:    Series{Col: "Cross-Host"},
+				Tolerance: 0.5,
+			},
+			KnownDivergence{
+				Desc: "Cross-Host is slower than Same-Host",
+				Why: "the paper's cross-host penalty is network-delay bound; our " +
+					"disk model charges all spill I/O to the consolidated hosts' " +
+					"two spindles, which dominates instead — the paper's 1-5 GB " +
+					"inputs largely fit the page cache, which we do not model",
+				Instead: RatioBand{
+					Desc:  "the inversion is stable: Cross-Host wins at nearly every size",
+					Value: Ref{Scalar: "cross_host_slower_sizes"},
+					Band:  One(-0.1, 2.1),
+				},
+			},
+		},
+		"fig2b": {
+			RatioBand{
+				Desc:  "V4 config beats V1 substantially at 8 GB",
+				Value: Ref{Scalar: "gain_8gb"},
+				Band:  Two(Band{0.25, 0.70}, Band{0.20, 0.70}),
+			},
+			RatioBand{
+				Desc:  "V4 gain at 1 GB (vanishes at reduced scale: input floor)",
+				Value: Ref{Scalar: "gain_1gb"},
+				Band:  Two(Band{0.20, 0.70}, Band{-0.05, 0.70}),
+			},
+			Ordering{
+				Desc:   "gains grow with input size (8 GB gain >= 1 GB gain)",
+				A:      Ref{Scalar: "gain_8gb"},
+				B:      Ref{Scalar: "gain_1gb"},
+				MinGap: 0,
+			},
+		},
+		"fig2c": {
+			RatioBand{
+				Desc:  "Dom-0 overhead averages under the paper's 5%",
+				Value: Ref{Scalar: "dom0_overhead_avg"},
+				Band:  One(-0.02, 0.06),
+			},
+		},
+		"fig2d": {
+			RatioBand{
+				Desc:  "split architecture gains at full scale (paper: 12.8%); small inputs underuse the split",
+				Value: Ref{Scalar: "split_gain_avg"},
+				Band:  Two(Band{0.05, 0.40}, Band{-0.30, 0.40}),
+			},
+		},
+		"fig5a": {
+			RatioBand{
+				Desc:  "Sort JCT vs cluster size fits the inverse A + B/x model",
+				Value: Ref{Scalar: "inverse_r2"},
+				Band:  One(0.90, 1.0),
+			},
+			Monotone{
+				Desc:       "Sort JCT falls with cluster size",
+				Series:     Series{Col: "Sort"},
+				Decreasing: true,
+				Tolerance:  0.01,
+			},
+			Monotone{
+				Desc:       "DistGrep JCT falls with cluster size",
+				Series:     Series{Col: "DistGrep"},
+				Decreasing: true,
+				Tolerance:  0.02,
+			},
+		},
+		"fig5b": {
+			RatioBand{
+				Desc:  "map-phase time is inverse in cluster size",
+				Value: Ref{Scalar: "inverse_r2"},
+				Band:  One(0.90, 1.0),
+			},
+		},
+		"fig5c": {
+			RatioBand{
+				Desc:  "reduce-phase time fits the piece-wise model",
+				Value: Ref{Scalar: "piecewise_r2"},
+				Band:  One(0.90, 1.0),
+			},
+		},
+		"fig5d": {
+			RatioBand{
+				Desc:  "JCT is almost linear in input size (C4 fit)",
+				Value: Ref{Scalar: "linear_r2"},
+				Band:  One(0.95, 1.0),
+			},
+			Monotone{
+				Desc:   "C4 JCT grows with input size",
+				Series: Series{Col: "C4"},
+			},
+			Monotone{
+				Desc:   "C16 JCT grows with input size",
+				Series: Series{Col: "C16"},
+			},
+		},
+		"fig6a": {
+			WithinPct{
+				Desc:    "profiler mean estimation error within bounds (paper: 10.8%)",
+				Value:   Ref{Scalar: "mean_err"},
+				Max:     0.12,
+				Reduced: 0.25,
+			},
+		},
+		"fig6b": {
+			RatioBand{
+				Desc:  "PiEst slowdown is linear in collocated CPU",
+				Value: Ref{Scalar: "pi_fit_r2"},
+				Band:  One(0.80, 1.0),
+			},
+			Ordering{
+				Desc:   "CPU antagonists hurt PiEst, not Sort",
+				A:      Ref{Scalar: "pi_slowdown_max"},
+				B:      Ref{Scalar: "sort_slowdown_max"},
+				MinGap: 0.30,
+			},
+		},
+		"fig6c": {
+			RatioBand{
+				Desc:  "Sort slowdown fits the exponential model under I/O contention",
+				Value: Ref{Scalar: "sort_fit_r2"},
+				Band:  One(0.70, 1.0),
+			},
+			Ordering{
+				Desc:   "I/O antagonists hurt Sort, not PiEst",
+				A:      Ref{Scalar: "sort_slowdown_max"},
+				B:      Ref{Scalar: "pi_slowdown_max"},
+				MinGap: 0.30,
+			},
+		},
+		"fig8a": {
+			RatioBand{
+				Desc:  "Phase I placement beats random placement on batch JCT",
+				Value: Ref{Scalar: "best_batch_gain"},
+				Band:  One(0.05, 0.50),
+			},
+		},
+		"fig8b": {
+			RatioBand{
+				Desc:  "all-resource DRM cuts single-job JCT (paper: 22.0% avg)",
+				Value: Ref{Scalar: "allmode_avg_reduction"},
+				Band:  Two(Band{0.08, 0.40}, Band{0.05, 0.40}),
+			},
+			RatioBand{
+				Desc:  "best single-job reduction is sizable (paper: 29.1% max)",
+				Value: Ref{Scalar: "allmode_max_reduction"},
+				Band:  Two(Band{0.15, 0.60}, Band{0.10, 0.60}),
+			},
+		},
+		"fig8c": {
+			RatioBand{
+				Desc:  "all-resource DRM cuts multi-job JCT (paper: 28.5% avg)",
+				Value: Ref{Scalar: "allmode_avg_reduction"},
+				Band:  One(0.05, 0.40),
+			},
+		},
+		"fig8d": {
+			Ordering{
+				Desc:   "HybridMR violates the SLA at fewer client levels than FIFO",
+				A:      Ref{Scalar: "fifo_sla_violations"},
+				B:      Ref{Scalar: "hybrid_sla_violations"},
+				MinGap: 1,
+			},
+		},
+		"fig9a": {
+			RatioBand{
+				Desc:  "SLA violations are brief (paper: around minutes 12-14)",
+				Value: Ref{Scalar: "minutes_above_sla"},
+				Band:  Two(Band{1, 8}, Band{0, 5}),
+			},
+			RatioBand{
+				Desc:  "IPS intervenes with mitigation actions",
+				Value: Ref{Scalar: "ips_actions"},
+				Band:  Two(Band{20, 400}, Band{1, 400}),
+			},
+			RatioBand{
+				Desc:  "latencies recover after IPS intervention",
+				Value: Ref{Scalar: "minutes_recovered"},
+				Band:  Two(Band{5, 34}, Band{0, 34}),
+			},
+		},
+		"fig9b": {
+			RatioBand{
+				Desc:  "Native <= HybridMR <= Virtual holds for most benchmarks",
+				Value: Ref{Scalar: "ordered_benchmarks"},
+				Band:  One(4, 6),
+			},
+			RatioBand{
+				Desc:  "HybridMR improves mean JCT over Virtual (paper: up to 40%)",
+				Value: Ref{Scalar: "hybrid_gain_vs_virtual"},
+				Band:  Two(Band{0.20, 0.80}, Band{0.10, 0.80}),
+			},
+			Ordering{
+				Desc:   "HybridMR's mean JCT beats the all-virtual design",
+				A:      Ref{Scalar: "mean_jct_virtual"},
+				B:      Ref{Scalar: "mean_jct_hybrid"},
+				MinGap: 0,
+			},
+		},
+		"fig9c": {
+			KnownDivergence{
+				Desc: "HybridMR saves ~43% energy vs Native",
+				Why: "measured savings run 20-23%: the common-horizon accounting " +
+					"keeps finished designs idling at the power floor, which " +
+					"compresses the gap the paper reports from wall-socket meters",
+				Instead: RatioBand{
+					Desc:  "HybridMR still saves real energy vs Native",
+					Value: Ref{Scalar: "energy_saving_vs_native"},
+					Band:  One(0.05, 0.60),
+				},
+			},
+			KnownDivergence{
+				Desc: "HybridMR achieves the best perf/energy of the three designs",
+				Why: "Native's fast completion keeps its perf/energy ahead in the " +
+					"simulator; HybridMR beats the all-virtual design but not Native",
+				Instead: Ordering{
+					Desc:   "HybridMR's perf/energy beats the all-virtual design",
+					A:      Ref{Scalar: "perf_energy_hybrid"},
+					B:      Ref{Scalar: "perf_energy_virtual"},
+					MinGap: 0,
+				},
+			},
+			RatioBand{
+				Desc:  "HybridMR boosts utilization over Native (paper: ~45%)",
+				Value: Ref{Scalar: "util_boost_vs_native"},
+				Band:  Two(Band{0.20, 1.20}, Band{0.05, 1.20}),
+			},
+		},
+		"fig10a": {
+			Ordering{
+				Desc:   "HybridMR raises mean CPU utilization",
+				A:      Ref{Scalar: "cpu_hyb_mean"},
+				B:      Ref{Scalar: "cpu_base_mean"},
+				MinGap: 0.02,
+			},
+			Ordering{
+				Desc:   "HybridMR raises mean memory utilization",
+				A:      Ref{Scalar: "mem_hyb_mean"},
+				B:      Ref{Scalar: "mem_base_mean"},
+				MinGap: 0.01,
+			},
+			Ordering{
+				Desc:   "HybridMR raises mean I/O utilization",
+				A:      Ref{Scalar: "io_hyb_mean"},
+				B:      Ref{Scalar: "io_base_mean"},
+				MinGap: 0.02,
+			},
+		},
+		"fig10b": {
+			Ordering{
+				Desc:   "active Hadoop lengthens migration (Wcount-1GB vs Idle-1GB)",
+				A:      Ref{Scalar: "mean_wcount_1"},
+				B:      Ref{Scalar: "mean_idle_1"},
+				MinGap: 0.5,
+			},
+			Ordering{
+				Desc:   "more memory lengthens migration (Idle-1GB vs Idle-0.5GB)",
+				A:      Ref{Scalar: "mean_idle_1"},
+				B:      Ref{Scalar: "mean_idle_05"},
+				MinGap: 0,
+			},
+		},
+		"fig10c": {
+			Ordering{
+				Desc:   "loaded VMs show far wider downtime variation than idle ones",
+				A:      Ref{Scalar: "wcount_spread_ms"},
+				B:      Ref{Scalar: "idle_spread_ms"},
+				MinGap: 100,
+			},
+		},
+		"fig11": {
+			RatioBand{
+				Desc:  "the best split is a mixed configuration (paper: 12 PM + 12 VM)",
+				Value: Ref{Scalar: "best_is_mixed"},
+				Band:  One(0.5, 1.5),
+			},
+			Crossover{
+				Desc:    "perf/energy peaks between the all-native and VM-heavy extremes",
+				Series:  Series{Col: "perf/energy", SortBy: "VMs"},
+				EndDrop: 0.05,
+			},
+		},
+		"ext-iterative": {
+			Ordering{
+				Desc:   "in-memory iteration gains more on big-memory nodes than 1 GB guests",
+				A:      Ref{Scalar: "speedup_native"},
+				B:      Ref{Scalar: "speedup_virtual"},
+				MinGap: 0.05,
+			},
+			RatioBand{
+				Desc:  "in-memory iteration speeds up big-memory PageRank",
+				Value: Ref{Scalar: "speedup_native"},
+				Band:  Two(Band{1.5, 4.0}, Band{1.1, 4.0}),
+			},
+		},
+		"ext-stream": {
+			Ordering{
+				Desc:   "HybridMR's SLA compliance is no worse than vanilla Hadoop",
+				A:      Ref{Scalar: "compliance_hybrid"},
+				B:      Ref{Scalar: "compliance_vanilla"},
+				MinGap: -0.005,
+			},
+			RatioBand{
+				Desc:  "HybridMR keeps the services compliant under the open stream",
+				Value: Ref{Scalar: "compliance_hybrid"},
+				Band:  One(0.90, 1.0),
+			},
+			RatioBand{
+				Desc:  "batch JCT cost of protection stays modest",
+				Value: Ref{Scalar: "jct_delta"},
+				Band:  One(-0.30, 0.30),
+			},
+		},
+		"ext-faults": {
+			RatioBand{
+				Desc:  "crash storms slow virtual Sort (recovery amplifies on 2 VMs/PM)",
+				Value: Ref{Scalar: "slowdown_virtual"},
+				Band:  Two(Band{0.50, 8.0}, Band{-0.05, 8.0}),
+			},
+			Ordering{
+				Desc:   "virtual clusters pay at least the native fault penalty",
+				A:      Ref{Scalar: "slowdown_virtual"},
+				B:      Ref{Scalar: "slowdown_native"},
+				MinGap: -0.01,
+			},
+		},
+		"abl-speculation": {
+			RatioBand{
+				Desc:  "speculative execution cuts the straggler-bound JCT",
+				Value: Ref{Scalar: "speculation_gain"},
+				Band:  One(0.30, 0.95),
+			},
+		},
+		"abl-capacity": {
+			RatioBand{
+				Desc:  "capacity-aware placement trims Sort JCT under loaded services",
+				Value: Ref{Scalar: "jct_delta"},
+				Band:  One(0.01, 0.50),
+			},
+			RatioBand{
+				Desc:  "service latency stays near the blind baseline",
+				Value: Ref{Scalar: "lat_delta"},
+				Band:  One(-0.30, 0.50),
+			},
+		},
+		"abl-deferral": {
+			RatioBand{
+				Desc:  "deferral and proportional paging finish within 30% of each other",
+				Value: Ref{Scalar: "jct_delta"},
+				Band:  One(-0.30, 0.30),
+			},
+		},
+	}
+}
+
+// For returns the checks registered for one figure ID (nil if none).
+func For(id string) []Check { return Checks()[id] }

@@ -1,0 +1,73 @@
+package fidelity
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestSuiteCoversEveryExperiment enforces the gate's contract: every
+// registered figure and extension carries at least one assertion or an
+// explicit waiver, and the registry names no unknown figures.
+func TestSuiteCoversEveryExperiment(t *testing.T) {
+	registered := make(map[string]bool)
+	for _, e := range experiments.All() {
+		registered[e.ID] = true
+	}
+	for _, e := range experiments.Extensions() {
+		registered[e.ID] = true
+	}
+	checks := Checks()
+	for id := range registered {
+		if len(checks[id]) == 0 {
+			t.Errorf("experiment %s has no fidelity checks and no waiver", id)
+		}
+	}
+	for id := range checks {
+		if !registered[id] {
+			t.Errorf("fidelity suite names unknown experiment %s", id)
+		}
+	}
+}
+
+// TestSuiteChecksAreNamed catches empty display names, which would
+// make FIDELITY.json unreadable.
+func TestSuiteChecksAreNamed(t *testing.T) {
+	for id, checks := range Checks() {
+		seen := make(map[string]bool)
+		for _, c := range checks {
+			name := c.Name()
+			if name == "" {
+				t.Errorf("%s: check with empty name", id)
+			}
+			if seen[name] {
+				t.Errorf("%s: duplicate check name %q", id, name)
+			}
+			seen[name] = true
+		}
+	}
+}
+
+// TestEvaluateMissingScalars verifies that a check referencing data an
+// experiment did not record fails loudly instead of passing silently.
+func TestEvaluateMissingScalars(t *testing.T) {
+	empty := &experiments.Outcome{Table: &experiments.Table{ID: "fig8a", Columns: []string{"mix"}}}
+	fr := Evaluate("fig8a", empty, 1)
+	if len(fr.Results) == 0 {
+		t.Fatal("fig8a should have checks")
+	}
+	for _, res := range fr.Results {
+		if res.Status != Fail {
+			t.Errorf("check %q on an empty outcome: %s, want Fail", res.Name, res.Status)
+		}
+	}
+}
+
+// TestEvaluateUnregisteredFigure returns an empty result set rather
+// than erroring, so callers can distinguish "no checks" explicitly.
+func TestEvaluateUnregisteredFigure(t *testing.T) {
+	fr := Evaluate("not-a-figure", &experiments.Outcome{Table: &experiments.Table{}}, 1)
+	if len(fr.Results) != 0 {
+		t.Fatalf("unexpected results for unregistered figure: %v", fr.Results)
+	}
+}

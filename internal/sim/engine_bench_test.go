@@ -41,8 +41,8 @@ func benchDepth(b *testing.B, depth int) {
 	}
 }
 
-func BenchmarkScheduleFireDepth64(b *testing.B)   { benchDepth(b, 64) }
-func BenchmarkScheduleFireDepth1024(b *testing.B) { benchDepth(b, 1024) }
+func BenchmarkScheduleFireDepth64(b *testing.B)    { benchDepth(b, 64) }
+func BenchmarkScheduleFireDepth1024(b *testing.B)  { benchDepth(b, 1024) }
 func BenchmarkScheduleFireDepth16384(b *testing.B) { benchDepth(b, 16384) }
 
 // BenchmarkScheduleCancel measures the timeout pattern: schedule a far
