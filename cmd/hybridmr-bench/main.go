@@ -38,8 +38,24 @@
 // -baseline compares each experiment's measured events/sec against a
 // committed baseline file and fails if throughput drops below a third
 // of the recorded value — a coarse tripwire for order-of-magnitude
-// regressions that tolerates machine-to-machine variance. -write-baseline
+// regressions that tolerates machine-to-machine variance. The baseline
+// also records deterministic scans-per-decision cost ratios derived
+// from the perfstat counters (tracker×kind pairs per schedule call,
+// profile entries per estimate, ...); those are guarded tightly, so a
+// change that silently inflates a controller's per-decision work fails
+// even when wall-clock throughput looks fine. -write-baseline
 // regenerates the file from the current run.
+//
+// -scale-sweep switches to the controller-complexity study: the same
+// weak-scaling scenario at geometrically spaced cluster sizes
+// (-sweep-sizes, default 24,96,384), per-counter growth exponents
+// fitted by log-log regression, and a PERF.json report (-perf-out)
+// naming each controller's empirical O(n^k). The report section of
+// PERF.json is byte-deterministic at any -parallel value; wall times
+// live in a separate section excluded from determinism comparisons.
+//
+// -cpuprofile, -memprofile and -profile-dir wire the Go runtime
+// profilers around whichever mode runs, for use with go tool pprof.
 package main
 
 import (
@@ -54,6 +70,8 @@ import (
 	"repro/internal/critpath"
 	"repro/internal/experiments"
 	"repro/internal/fidelity"
+	"repro/internal/perfstat"
+	"repro/internal/scalesweep"
 	"repro/internal/trace"
 )
 
@@ -89,9 +107,51 @@ func writeBenchJSON(rec benchRecord) error {
 type baselineFile struct {
 	Scale        float64            `json:"scale"`
 	EventsPerSec map[string]float64 `json:"events_per_sec"`
+	// CostRatios records per-experiment scans-per-decision ratios from
+	// the perfstat cost counters (e.g. tracker×kind pairs scanned per
+	// schedule call). Unlike events/sec these are deterministic, so the
+	// guard is tight: a change that silently inflates a ratio beyond
+	// costRatioTolerance × baseline fails the comparison. Lower is
+	// always fine — that is an algorithmic improvement.
+	CostRatios map[string]map[string]float64 `json:"cost_ratios,omitempty"`
 }
 
 const baselineTolerance = 3.0
+
+// costRatioTolerance bounds scans-per-decision inflation. Ratios are
+// deterministic, but legitimate workload reshaping (new assertions, new
+// sweep points) moves them moderately; 1.5× catches complexity-class
+// slips without tripping on tuning.
+const costRatioTolerance = 1.5
+
+// costRatioDefs derives the tracked scans-per-decision ratios from a
+// metrics snapshot: numerator and denominator are perfstat counters.
+var costRatioDefs = []struct {
+	name string
+	num  string
+	den  string
+}{
+	{"jt.pairs_per_schedule", "perfstat.jt.pairs_scanned", "perfstat.jt.schedule_calls"},
+	{"drm.nodes_per_sweep", "perfstat.drm.nodes_scanned", "perfstat.drm.sweeps"},
+	{"p1.entries_per_estimate", "perfstat.p1.profile_entries_scanned", "perfstat.p1.estimates"},
+	{"dfs.draws_per_block", "perfstat.dfs.placement_draws", "perfstat.dfs.blocks_placed"},
+}
+
+// costRatios extracts the defined ratios where the denominator engaged.
+func costRatios(m trace.Snapshot) map[string]float64 {
+	out := make(map[string]float64)
+	for _, d := range costRatioDefs {
+		den := m.Counters[d.den]
+		if den <= 0 {
+			continue
+		}
+		out[d.name] = m.Counters[d.num] / den
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -112,9 +172,29 @@ func run(args []string, stdout io.Writer) error {
 	fidelityOut := fs.String("fidelity-out", "FIDELITY.json", "fidelity report path (with -check)")
 	baselinePath := fs.String("baseline", "", "compare events/sec against this baseline file")
 	writeBaseline := fs.Bool("write-baseline", false, "write the -baseline file from this run instead of comparing")
+	scaleSweep := fs.Bool("scale-sweep", false, "run the controller-complexity scale sweep instead of the figure experiments")
+	sweepSizes := fs.String("sweep-sizes", "", "comma-separated total-PM counts for -scale-sweep (default 24,96,384)")
+	sweepSeed := fs.Int64("sweep-seed", 1, "base seed for -scale-sweep")
+	perfOut := fs.String("perf-out", "PERF.json", "scale-sweep report path (with -scale-sweep)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	profileDir := fs.String("profile-dir", "", "write cpu.pprof and mem.pprof into this directory (overrides -cpuprofile/-memprofile)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := perfstat.StartProfiles(*cpuprofile, *memprofile, *profileDir)
+	if err != nil {
+		return err
+	}
+	profilesStopped := false
+	stopProf := func() error {
+		if profilesStopped {
+			return nil
+		}
+		profilesStopped = true
+		return stopProfiles()
+	}
+	defer stopProf()
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
@@ -129,6 +209,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 	experiments.Scale = *scale
 	experiments.Parallelism = *parallel
+
+	if *scaleSweep {
+		sizes, err := parseSizes(*sweepSizes)
+		if err != nil {
+			return err
+		}
+		if err := runScaleSweep(sizes, *sweepSeed, *perfOut, stdout); err != nil {
+			return err
+		}
+		return stopProf()
+	}
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -151,6 +242,7 @@ func run(args []string, stdout io.Writer) error {
 
 	report := &fidelity.Report{Scale: *scale}
 	measured := make(map[string]float64, len(selected))
+	ratios := make(map[string]map[string]float64, len(selected))
 	for _, e := range selected {
 		start := time.Now()
 		outcome, err := e.Run()
@@ -170,6 +262,9 @@ func run(args []string, stdout io.Writer) error {
 		if wall > 0 {
 			measured[e.ID] = float64(outcome.EventsFired) / wall
 		}
+		if r := costRatios(outcome.Metrics); r != nil {
+			ratios[e.ID] = r
+		}
 		if *jsonOut {
 			// EventsFired comes from the experiment's own engine sinks,
 			// not a process-global delta, so concurrent experiments (or
@@ -187,7 +282,10 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		if *check {
-			report.Add(fidelity.Evaluate(e.ID, outcome, *scale))
+			fr := fidelity.Evaluate(e.ID, outcome, *scale)
+			fr.WallSeconds = wall
+			fr.EventsFired = outcome.EventsFired
+			report.Add(fr)
 		}
 	}
 
@@ -196,7 +294,7 @@ func run(args []string, stdout io.Writer) error {
 		for _, e := range selected {
 			order = append(order, e.ID)
 		}
-		if err := handleBaseline(*baselinePath, *writeBaseline, *scale, order, measured, stdout); err != nil {
+		if err := handleBaseline(*baselinePath, *writeBaseline, *scale, order, measured, ratios, stdout); err != nil {
 			return err
 		}
 	}
@@ -213,15 +311,62 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("fidelity: %d assertion(s) failed (see %s)", report.Failed, *fidelityOut)
 		}
 	}
+	return stopProf()
+}
+
+// parseSizes parses the -sweep-sizes list; empty means the default
+// geometric sequence.
+func parseSizes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -sweep-sizes entry %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+// runScaleSweep runs the controller-complexity sweep and writes
+// PERF.json. The report section of the file is byte-deterministic; the
+// wall section is not, and determinism comparisons must strip it.
+func runScaleSweep(sizes []int, seed int64, outPath string, stdout io.Writer) error {
+	f, err := scalesweep.Run(scalesweep.Options{Sizes: sizes, Seed: seed})
+	if err != nil {
+		return err
+	}
+	data, err := f.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", outPath, err)
+	}
+	fmt.Fprintf(stdout, "Controller cost growth over cluster sizes %v (seed %d):\n", f.Report.Sizes, seed)
+	for _, c := range f.Report.Controllers {
+		flag := ""
+		if c.Superlinear {
+			flag = "  SUPERLINEAR"
+		}
+		fmt.Fprintf(stdout, "  %-8s %-10s driven by %-30s%s\n", c.Name, c.Complexity, c.DrivenBy, flag)
+	}
+	for _, w := range f.Wall {
+		fmt.Fprintf(stdout, "  size %4d ran in %.2fs wall time\n", w.Size, w.WallSeconds)
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", outPath)
 	return nil
 }
 
 // handleBaseline either records this run's throughput as the new
 // baseline or compares against the committed one, failing on any
 // experiment that ran more than baselineTolerance times slower.
-func handleBaseline(path string, write bool, scale float64, order []string, measured map[string]float64, stdout io.Writer) error {
+func handleBaseline(path string, write bool, scale float64, order []string, measured map[string]float64, ratios map[string]map[string]float64, stdout io.Writer) error {
 	if write {
-		base := baselineFile{Scale: scale, EventsPerSec: measured}
+		base := baselineFile{Scale: scale, EventsPerSec: measured, CostRatios: ratios}
 		data, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {
 			return err
@@ -260,6 +405,29 @@ func handleBaseline(path string, write bool, scale float64, order []string, meas
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("throughput regression:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	var inflations []string
+	for _, id := range order {
+		got, ran := ratios[id]
+		want, ok := base.CostRatios[id]
+		if !ran || !ok {
+			continue
+		}
+		for _, d := range costRatioDefs {
+			g, gok := got[d.name]
+			w, wok := want[d.name]
+			if !gok || !wok || w <= 0 {
+				continue
+			}
+			ceiling := w * costRatioTolerance
+			if g > ceiling {
+				inflations = append(inflations,
+					fmt.Sprintf("%s %s: %.1f scans/decision, ceiling %.1f (baseline %.1f)", id, d.name, g, ceiling, w))
+			}
+		}
+	}
+	if len(inflations) > 0 {
+		return fmt.Errorf("cost-counter inflation (scheduler doing more work per decision):\n  %s", strings.Join(inflations, "\n  "))
 	}
 	return nil
 }

@@ -82,28 +82,63 @@ func TestBaselineGuard(t *testing.T) {
 	measured := map[string]float64{"figX": 900}
 	order := []string{"figX"}
 
-	if err := handleBaseline(path, true, 0.1, order, measured, io.Discard); err != nil {
+	if err := handleBaseline(path, true, 0.1, order, measured, nil, io.Discard); err != nil {
 		t.Fatalf("write baseline: %v", err)
 	}
 	// Same throughput: passes.
-	if err := handleBaseline(path, false, 0.1, order, measured, io.Discard); err != nil {
+	if err := handleBaseline(path, false, 0.1, order, measured, nil, io.Discard); err != nil {
 		t.Fatalf("equal throughput should pass: %v", err)
 	}
 	// A 2x slowdown stays inside the 3x tolerance.
-	if err := handleBaseline(path, false, 0.1, order, map[string]float64{"figX": 450}, io.Discard); err != nil {
+	if err := handleBaseline(path, false, 0.1, order, map[string]float64{"figX": 450}, nil, io.Discard); err != nil {
 		t.Fatalf("2x slowdown should pass: %v", err)
 	}
 	// A >3x slowdown trips the guard.
-	err := handleBaseline(path, false, 0.1, order, map[string]float64{"figX": 250}, io.Discard)
+	err := handleBaseline(path, false, 0.1, order, map[string]float64{"figX": 250}, nil, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "throughput regression") {
 		t.Fatalf("4x slowdown should trip the guard, got %v", err)
 	}
 	// Experiments absent from the baseline are skipped, not failed.
-	if err := handleBaseline(path, false, 0.1, []string{"figY"}, map[string]float64{"figY": 1}, io.Discard); err != nil {
+	if err := handleBaseline(path, false, 0.1, []string{"figY"}, map[string]float64{"figY": 1}, nil, io.Discard); err != nil {
 		t.Fatalf("unknown experiment should be skipped: %v", err)
 	}
 	// A scale mismatch refuses to compare apples to oranges.
-	if err := handleBaseline(path, false, 1.0, order, measured, io.Discard); err == nil {
+	if err := handleBaseline(path, false, 1.0, order, measured, nil, io.Discard); err == nil {
 		t.Fatal("scale mismatch should error")
+	}
+}
+
+// TestCostRatioGuard exercises the scans-per-decision tripwire: a
+// ratio may shrink or wobble but must not inflate past its ceiling.
+func TestCostRatioGuard(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	measured := map[string]float64{"figX": 900}
+	order := []string{"figX"}
+	ratioName := costRatioDefs[0].name
+	base := map[string]map[string]float64{"figX": {ratioName: 100}}
+
+	if err := handleBaseline(path, true, 0.1, order, measured, base, io.Discard); err != nil {
+		t.Fatalf("write baseline: %v", err)
+	}
+	// Equal and improved (lower) ratios pass; so does a wobble inside
+	// the 1.5x ceiling.
+	for _, ok := range []float64{100, 60, 149} {
+		got := map[string]map[string]float64{"figX": {ratioName: ok}}
+		if err := handleBaseline(path, false, 0.1, order, measured, got, io.Discard); err != nil {
+			t.Fatalf("ratio %.0f should pass: %v", ok, err)
+		}
+	}
+	// Inflation past the ceiling trips the guard.
+	got := map[string]map[string]float64{"figX": {ratioName: 151}}
+	err := handleBaseline(path, false, 0.1, order, measured, got, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "cost-counter inflation") {
+		t.Fatalf("inflated ratio should trip the guard, got %v", err)
+	}
+	// Ratios absent from the baseline (new experiments, counters that
+	// did not engage) are skipped, not failed.
+	missing := map[string]map[string]float64{"figY": {ratioName: 9999}}
+	if err := handleBaseline(path, false, 0.1, order, measured, missing, io.Discard); err != nil {
+		t.Fatalf("unknown ratio rows should be skipped: %v", err)
 	}
 }

@@ -28,6 +28,13 @@
 //	hybridmr-sim -benchmark Sort,Kmeans,Wcount -parallel 3
 //	hybridmr-sim -scenario chaos -seed 7 -fault-seed 99
 //	hybridmr-sim -scenario chaos -faults pm-crash=4,block-loss=12,repair-sec=90
+//	hybridmr-sim -benchmark Sort -pms 48 -profile-dir prof/
+//
+// -cpuprofile, -memprofile and -profile-dir wire the Go runtime
+// profilers around the whole run (runtime/pprof format, loadable with
+// `go tool pprof`). The HTML report additionally carries a performance
+// attribution section: the scheduler's algorithmic cost counters and
+// the hierarchical span tree collected by internal/perfstat.
 //
 // Job mode accepts a comma-separated benchmark list; each benchmark runs
 // as its own seeded simulation, fanned across -parallel worker goroutines
@@ -68,6 +75,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
+	"repro/internal/perfstat"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/testbed"
@@ -107,6 +115,7 @@ type runObs struct {
 	title  string
 	simEnd time.Duration
 	jobs   []report.JobPath
+	perf   *perfstat.Snapshot
 }
 
 func newRunObs(cfg obsConfig, suffix string, seed int64) *runObs {
@@ -139,6 +148,16 @@ func (o *runObs) addJob(name string, sum *critpath.Summary) {
 	}
 }
 
+// snapPerf records the run's performance-attribution snapshot for the
+// report's cost-counter and span-tree section. A nil collector (no
+// observers requested) is skipped.
+func (o *runObs) snapPerf(ps *perfstat.Stats) {
+	if ps != nil {
+		sn := ps.Snapshot()
+		o.perf = &sn
+	}
+}
+
 // suffixed inserts the per-benchmark suffix before the file extension:
 // out.json -> out-Sort.json.
 func suffixed(path, suffix string) string {
@@ -167,6 +186,7 @@ func (o *runObs) finish(out io.Writer, eventsPerSec float64) error {
 			Audit:        o.log.Records(),
 			AuditDropped: o.log.Dropped(),
 			Metrics:      o.reg.Snapshot(),
+			Perf:         o.perf,
 			Jobs:         o.jobs,
 		}
 		if o.rec != nil {
@@ -250,7 +270,15 @@ func run(args []string, out io.Writer) error {
 	metricsOn := fs.Bool("metrics", false, "print the metrics registry after the run")
 	auditFile := fs.String("audit", "", "write the scheduler decision log as JSONL to this file")
 	reportFile := fs.String("report", "", "write a self-contained HTML observatory report to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a runtime/pprof heap profile to this file on exit")
+	profileDir := fs.String("profile-dir", "", "write cpu.pprof and mem.pprof into this directory (overrides -cpuprofile/-memprofile)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	stopProfiles, err := perfstat.StartProfiles(*cpuProfile, *memProfile, *profileDir)
+	if err != nil {
 		return err
 	}
 
@@ -280,27 +308,35 @@ func run(args []string, out io.Writer) error {
 		return 0
 	}
 
-	switch mode {
-	case "quickstart":
-		obs := newRunObs(cfg, "", *seed)
-		if err := runQuickstart(*seed, obs, out); err != nil {
-			return err
+	runErr := func() error {
+		switch mode {
+		case "quickstart":
+			obs := newRunObs(cfg, "", *seed)
+			if err := runQuickstart(*seed, obs, out); err != nil {
+				return err
+			}
+			return obs.finish(out, throughput())
+		case "job":
+			return runJobs(*bench, jobOptions{
+				dataGB: *dataGB, pms: *pms, vmsPerPM: *vmsPerPM,
+				dom0: *dom0, split: *split, slotCaps: *slotCaps, sched: *sched, seed: *seed,
+			}, *parallel, cfg, throughput, out)
+		case "chaos":
+			obs := newRunObs(cfg, "", *seed)
+			if err := runChaos(*seed, *faultSeed, *faults, obs, out); err != nil {
+				return err
+			}
+			return obs.finish(out, throughput())
+		default:
+			return fmt.Errorf("unknown scenario %q (quickstart, job or chaos)", mode)
 		}
-		return obs.finish(out, throughput())
-	case "job":
-		return runJobs(*bench, jobOptions{
-			dataGB: *dataGB, pms: *pms, vmsPerPM: *vmsPerPM,
-			dom0: *dom0, split: *split, slotCaps: *slotCaps, sched: *sched, seed: *seed,
-		}, *parallel, cfg, throughput, out)
-	case "chaos":
-		obs := newRunObs(cfg, "", *seed)
-		if err := runChaos(*seed, *faultSeed, *faults, obs, out); err != nil {
-			return err
-		}
-		return obs.finish(out, throughput())
-	default:
-		return fmt.Errorf("unknown scenario %q (quickstart, job or chaos)", mode)
+	}()
+	// The profiles must cover the whole run, so they stop only after the
+	// scenario finishes (successfully or not).
+	if err := stopProfiles(); runErr == nil {
+		runErr = err
 	}
+	return runErr
 }
 
 // runQuickstart exercises every traced subsystem: hybrid placement, task
@@ -390,6 +426,7 @@ func runQuickstart(seed int64, obs *runObs, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "  RUBiS    -> %.0f ms mean response (%d clients)\n",
 		svc.LatencyMs(), svc.Clients())
+	obs.snapPerf(dc.Perf)
 	obs.simEnd = dc.Now()
 	return nil
 }
@@ -463,6 +500,7 @@ func runChaos(seed, faultSeed int64, profileSpec string, obs *runObs, out io.Wri
 	if under != 0 {
 		return fmt.Errorf("chaos: %d blocks still under-replicated after recovery", under)
 	}
+	obs.snapPerf(rig.Perf)
 	obs.simEnd = rig.Engine.Now()
 	return nil
 }
@@ -580,6 +618,7 @@ func runJob(o jobOptions, obs *runObs, out io.Writer) error {
 		return err
 	}
 	obs.addJob(res.Name, res.CritPath)
+	obs.snapPerf(rig.Perf)
 	obs.simEnd = rig.Engine.Now()
 	fmt.Fprintf(out, "benchmark:    %s\n", res.Name)
 	fmt.Fprintf(out, "workers:      %d (%d PMs x %d VMs/PM)\n", len(rig.Workers), o.pms, o.vmsPerPM)

@@ -39,6 +39,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
+	"repro/internal/perfstat"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/testbed"
@@ -116,7 +117,18 @@ type (
 	ScheduledFault = fault.ScheduledFault
 	// FaultKind names a fault class.
 	FaultKind = fault.Kind
+	// PerfStats collects algorithmic cost counters and hierarchical
+	// wall-time spans from every layer of a deployment; hand one to
+	// ClusterSpec.Perf or RigOptions.Perf. Nil-safe: a nil *PerfStats
+	// disables all instrumentation.
+	PerfStats = perfstat.Stats
+	// PerfSnapshot is a point-in-time view of a PerfStats: counter map
+	// plus span trees.
+	PerfSnapshot = perfstat.Snapshot
 )
+
+// NewPerfStats builds an empty performance-attribution collector.
+var NewPerfStats = perfstat.New
 
 // Fault kinds.
 const (
@@ -237,6 +249,13 @@ type ClusterSpec struct {
 	// scheduling action, migration and fault-recovery decision made by
 	// the deployment. Its clock is bound to the cluster's engine.
 	Audit *AuditLog
+	// Perf, when non-nil, collects algorithmic cost counters and
+	// wall-time spans from every layer of the deployment. When nil but
+	// Metrics is set, the deployment creates its own collector so
+	// counter increments surface in the registry (as perfstat.*
+	// counters, flushed by RunFor/RunUntilIdle). Collectors must not be
+	// shared across concurrently running deployments.
+	Perf *PerfStats
 }
 
 // HybridCluster is a ready-to-use hybrid data center running HybridMR.
@@ -257,9 +276,14 @@ type HybridCluster struct {
 	// constructed (manual injection works on any deployment) and armed
 	// only when ClusterSpec.Faults was set.
 	Faults *FaultInjector
+	// Perf is the deployment's performance-attribution collector (nil
+	// when neither ClusterSpec.Perf nor ClusterSpec.Metrics was set).
+	Perf *PerfStats
 
-	engine  *sim.Engine
-	nextSvc int
+	engine      *sim.Engine
+	nextSvc     int
+	metricsReg  *MetricsRegistry
+	perfFlushed perfstat.Counters
 }
 
 // NewHybridCluster assembles a hybrid data center per the spec and wires
@@ -272,7 +296,12 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 		spec.VMsPerHost = 2
 	}
 
-	hc := &HybridCluster{}
+	perf := spec.Perf
+	if perf == nil && spec.Metrics != nil {
+		perf = perfstat.New()
+	}
+
+	hc := &HybridCluster{Perf: perf, metricsReg: spec.Metrics}
 	var engine *sim.Engine
 	var cl *cluster.Cluster
 
@@ -288,6 +317,7 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 			Tracer:  spec.Tracer,
 			Metrics: spec.Metrics,
 			Audit:   spec.Audit,
+			Perf:    perf,
 		})
 		if err != nil {
 			return nil, err
@@ -298,6 +328,9 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 		hc.HostPMs = rig.PMs
 	} else {
 		engine = sim.New()
+		if perf != nil {
+			engine.SetPerf(perf)
+		}
 		cl = cluster.New(engine, cluster.Config{}, spec.Seed)
 		if spec.Tracer != nil || spec.Metrics != nil {
 			spec.Tracer.SetClock(engine)
@@ -320,6 +353,10 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 		if spec.Audit != nil {
 			hc.NativeJT.SetAudit(spec.Audit)
 		}
+		if perf != nil {
+			nativeFS.SetPerf(perf)
+			hc.NativeJT.SetPerf(perf)
+		}
 		for _, pm := range pms {
 			hc.NativeJT.AddTracker(pm)
 		}
@@ -339,6 +376,9 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 	}
 	if spec.Audit != nil {
 		sys.SetAudit(spec.Audit)
+	}
+	if perf != nil {
+		sys.SetPerf(perf)
 	}
 	hc.System = sys
 	hc.Cluster = cl
@@ -366,6 +406,9 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 	}
 	if spec.Audit != nil {
 		hc.Faults.SetAudit(spec.Audit)
+	}
+	if perf != nil {
+		hc.Faults.SetPerf(perf)
 	}
 	if spec.Faults != nil {
 		if err := hc.Faults.Arm(); err != nil {
@@ -405,11 +448,32 @@ func (hc *HybridCluster) NewRecorder(interval time.Duration) *Recorder {
 // RunFor advances simulated time by d.
 func (hc *HybridCluster) RunFor(d time.Duration) {
 	hc.engine.RunUntil(hc.engine.Now() + d)
+	hc.FlushPerf()
 }
 
 // RunUntilIdle drains the event queue (all finite work completes).
 // Systems with deployed services never go idle; use RunFor instead.
-func (hc *HybridCluster) RunUntilIdle() { hc.engine.Run() }
+func (hc *HybridCluster) RunUntilIdle() {
+	hc.engine.Run()
+	hc.FlushPerf()
+}
+
+// FlushPerf folds the cost-counter increments accumulated since the last
+// flush into the deployment's metrics registry as perfstat.* counters.
+// All counter names are materialized — including zero ones — so merged
+// snapshots keep a stable key set; wall-time spans stay out of the
+// registry (they are nondeterministic). RunFor and RunUntilIdle flush
+// automatically.
+func (hc *HybridCluster) FlushPerf() {
+	if hc.Perf == nil || hc.metricsReg == nil {
+		return
+	}
+	delta := hc.Perf.C.Delta(hc.perfFlushed)
+	hc.perfFlushed = hc.Perf.C
+	delta.Each(func(name string, v int64) {
+		hc.metricsReg.Counter("perfstat." + name).Add(float64(v))
+	})
+}
 
 // Now returns the current simulated time.
 func (hc *HybridCluster) Now() time.Duration { return hc.engine.Now() }

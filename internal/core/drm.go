@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/interference"
 	"repro/internal/mapred"
+	"repro/internal/perfstat"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -68,6 +69,7 @@ type DRM struct {
 
 	tracer       *trace.Tracer
 	auditLog     *audit.Log
+	perf         *perfstat.Stats
 	mAdjustments *trace.Counter
 	mDeferrals   *trace.Counter
 }
@@ -100,6 +102,11 @@ func (d *DRM) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 // recorded on it. A nil log keeps auditing off.
 func (d *DRM) SetAudit(l *audit.Log) { d.auditLog = l }
 
+// SetPerf installs a performance-attribution collector; each epoch's
+// node sweep is then counted and timed. A nil collector keeps the
+// instrumentation off.
+func (d *DRM) SetPerf(ps *perfstat.Stats) { d.perf = ps }
+
 // Start begins the epoch loop. The loop parks itself whenever the job
 // queue drains and must be re-armed by the next Submit (see
 // System.SubmitJob) — this keeps event queues finite.
@@ -128,17 +135,30 @@ func (d *DRM) Modes() ResourceModes { return d.modes }
 
 // tick runs one DRM epoch: profile, detect contention, re-balance.
 func (d *DRM) tick() {
+	d.perf.Enter("core.drm")
+	defer d.perf.Exit()
+	running := d.jt.RunningAttempts()
 	byNode := make(map[cluster.Node][]*mapred.Attempt)
 	var nodes []cluster.Node
-	for _, a := range d.jt.RunningAttempts() {
+	for _, a := range running {
 		if _, seen := byNode[a.Node()]; !seen {
 			nodes = append(nodes, a.Node())
 		}
 		byNode[a.Node()] = append(byNode[a.Node()], a)
 	}
+	if d.perf != nil {
+		d.perf.C.DRMSweeps++
+		d.perf.C.DRMNodesScanned += int64(len(nodes))
+		d.perf.C.DRMAttemptsObserved += int64(len(running))
+	}
 	// Visit nodes in name order: cap adjustments reschedule events, so
 	// map-iteration order would perturb the simulation across runs.
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name() < nodes[j].Name() })
+	sort.Slice(nodes, func(i, j int) bool {
+		if d.perf != nil {
+			d.perf.C.DRMSortCmps++
+		}
+		return nodes[i].Name() < nodes[j].Name()
+	})
 	for _, node := range nodes {
 		attempts := byNode[node]
 		// Attempts are already name-ordered (RunningAttempts sorts).

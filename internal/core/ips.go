@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/interference"
 	"repro/internal/mapred"
+	"repro/internal/perfstat"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -46,6 +47,7 @@ type IPS struct {
 	tracer   *trace.Tracer
 	reg      *trace.Registry
 	auditLog *audit.Log
+	perf     *perfstat.Stats
 
 	// PauseStreak is the number of consecutive violating epochs before
 	// the Arbiter escalates from relocation/throttling to pausing a
@@ -87,6 +89,11 @@ func (p *IPS) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 // SetAudit installs a decision log; every Arbiter mitigation is
 // recorded on it. A nil log keeps auditing off.
 func (p *IPS) SetAudit(l *audit.Log) { p.auditLog = l }
+
+// SetPerf installs a performance-attribution collector; monitoring
+// epochs are then counted and timed. A nil collector keeps the
+// instrumentation off.
+func (p *IPS) SetPerf(ps *perfstat.Stats) { p.perf = ps }
 
 // Watch registers an interactive service for SLA monitoring.
 func (p *IPS) Watch(svc *workload.Service) {
@@ -140,6 +147,11 @@ func (p *IPS) log(kind, service, target string) {
 
 // tick is one monitoring epoch.
 func (p *IPS) tick(time.Duration) {
+	p.perf.Enter("core.ips")
+	defer p.perf.Exit()
+	if p.perf != nil {
+		p.perf.C.IPSTicks++
+	}
 	for _, st := range p.services {
 		if st.svc.Node().Machine() == nil {
 			// The service's VM was destroyed by a fault; there is nothing
@@ -162,7 +174,11 @@ func (p *IPS) tick(time.Duration) {
 func (p *IPS) observe(st *ipsService) {
 	pm := st.svc.Node().Machine()
 	var cpu, mem, io float64
-	for _, a := range p.jt.RunningAttempts() {
+	running := p.jt.RunningAttempts()
+	if p.perf != nil {
+		p.perf.C.IPSAttemptsScanned += int64(len(running))
+	}
+	for _, a := range running {
 		if a.Node().Machine() != pm {
 			continue
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/mapred"
+	"repro/internal/perfstat"
 	"repro/internal/profiler"
 	"repro/internal/sim"
 	"repro/internal/testbed"
@@ -83,6 +84,7 @@ type System struct {
 
 	tracer      *trace.Tracer
 	auditLog    *audit.Log
+	perf        *perfstat.Stats
 	mPlacements *trace.Counter
 }
 
@@ -164,6 +166,20 @@ func (s *System) SetAudit(l *audit.Log) {
 	}
 }
 
+// SetPerf installs a performance-attribution collector on the system,
+// its Phase II controllers and the Phase I profiler. A nil collector
+// keeps the instrumentation off.
+func (s *System) SetPerf(ps *perfstat.Stats) {
+	s.perf = ps
+	if s.drm != nil {
+		s.drm.SetPerf(ps)
+	}
+	if s.ips != nil {
+		s.ips.SetPerf(ps)
+	}
+	s.prof.SetPerf(ps)
+}
+
 // Profiler exposes the Phase I profiler (e.g. for pre-training or
 // accuracy experiments).
 func (s *System) Profiler() *profiler.Profiler { return s.prof }
@@ -206,6 +222,7 @@ func (s *System) SubmitJob(spec mapred.JobSpec, desiredJCT time.Duration, onDone
 	var reason string
 	var candidates []audit.Candidate
 	var err error
+	s.perf.Enter("core.phase1")
 	switch p := s.Placer.(type) {
 	case ExplainedPlacer:
 		placement, reason, candidates, err = p.PlaceExplained(spec, desiredJCT)
@@ -214,6 +231,11 @@ func (s *System) SubmitJob(spec mapred.JobSpec, desiredJCT time.Duration, onDone
 	default:
 		placement, err = s.Placer.Place(spec, desiredJCT)
 	}
+	if s.perf != nil {
+		s.perf.C.P1Placements++
+		s.perf.C.P1CandidatesEvaluated += int64(len(candidates))
+	}
+	s.perf.Exit()
 	if err != nil {
 		return nil, 0, err
 	}

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/perfstat"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -83,6 +84,7 @@ type FileSystem struct {
 	nextBlock int
 
 	tracer *trace.Tracer
+	perf   *perfstat.Stats
 
 	// Cached metric handles; nil (a no-op) until SetTrace installs a
 	// registry.
@@ -119,6 +121,11 @@ func (fs *FileSystem) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	fs.mBlocksLost = reg.Counter("dfs.blocks.lost")
 	fs.mReplicasCorrupted = reg.Counter("dfs.replicas.corrupted")
 }
+
+// SetPerf installs a performance-attribution collector; block placement
+// and repair work is then counted and timed. A nil collector keeps the
+// instrumentation off.
+func (fs *FileSystem) SetPerf(ps *perfstat.Stats) { fs.perf = ps }
 
 // CountRead records a block read at the given locality in the metrics
 // registry and, when a tracer is installed, as an instant event on the
@@ -181,6 +188,8 @@ func (fs *FileSystem) CreateFile(name string, sizeMB float64, preferred cluster.
 		return nil, fmt.Errorf("dfs: no DataNodes registered")
 	}
 	f := &File{Name: name, SizeMB: sizeMB}
+	fs.perf.Enter("dfs.placement")
+	defer fs.perf.Exit()
 	remaining := sizeMB
 	for remaining > 0 {
 		size := math.Min(fs.cfg.BlockMB, remaining)
@@ -225,6 +234,9 @@ func (fs *FileSystem) Delete(name string) error {
 // failure cannot take out every copy, falling back to merely distinct
 // DataNodes when the cluster is too small for machine diversity.
 func (fs *FileSystem) placeReplicas(preferred cluster.Node) []*DataNode {
+	if fs.perf != nil {
+		fs.perf.C.DFSBlocksPlaced++
+	}
 	want := fs.cfg.Replication
 	if want > len(fs.datanodes) {
 		want = len(fs.datanodes)
@@ -247,6 +259,9 @@ func (fs *FileSystem) placeReplicas(preferred cluster.Node) []*DataNode {
 		attempts := 0
 		for len(chosen) < want && attempts < 8*len(fs.datanodes) {
 			attempts++
+			if fs.perf != nil {
+				fs.perf.C.DFSPlacementDraws++
+			}
 			d := fs.datanodes[fs.rng.Intn(len(fs.datanodes))]
 			if _, dup := used[d]; dup {
 				continue
@@ -482,6 +497,11 @@ func (fs *FileSystem) CorruptReplica(b *Block, d *DataNode) (lost bool) {
 // pickNewReplica chooses a surviving DataNode not already holding the
 // block.
 func (fs *FileSystem) pickNewReplica(b *Block) *DataNode {
+	if fs.perf != nil {
+		// Repair scans every DataNode to find survivors not holding the
+		// block.
+		fs.perf.C.DFSRepairScans += int64(len(fs.datanodes))
+	}
 	holders := make(map[*DataNode]struct{}, len(b.Replicas))
 	for _, r := range b.Replicas {
 		holders[r] = struct{}{}

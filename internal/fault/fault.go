@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dfs"
 	"repro/internal/mapred"
+	"repro/internal/perfstat"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -136,6 +137,7 @@ type Injector struct {
 	tracer   *trace.Tracer
 	reg      *trace.Registry
 	auditLog *audit.Log
+	perf     *perfstat.Stats
 	byKind   map[Kind]int
 }
 
@@ -155,6 +157,11 @@ func (in *Injector) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 // on it so recovery actions can be traced back to their trigger. A nil
 // log keeps auditing off.
 func (in *Injector) SetAudit(l *audit.Log) { in.auditLog = l }
+
+// SetPerf installs a performance-attribution collector; injections are
+// then counted and the injection paths timed. A nil collector keeps the
+// instrumentation off.
+func (in *Injector) SetPerf(ps *perfstat.Stats) { in.perf = ps }
 
 // Injections returns how many faults of each kind have fired so far.
 func (in *Injector) Injections() map[Kind]int {
@@ -187,6 +194,9 @@ func (in *Injector) Summary() string {
 
 func (in *Injector) record(kind Kind, target string, args ...trace.Arg) {
 	in.byKind[kind]++
+	if in.perf != nil {
+		in.perf.C.FaultInjections++
+	}
 	in.reg.Counter("fault." + string(kind)).Inc()
 	if in.tracer != nil {
 		all := append([]trace.Arg{trace.S("target", target)}, args...)
@@ -220,6 +230,8 @@ func (in *Injector) Arm() error {
 // by name at fire time (the named machine may already be gone; the
 // injection is then a no-op).
 func (in *Injector) fireScheduled(f ScheduledFault) {
+	in.perf.Enter("fault.inject")
+	defer in.perf.Exit()
 	switch f.Kind {
 	case PMCrash:
 		if pm := in.findPM(f.Target); pm != nil {
@@ -301,6 +313,8 @@ func (in *Injector) armChaos(p Profile) {
 // fireChaos applies one profile-driven injection against a target drawn
 // from the kind's rng.
 func (in *Injector) fireChaos(kind Kind, p Profile, rng *rand.Rand) {
+	in.perf.Enter("fault.inject")
+	defer in.perf.Exit()
 	switch kind {
 	case PMCrash:
 		// Never take the last machine: a cluster with nothing left is a

@@ -268,3 +268,35 @@ func TestReportTallies(t *testing.T) {
 		}
 	}
 }
+
+func TestReportSummaryCostAnnotation(t *testing.T) {
+	var r Report
+	r.Scale = 1
+	r.Add(FigureResult{
+		ID:          "a",
+		Results:     []Result{{Name: "p1", Status: Pass}, {Name: "p2", Status: Pass}},
+		WallSeconds: 1.5,
+		EventsFired: 4200,
+	})
+	var sb strings.Builder
+	r.Summary(&sb)
+	got := sb.String()
+	if !strings.Contains(got, "1.5s") || !strings.Contains(got, "4200 events") {
+		t.Fatalf("summary missing the wall-time/events annotation:\n%s", got)
+	}
+	// The annotation rides on the figure's first row only.
+	if strings.Count(got, "4200 events") != 1 {
+		t.Fatalf("cost annotation repeated:\n%s", got)
+	}
+	// And it must never leak into FIDELITY.json, which stays
+	// byte-deterministic across runs.
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leak := range []string{"wall", "events", "4200", "1.5"} {
+		if strings.Contains(string(b), leak) {
+			t.Fatalf("JSON leaks nondeterministic cost field %q:\n%s", leak, b)
+		}
+	}
+}

@@ -14,6 +14,13 @@ type FigureResult struct {
 	Results []Result `json:"results,omitempty"`
 	// Error records an experiment that failed to run at all.
 	Error string `json:"error,omitempty"`
+	// WallSeconds and EventsFired annotate the Summary table with how
+	// long the experiment took and how much simulation it drove. They
+	// are deliberately excluded from the JSON document: wall time is
+	// nondeterministic and FIDELITY.json must stay byte-identical
+	// across runs.
+	WallSeconds float64 `json:"-"`
+	EventsFired uint64  `json:"-"`
 }
 
 // Report is the FIDELITY.json document: per-figure verdicts with
@@ -69,15 +76,21 @@ func (r *Report) JSON() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// Summary prints a per-assertion table and the overall tally.
+// Summary prints a per-assertion table — each figure annotated with its
+// wall time and events fired when the caller recorded them — and the
+// overall tally.
 func (r *Report) Summary(w io.Writer) {
 	fmt.Fprintf(w, "Fidelity suite at scale %g\n", r.Scale)
 	for _, fig := range r.Figures {
+		cost := ""
+		if fig.WallSeconds > 0 {
+			cost = fmt.Sprintf("  [%6.1fs  %9d events]", fig.WallSeconds, fig.EventsFired)
+		}
 		if fig.Error != "" {
 			fmt.Fprintf(w, "  %-8s ERROR  %s\n", fig.ID, fig.Error)
 			continue
 		}
-		for _, res := range fig.Results {
+		for i, res := range fig.Results {
 			status := "PASS"
 			switch res.Status {
 			case Fail:
@@ -85,7 +98,12 @@ func (r *Report) Summary(w io.Writer) {
 			case Waived:
 				status = "WAIVE"
 			}
-			fmt.Fprintf(w, "  %-8s %-5s  %s\n", fig.ID, status, res.Name)
+			// The cost annotation rides on the figure's first row only.
+			rowCost := ""
+			if i == 0 {
+				rowCost = cost
+			}
+			fmt.Fprintf(w, "  %-8s %-5s  %s%s\n", fig.ID, status, res.Name, rowCost)
 			if res.Status == Fail && res.Detail != "" {
 				fmt.Fprintf(w, "  %-8s        %s\n", "", res.Detail)
 			}

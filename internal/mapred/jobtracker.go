@@ -9,6 +9,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/dfs"
+	"repro/internal/perfstat"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -220,6 +221,7 @@ type JobTracker struct {
 
 	tracer     *trace.Tracer
 	auditLog   *audit.Log
+	perf       *perfstat.Stats
 	countReads bool
 
 	// Cached metric handles; nil (a no-op) until SetTrace installs a
@@ -292,6 +294,11 @@ func (jt *JobTracker) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 // log keeps auditing off.
 func (jt *JobTracker) SetAudit(l *audit.Log) { jt.auditLog = l }
 
+// SetPerf installs a performance-attribution collector; scheduling
+// rounds, tracker×kind scans and speculation sweeps are then counted
+// and timed. A nil collector keeps the instrumentation off.
+func (jt *JobTracker) SetPerf(ps *perfstat.Stats) { jt.perf = ps }
+
 // Close stops the background speculation and health scanners.
 func (jt *JobTracker) Close() {
 	if jt.specTick != nil {
@@ -360,6 +367,12 @@ func (jt *JobTracker) RunningAttempts() []*Attempt {
 	out := make([]*Attempt, 0, len(jt.attempts))
 	for a := range jt.attempts {
 		out = append(out, a)
+	}
+	// Count elements sorted, not comparisons: the input permutation comes
+	// from map iteration, so a comparison tally would differ run to run
+	// even though the sorted result is identical.
+	if jt.perf != nil {
+		jt.perf.C.JTAttemptsSorted += int64(len(out))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return out[i].consumer.Name < out[j].consumer.Name
@@ -438,20 +451,34 @@ func (jt *JobTracker) Submit(spec JobSpec, onComplete func(*Job)) (*Job, error) 
 // spare capacity before touching nodes already busy with interactive
 // tenants — the capacity-guided placement of HybridMR's DRM.
 func (jt *JobTracker) schedule() {
+	jt.perf.Enter("mapred.schedule")
+	defer jt.perf.Exit()
+	if jt.perf != nil {
+		jt.perf.C.JTScheduleCalls++
+	}
 	ordered := make([]*TaskTracker, len(jt.trackers))
 	copy(ordered, jt.trackers)
 	if jt.cfg.CapacityAware {
 		sort.SliceStable(ordered, func(i, j int) bool {
+			if jt.perf != nil {
+				jt.perf.C.JTPressureProbes += 2
+			}
 			return trackerPressure(ordered[i]) < trackerPressure(ordered[j])
 		})
 	}
 	for {
 		assigned := false
+		if jt.perf != nil {
+			jt.perf.C.JTScheduleRounds++
+		}
 		for _, tr := range ordered {
 			if tr.disabled || tr.lost {
 				continue
 			}
 			for _, kind := range [...]TaskKind{MapTask, ReduceTask} {
+				if jt.perf != nil {
+					jt.perf.C.JTPairsScanned++
+				}
 				if tr.FreeSlots(kind) <= 0 {
 					continue
 				}
@@ -848,11 +875,17 @@ func (jt *JobTracker) TrackerFor(n cluster.Node) (*TaskTracker, bool) {
 // whose speed is well below the median of their job's running attempts of
 // the same kind.
 func (jt *JobTracker) speculate() {
+	jt.perf.Enter("mapred.speculate")
+	defer jt.perf.Exit()
 	// Group via the sorted attempt list and visit jobs in submission
 	// order: iteration order decides which straggler claims the last free
 	// slot, so it must be stable across runs.
 	byJobKind := make(map[*Job]map[TaskKind][]*Attempt)
-	for _, a := range jt.RunningAttempts() {
+	running := jt.RunningAttempts()
+	if jt.perf != nil {
+		jt.perf.C.JTSpeculationScans += int64(len(running))
+	}
+	for _, a := range running {
 		m, ok := byJobKind[a.Task.Job]
 		if !ok {
 			m = make(map[TaskKind][]*Attempt)

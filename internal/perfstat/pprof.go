@@ -1,0 +1,57 @@
+package perfstat
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles wires the Go runtime profilers behind the CLI flags
+// -cpuprofile, -memprofile and -profile-dir. cpuPath/memPath name
+// explicit output files; a non-empty dir instead writes cpu.pprof and
+// mem.pprof inside it (created if missing) and overrides both paths.
+// It returns a stop function that ends the CPU profile and writes the
+// heap profile; callers defer it around the whole run. With no
+// profiling requested, stop is a cheap no-op.
+func StartProfiles(cpuPath, memPath, dir string) (stop func() error, err error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("profile dir: %w", err)
+		}
+		cpuPath = filepath.Join(dir, "cpu.pprof")
+		memPath = filepath.Join(dir, "mem.pprof")
+	}
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

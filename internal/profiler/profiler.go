@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/mapred"
+	"repro/internal/perfstat"
 	"repro/internal/stats"
 )
 
@@ -56,6 +57,7 @@ type entry struct {
 // observed runs.
 type DB struct {
 	entries map[string][]entry
+	perf    *perfstat.Stats
 }
 
 // NewDB creates an empty profile database.
@@ -105,6 +107,13 @@ func almostEqual(a, b float64) bool {
 //     cluster size, rescaled by the cluster-size model.
 func (db *DB) Estimate(job string, env Environment, nodes int, dataMB float64) (RunResult, error) {
 	all := db.entries[dbKey(job, env)]
+	if db.perf != nil {
+		// The exact-match lookup below walks the history once; each
+		// extrapolation fallback that runs re-walks it and counts its own
+		// pass.
+		db.perf.C.P1Estimates++
+		db.perf.C.P1ProfileEntriesScanned += int64(len(all))
+	}
 	if len(all) == 0 {
 		return RunResult{}, fmt.Errorf("%w: no runs of %s on %s", ErrNoProfile, job, env)
 	}
@@ -131,6 +140,9 @@ func (db *DB) Estimate(job string, env Environment, nodes int, dataMB float64) (
 }
 
 func (db *DB) combinedEstimate(all []entry, n0, nodes int, dataMB float64) (RunResult, error) {
+	if db.perf != nil {
+		db.perf.C.P1ProfileEntriesScanned += int64(len(all))
+	}
 	var xs, ms, rs []float64
 	for _, e := range all {
 		if e.nodes != n0 {
@@ -163,6 +175,9 @@ func (db *DB) combinedEstimate(all []entry, n0, nodes int, dataMB float64) (RunR
 // extrapolateData fits JCT (and phases) linearly against data size using
 // runs at exactly the requested cluster size.
 func (db *DB) extrapolateData(all []entry, nodes int, dataMB float64) (RunResult, error) {
+	if db.perf != nil {
+		db.perf.C.P1ProfileEntriesScanned += int64(len(all))
+	}
 	var xs, jct, ms, rs []float64
 	for _, e := range all {
 		if e.nodes != nodes {
@@ -199,6 +214,9 @@ func (db *DB) extrapolateData(all []entry, nodes int, dataMB float64) (RunResult
 // cluster size and the reduce phase piece-wise, using runs at exactly the
 // requested data size.
 func (db *DB) extrapolateCluster(all []entry, nodes int, dataMB float64) (RunResult, error) {
+	if db.perf != nil {
+		db.perf.C.P1ProfileEntriesScanned += int64(len(all))
+	}
 	var xs, ms, rs []float64
 	for _, e := range all {
 		if !almostEqual(e.dataMB, dataMB) {
@@ -297,6 +315,16 @@ type Profiler struct {
 	// Repeats is how many seeded runs are averaged per point (default 3,
 	// as in the paper).
 	Repeats int
+
+	perf *perfstat.Stats
+}
+
+// SetPerf installs a performance-attribution collector; estimates,
+// database scans and training runs are then counted. A nil collector
+// keeps the instrumentation off.
+func (p *Profiler) SetPerf(ps *perfstat.Stats) {
+	p.perf = ps
+	p.DB.perf = ps
 }
 
 // New creates a profiler over a fresh database.
@@ -343,6 +371,9 @@ func (p *Profiler) Train(spec mapred.JobSpec, env Environment) error {
 				repeats = 1
 			}
 			for r := 0; r < repeats; r++ {
+				if p.perf != nil {
+					p.perf.C.P1TrainingRuns++
+				}
 				res, err := p.Run(small, env, nodes, int64(r+1))
 				if err != nil {
 					return fmt.Errorf("profiler: train %s on %s/%d: %w", spec.Name, env, nodes, err)

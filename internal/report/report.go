@@ -19,6 +19,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/critpath"
 	"repro/internal/metrics"
+	"repro/internal/perfstat"
 	"repro/internal/resource"
 	"repro/internal/trace"
 )
@@ -59,6 +60,12 @@ type Data struct {
 	AuditDropped uint64
 	// Metrics is the run's metrics-registry snapshot.
 	Metrics trace.Snapshot
+	// Perf is the run's performance-attribution snapshot: algorithmic
+	// cost counters and the hierarchical span tree. The rendered section
+	// shows counters and span hit counts only — span wall-clock times are
+	// deliberately left out so the report stays byte-identical for a
+	// fixed seed (they live in PERF.json's wall section instead).
+	Perf *perfstat.Snapshot
 	// Jobs holds one critical-path digest per completed job.
 	Jobs []JobPath
 }
@@ -70,6 +77,7 @@ func Write(w io.Writer, d Data) error {
 	timeline(&b, d)
 	swimlane(&b, d)
 	critPaths(&b, d)
+	perfSection(&b, d)
 	auditTable(&b, d)
 	metricsTables(&b, d)
 	b.WriteString("</body></html>\n")
@@ -327,6 +335,44 @@ func critPaths(b *bytes.Buffer, d Data) {
 		}
 		b.WriteString("</svg>\n")
 	}
+}
+
+// perfSection renders the performance-attribution snapshot: the
+// algorithmic cost counters (exact event tallies, grouped by subsystem)
+// and the hierarchical span tree with hit counts. Span wall-clock times
+// are omitted on purpose — see the Data.Perf doc.
+func perfSection(b *bytes.Buffer, d Data) {
+	b.WriteString("<h2>Performance attribution</h2>\n")
+	if d.Perf == nil {
+		b.WriteString("<p class=\"dim\">no performance attribution recorded for this run</p>\n")
+		return
+	}
+	names := make([]string, 0, len(d.Perf.Counters))
+	for name := range d.Perf.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b.WriteString("<table><thead><tr><th>cost counter</th><th class=\"num\">value</th></tr></thead><tbody>\n")
+	for _, name := range names {
+		fmt.Fprintf(b, "<tr><td class=\"mono\">%s</td><td class=\"num\">%d</td></tr>\n", esc(name), d.Perf.Counters[name])
+	}
+	b.WriteString("</tbody></table>\n")
+	if len(d.Perf.Spans) == 0 {
+		b.WriteString("<p class=\"dim\">no wall-time spans recorded</p>\n")
+		return
+	}
+	b.WriteString("<p class=\"dim\">span hit counts; wall-clock times are excluded to keep the report byte-deterministic (run with -scale-sweep or -metrics for timings)</p>\n")
+	b.WriteString("<table><thead><tr><th>span</th><th class=\"num\">entries</th></tr></thead><tbody>\n")
+	var walk func(spans []perfstat.SpanSnapshot, depth int)
+	walk = func(spans []perfstat.SpanSnapshot, depth int) {
+		for _, s := range spans {
+			fmt.Fprintf(b, "<tr><td class=\"mono\">%s%s</td><td class=\"num\">%d</td></tr>\n",
+				strings.Repeat("&nbsp;&nbsp;", depth), esc(s.Name), s.Count)
+			walk(s.Children, depth+1)
+		}
+	}
+	walk(d.Perf.Spans, 0)
+	b.WriteString("</tbody></table>\n")
 }
 
 // auditTable renders the decision log with a client-side substring

@@ -37,6 +37,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/perfstat"
 )
 
 // processEvents counts events fired across every Engine in the process.
@@ -84,6 +86,23 @@ type Engine struct {
 	maxPending int
 	halted     bool
 	sink       *atomic.Uint64
+
+	// Heap-operation tallies for perfstat. They are engine-local plain
+	// integers (no atomics, no indirection) so the hot path stays
+	// zero-alloc and branch-cheap whether profiling is on or off; flush
+	// copies the deltas into perf at Run/RunUntil boundaries.
+	heapPushes  uint64
+	heapPops    uint64
+	siftSwaps   uint64
+	compactions uint64
+
+	perf *perfstat.Stats
+	// perfFlushed* remember the totals already copied into perf.
+	perfFlushedFired   uint64
+	perfFlushedPushes  uint64
+	perfFlushedPops    uint64
+	perfFlushedSwaps   uint64
+	perfFlushedCompact uint64
 }
 
 // New returns an Engine with its clock at zero.
@@ -119,6 +138,13 @@ func (e *Engine) Cancelled() uint64 { return e.cancelled }
 // atomic operation. Pass nil to detach.
 func (e *Engine) SetFiredSink(sink *atomic.Uint64) { e.sink = sink }
 
+// SetPerf attaches a performance-attribution collector. Heap-operation
+// and fired-event counters are accumulated engine-locally and flushed
+// into it at Run/RunUntil boundaries (the same batching as the fired
+// sink), and each pump is recorded as an "engine.pump" wall-time span.
+// Pass nil to detach.
+func (e *Engine) SetPerf(ps *perfstat.Stats) { e.perf = ps }
+
 // alloc takes an event from the freelist, or allocates one.
 func (e *Engine) alloc() *Event {
 	if n := len(e.free); n > 0 {
@@ -153,7 +179,8 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++
-	e.queue.push(ev)
+	e.heapPushes++
+	e.queue.push(ev, &e.siftSwaps)
 	e.live++
 	if e.live > e.maxPending {
 		e.maxPending = e.live
@@ -221,7 +248,8 @@ func (e *Engine) compact() {
 		q[i] = nil
 	}
 	e.queue = kept
-	e.queue.heapify()
+	e.queue.heapify(&e.siftSwaps)
+	e.compactions++
 	e.dead = 0
 }
 
@@ -236,7 +264,8 @@ func (e *Engine) peekLive() *Event {
 		if !ev.cancel {
 			return ev
 		}
-		e.queue.pop()
+		e.heapPops++
+		e.queue.pop(&e.siftSwaps)
 		e.dead--
 		e.release(ev)
 	}
@@ -254,8 +283,22 @@ func (e *Engine) fire(ev *Event) {
 }
 
 // flush pushes the fired-count delta since the last flush into the
-// process-wide counter and the engine's sink, if any.
+// process-wide counter and the engine's sink, if any, and the heap-op
+// deltas into the perf collector, if attached.
 func (e *Engine) flush() {
+	if e.perf != nil {
+		c := &e.perf.C
+		c.EngineEventsFired += int64(e.fired - e.perfFlushedFired)
+		c.EngineHeapPushes += int64(e.heapPushes - e.perfFlushedPushes)
+		c.EngineHeapPops += int64(e.heapPops - e.perfFlushedPops)
+		c.EngineHeapSiftSwaps += int64(e.siftSwaps - e.perfFlushedSwaps)
+		c.EngineCompactions += int64(e.compactions - e.perfFlushedCompact)
+		e.perfFlushedFired = e.fired
+		e.perfFlushedPushes = e.heapPushes
+		e.perfFlushedPops = e.heapPops
+		e.perfFlushedSwaps = e.siftSwaps
+		e.perfFlushedCompact = e.compactions
+	}
 	d := e.fired - e.flushed
 	if d == 0 {
 		return
@@ -277,7 +320,8 @@ func (e *Engine) Step() bool {
 	if ev == nil {
 		return false
 	}
-	e.queue.pop()
+	e.heapPops++
+	e.queue.pop(&e.siftSwaps)
 	e.live--
 	e.fire(ev)
 	return true
@@ -285,26 +329,31 @@ func (e *Engine) Step() bool {
 
 // Run processes events until the queue drains or Halt is called.
 func (e *Engine) Run() {
+	e.perf.Enter("engine.pump")
 	for e.Step() {
 	}
+	e.perf.Exit()
 	e.flush()
 }
 
 // RunUntil processes events with timestamps <= t, then advances the clock
 // to exactly t (even if no event fires there).
 func (e *Engine) RunUntil(t time.Duration) {
+	e.perf.Enter("engine.pump")
 	for !e.halted {
 		ev := e.peekLive()
 		if ev == nil || ev.at > t {
 			break
 		}
-		e.queue.pop()
+		e.heapPops++
+		e.queue.pop(&e.siftSwaps)
 		e.live--
 		e.fire(ev)
 	}
 	if t > e.now {
 		e.now = t
 	}
+	e.perf.Exit()
 	e.flush()
 }
 
@@ -358,7 +407,10 @@ func (q eventQueue) peek() *Event {
 	return q[0]
 }
 
-func (q *eventQueue) push(ev *Event) {
+// The queue methods take a swap tally so the engine can attribute heap
+// work (sift swaps) to perfstat without any indirection held inside the
+// queue itself.
+func (q *eventQueue) push(ev *Event, swaps *uint64) {
 	h := append(*q, ev)
 	i := len(h) - 1
 	for i > 0 {
@@ -367,12 +419,13 @@ func (q *eventQueue) push(ev *Event) {
 			break
 		}
 		h[i], h[p] = h[p], h[i]
+		*swaps++
 		i = p
 	}
 	*q = h
 }
 
-func (q *eventQueue) pop() *Event {
+func (q *eventQueue) pop(swaps *uint64) *Event {
 	h := *q
 	n := len(h) - 1
 	root := h[0]
@@ -382,12 +435,12 @@ func (q *eventQueue) pop() *Event {
 	*q = h
 	if n > 0 {
 		h[0] = last
-		h.siftDown(0)
+		h.siftDown(0, swaps)
 	}
 	return root
 }
 
-func (q eventQueue) siftDown(i int) {
+func (q eventQueue) siftDown(i int, swaps *uint64) {
 	n := len(q)
 	for {
 		c := i<<2 + 1
@@ -408,13 +461,14 @@ func (q eventQueue) siftDown(i int) {
 			return
 		}
 		q[i], q[best] = q[best], q[i]
+		*swaps++
 		i = best
 	}
 }
 
 // heapify restores heap order over the whole slice after a compaction.
-func (q eventQueue) heapify() {
+func (q eventQueue) heapify(swaps *uint64) {
 	for i := (len(q) - 2) >> 2; i >= 0; i-- {
-		q.siftDown(i)
+		q.siftDown(i, swaps)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/fault"
 	"repro/internal/mapred"
+	"repro/internal/perfstat"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -69,6 +70,13 @@ type Options struct {
 	// one sink across every rig a figure builds — including concurrent
 	// sweep points — to attribute simulation events per experiment.
 	EventSink *atomic.Uint64
+	// Perf, when non-nil, collects algorithmic cost counters and wall-time
+	// spans from every layer of the rig. When nil but Metrics is set, the
+	// rig creates its own collector so counter increments surface in the
+	// registry (as perfstat.* counters, flushed by RunJob/RunJobs) with no
+	// extra wiring. Collectors are per-rig: they must not be shared across
+	// concurrently running rigs.
+	Perf *perfstat.Stats
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +120,13 @@ type Rig struct {
 	// Callers use it to stop periodic observers (utilization samplers)
 	// whose ticks would otherwise keep the event queue alive forever.
 	OnAllJobsDone func()
+
+	// Perf is the rig's performance-attribution collector (nil when
+	// neither Options.Perf nor Options.Metrics was set).
+	Perf *perfstat.Stats
+	// metrics and perfFlushed support FlushPerf.
+	metrics     *trace.Registry
+	perfFlushed perfstat.Counters
 }
 
 // New assembles a rig.
@@ -125,6 +140,16 @@ func New(opts Options) (*Rig, error) {
 	fs := dfs.New(engine, dfs.Config{}, opts.Seed+1)
 	jt := mapred.NewJobTracker(engine, fs, opts.MapredConfig, opts.Scheduler)
 
+	perf := opts.Perf
+	if perf == nil && opts.Metrics != nil {
+		perf = perfstat.New()
+	}
+	if perf != nil {
+		engine.SetPerf(perf)
+		fs.SetPerf(perf)
+		jt.SetPerf(perf)
+	}
+
 	if opts.Tracer != nil || opts.Metrics != nil {
 		opts.Tracer.SetClock(engine)
 		cl.SetTrace(opts.Tracer, opts.Metrics)
@@ -137,7 +162,7 @@ func New(opts Options) (*Rig, error) {
 		jt.SetAudit(opts.Audit)
 	}
 
-	rig := &Rig{Engine: engine, Cluster: cl, FS: fs, JT: jt}
+	rig := &Rig{Engine: engine, Cluster: cl, FS: fs, JT: jt, Perf: perf, metrics: opts.Metrics}
 	rig.PMs = cl.AddPMs("pm", opts.PMs)
 
 	switch {
@@ -197,6 +222,9 @@ func New(opts Options) (*Rig, error) {
 	if opts.Audit != nil {
 		rig.Faults.SetAudit(opts.Audit)
 	}
+	if perf != nil {
+		rig.Faults.SetPerf(perf)
+	}
 	if opts.Faults != nil {
 		if err := rig.Faults.Arm(); err != nil {
 			return nil, err
@@ -255,10 +283,29 @@ func (r *Rig) RunJob(spec mapred.JobSpec) (JobResult, error) {
 		return JobResult{}, err
 	}
 	r.Engine.Run()
+	r.FlushPerf()
 	if !job.Done() {
 		return JobResult{}, fmt.Errorf("testbed: job %s stalled (deadlock or starvation)", spec.Name)
 	}
 	return resultOf(job), nil
+}
+
+// FlushPerf folds the cost-counter increments accumulated since the last
+// flush into the rig's metrics registry as perfstat.* counters. All
+// counter names are materialized — including zero ones — so merged
+// snapshots keep a stable key set. Wall-time spans never enter the
+// registry: they are nondeterministic and would break byte-identical
+// snapshot comparisons. RunJob/RunJobs flush automatically; drivers that
+// pump the engine directly (RunUntil loops) call this before snapshotting.
+func (r *Rig) FlushPerf() {
+	if r.Perf == nil || r.metrics == nil {
+		return
+	}
+	delta := r.Perf.C.Delta(r.perfFlushed)
+	r.perfFlushed = r.Perf.C
+	delta.Each(func(name string, v int64) {
+		r.metrics.Counter("perfstat." + name).Add(float64(v))
+	})
 }
 
 // RunJobs submits all jobs at once and drives the simulation until every
@@ -278,6 +325,7 @@ func (r *Rig) RunJobs(specs []mapred.JobSpec) ([]JobResult, error) {
 		jobs = append(jobs, job)
 	}
 	r.Engine.Run()
+	r.FlushPerf()
 	out := make([]JobResult, 0, len(jobs))
 	for _, j := range jobs {
 		if !j.Done() {
