@@ -67,9 +67,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaossearch"
 	"repro/internal/critpath"
 	"repro/internal/experiments"
 	"repro/internal/fidelity"
+	"repro/internal/invariant"
 	"repro/internal/perfstat"
 	"repro/internal/scalesweep"
 	"repro/internal/trace"
@@ -172,6 +174,12 @@ func run(args []string, stdout io.Writer) error {
 	fidelityOut := fs.String("fidelity-out", "FIDELITY.json", "fidelity report path (with -check)")
 	baselinePath := fs.String("baseline", "", "compare events/sec against this baseline file")
 	writeBaseline := fs.Bool("write-baseline", false, "write the -baseline file from this run instead of comparing")
+	chaosSearch := fs.Bool("chaos-search", false, "run the chaos search (random correlated-fault schedules through the invariant checker) instead of the figure experiments")
+	chaosBudget := fs.Int("chaos-budget", 200, "number of random schedules to try (with -chaos-search)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "search seed; fixes every generated schedule (with -chaos-search)")
+	chaosOut := fs.String("chaos-out", "CHAOS.json", "chaos report path (with -chaos-search)")
+	chaosReplay := fs.String("chaos-replay", "", "replay a minimized CHAOS.json repro instead of searching")
+	chaosBreak := fs.Bool("chaos-break-recovery", false, "disable map re-execution under the search, to prove the harness catches a broken recovery path")
 	scaleSweep := fs.Bool("scale-sweep", false, "run the controller-complexity scale sweep instead of the figure experiments")
 	sweepSizes := fs.String("sweep-sizes", "", "comma-separated total-PM counts for -scale-sweep (default 24,96,384)")
 	sweepSeed := fs.Int64("sweep-seed", 1, "base seed for -scale-sweep")
@@ -210,6 +218,18 @@ func run(args []string, stdout io.Writer) error {
 	experiments.Scale = *scale
 	experiments.Parallelism = *parallel
 
+	if *chaosReplay != "" {
+		if err := runChaosReplay(*chaosReplay, stdout); err != nil {
+			return err
+		}
+		return stopProf()
+	}
+	if *chaosSearch {
+		if err := runChaosSearch(*chaosSeed, *chaosBudget, *chaosBreak, *chaosOut, stdout); err != nil {
+			return err
+		}
+		return stopProf()
+	}
 	if *scaleSweep {
 		sizes, err := parseSizes(*sweepSizes)
 		if err != nil {
@@ -359,6 +379,75 @@ func runScaleSweep(sizes []int, seed int64, outPath string, stdout io.Writer) er
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", outPath)
 	return nil
+}
+
+// runChaosSearch fuzzes random correlated-fault schedules through the
+// runtime invariant checker, minimizes the first failure found, writes
+// the byte-deterministic CHAOS.json report and fails on any violation.
+func runChaosSearch(seed int64, budget int, breakRecovery bool, outPath string, stdout io.Writer) error {
+	tpl := chaossearch.DefaultTemplate()
+	tpl.BreakMapRecovery = breakRecovery
+	rep, err := chaossearch.Search(tpl, seed, budget)
+	if err != nil {
+		return err
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", outPath, err)
+	}
+	fmt.Fprintf(stdout, "chaos search: %d schedule(s) against template %s (seed %d)\n",
+		budget, tpl.Name, seed)
+	if rep.FailingIndex < 0 {
+		fmt.Fprintf(stdout, "all invariants held; wrote %s\n", outPath)
+		return nil
+	}
+	fmt.Fprintf(stdout, "trial %d violated invariants; minimized %d faults -> %d in %d run(s)\n",
+		rep.FailingIndex, rep.OriginalFaults, len(rep.Schedule), rep.MinimizeRuns)
+	printViolations(stdout, rep.Violations)
+	fmt.Fprintf(stdout, "wrote repro to %s (replay with -chaos-replay %s)\n", outPath, outPath)
+	return fmt.Errorf("chaos search found %d invariant violation(s)", len(rep.Violations))
+}
+
+// runChaosReplay re-runs a minimized CHAOS.json repro and reports what
+// the invariant checker observes. Reproducing the recorded violation is
+// still a failing exit: the repro exists to be fixed, not admired.
+func runChaosReplay(path string, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := chaossearch.Load(data)
+	if err != nil {
+		return err
+	}
+	vs, err := chaossearch.Replay(rep)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "replayed %d fault(s) from %s against template %s\n",
+		len(rep.Schedule), path, rep.Template.Name)
+	if len(vs) == 0 {
+		fmt.Fprintln(stdout, "no invariant violations: the repro no longer fires (fixed?)")
+		return nil
+	}
+	printViolations(stdout, vs)
+	return fmt.Errorf("replay reproduced %d invariant violation(s)", len(vs))
+}
+
+// printViolations lists violations, truncated: the full set is in the
+// JSON artifact, the console only needs the shape of the breach.
+func printViolations(stdout io.Writer, vs []invariant.Violation) {
+	const keep = 8
+	for i, v := range vs {
+		if i == keep {
+			fmt.Fprintf(stdout, "  ... and %d more (see the JSON report)\n", len(vs)-keep)
+			return
+		}
+		fmt.Fprintf(stdout, "  %s\n", v)
+	}
 }
 
 // handleBaseline either records this run's throughput as the new

@@ -73,6 +73,7 @@ import (
 	"repro/internal/critpath"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
 	"repro/internal/perfstat"
@@ -265,6 +266,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	faults := fs.String("faults", "", "chaos profile, e.g. pm-crash=2,vm-crash=4,block-loss=6 (chaos scenario; default moderate profile)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault injection seed (0 = derive from -seed)")
+	invariants := fs.Bool("invariants", false, "run the safety-invariant checker over the chaos scenario and fail on any violation")
 	traceFile := fs.String("trace", "", "write a structured event trace to this file")
 	traceFormat := fs.String("trace-format", "chrome", "trace encoding: chrome (Perfetto-loadable) or jsonl")
 	metricsOn := fs.Bool("metrics", false, "print the metrics registry after the run")
@@ -323,7 +325,7 @@ func run(args []string, out io.Writer) error {
 			}, *parallel, cfg, throughput, out)
 		case "chaos":
 			obs := newRunObs(cfg, "", *seed)
-			if err := runChaos(*seed, *faultSeed, *faults, obs, out); err != nil {
+			if err := runChaos(*seed, *faultSeed, *faults, *invariants, obs, out); err != nil {
 				return err
 			}
 			return obs.finish(out, throughput())
@@ -435,8 +437,10 @@ func runQuickstart(seed int64, obs *runObs, out io.Writer) error {
 // injection: a scheduled PM crash mid-run plus rate-based chaos of every
 // other kind, all drawn from the fault seed. It verifies end-to-end
 // recovery — every job completes and the DFS heals back to target
-// replication — and prints the seeds needed to replay the run.
-func runChaos(seed, faultSeed int64, profileSpec string, obs *runObs, out io.Writer) error {
+// replication — and prints the seeds needed to replay the run. With
+// checkInvariants, the runtime safety-invariant checker additionally
+// observes every layer and the run fails on any violation.
+func runChaos(seed, faultSeed int64, profileSpec string, checkInvariants bool, obs *runObs, out io.Writer) error {
 	obs.title = "chaos"
 	profile := &fault.Profile{
 		VMCrashPerHour:     2,
@@ -455,13 +459,18 @@ func runChaos(seed, faultSeed int64, profileSpec string, obs *runObs, out io.Wri
 	if faultSeed == 0 {
 		faultSeed = seed + 2
 	}
+	var inv *invariant.Checker
+	if checkInvariants {
+		inv = invariant.New()
+	}
 	rig, err := testbed.New(testbed.Options{
-		PMs:      8,
-		VMsPerPM: 2,
-		Seed:     seed,
-		Tracer:   obs.tracer,
-		Metrics:  obs.reg,
-		Audit:    obs.log,
+		PMs:        8,
+		VMsPerPM:   2,
+		Seed:       seed,
+		Tracer:     obs.tracer,
+		Metrics:    obs.reg,
+		Audit:      obs.log,
+		Invariants: inv,
 		Faults: &fault.Options{
 			Seed: faultSeed,
 			// One guaranteed whole-machine crash mid-run, on top of
@@ -499,6 +508,15 @@ func runChaos(seed, faultSeed int64, profileSpec string, obs *runObs, out io.Wri
 	fmt.Fprintf(out, "\nDFS after recovery: %d under-replicated, %d lost\n", under, lost)
 	if under != 0 {
 		return fmt.Errorf("chaos: %d blocks still under-replicated after recovery", under)
+	}
+	if inv != nil {
+		if vs := inv.Final(); len(vs) > 0 {
+			for _, v := range vs {
+				fmt.Fprintf(out, "  INVARIANT %s\n", v)
+			}
+			return fmt.Errorf("chaos: %d safety-invariant violation(s)", len(vs))
+		}
+		fmt.Fprintln(out, "invariants: all held")
 	}
 	obs.snapPerf(rig.Perf)
 	obs.simEnd = rig.Engine.Now()

@@ -37,6 +37,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
 	"repro/internal/perfstat"
@@ -125,10 +126,23 @@ type (
 	// PerfSnapshot is a point-in-time view of a PerfStats: counter map
 	// plus span trees.
 	PerfSnapshot = perfstat.Snapshot
+	// InvariantChecker observes a running deployment and records any
+	// breach of the simulator's cross-layer safety invariants (lost-data
+	// reads, double-scheduled attempts, migrations committed to dead or
+	// unreachable hosts, unhealed replication, job livelock). Hand one to
+	// ClusterSpec.Invariants or RigOptions.Invariants and read Final()
+	// after the run. Nil-safe: every method no-ops on a nil checker.
+	InvariantChecker = invariant.Checker
+	// InvariantViolation is one recorded invariant breach, with the last
+	// audited decision before it tripped (when an AuditLog was wired).
+	InvariantViolation = invariant.Violation
 )
 
 // NewPerfStats builds an empty performance-attribution collector.
 var NewPerfStats = perfstat.New
+
+// NewInvariantChecker builds an unattached safety-invariant checker.
+var NewInvariantChecker = invariant.New
 
 // Fault kinds.
 const (
@@ -138,6 +152,12 @@ const (
 	FaultTrackerHang = fault.TrackerHang
 	FaultBlockLoss   = fault.BlockLoss
 	FaultStraggler   = fault.Straggler
+	// Correlated fault kinds; these require a topology (ClusterSpec.Racks
+	// / ClusterSpec.PowerDomains, or RigOptions equivalents) and fail all
+	// machines in the chosen domain atomically.
+	FaultRackCrash        = fault.RackCrash
+	FaultPowerDomainCrash = fault.PowerDomainCrash
+	FaultNetPartition     = fault.NetPartition
 )
 
 // ParseFaultProfile parses the -faults command-line syntax (comma-
@@ -227,6 +247,19 @@ type ClusterSpec struct {
 	VirtualHostPMs int
 	// VMsPerHost is the VM density (default 2, the paper's layout).
 	VMsPerHost int
+	// Racks > 0 assigns each partition's PMs to that many racks in
+	// contiguous runs (machines in one rack sit behind one top-of-rack
+	// switch). A topology enables rack-aware DFS replica placement and
+	// the correlated fault kinds FaultRackCrash and FaultNetPartition.
+	// Both partitions share rack labels: rack-0 holds native and virtual
+	// machines alike, so a rack failure cuts across partitions, as a
+	// shared facility implies. Zero leaves the deployment topology-free.
+	Racks int
+	// PowerDomains > 0 stripes each partition's PMs round-robin across
+	// that many power domains (PDUs cross-cut racks, feeding one machine
+	// per chassis row), enabling FaultPowerDomainCrash. Zero leaves the
+	// power topology unassigned.
+	PowerDomains int
 	// Seed fixes all randomized behaviour.
 	Seed int64
 	// Config tunes the HybridMR scheduler (zero = paper defaults).
@@ -256,6 +289,11 @@ type ClusterSpec struct {
 	// counters, flushed by RunFor/RunUntilIdle). Collectors must not be
 	// shared across concurrently running deployments.
 	Perf *PerfStats
+	// Invariants, when non-nil, is attached to every layer of the
+	// deployment (both partitions and the fault injector) as a runtime
+	// safety-invariant checker; read its Final() after the run. Checkers
+	// are per-deployment, like Perf.
+	Invariants *InvariantChecker
 }
 
 // HybridCluster is a ready-to-use hybrid data center running HybridMR.
@@ -307,9 +345,11 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 
 	if spec.VirtualHostPMs > 0 {
 		rig, err := testbed.New(testbed.Options{
-			PMs:      spec.VirtualHostPMs,
-			VMsPerPM: spec.VMsPerHost,
-			Seed:     spec.Seed,
+			PMs:          spec.VirtualHostPMs,
+			VMsPerPM:     spec.VMsPerHost,
+			Racks:        spec.Racks,
+			PowerDomains: spec.PowerDomains,
+			Seed:         spec.Seed,
 			MapredConfig: mapred.Config{
 				SlotCaps:      mapred.DefaultSlotCaps(),
 				CapacityAware: !spec.VanillaHadoop,
@@ -344,6 +384,7 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 
 	if spec.NativePMs > 0 {
 		pms := cl.AddPMs("native", spec.NativePMs)
+		cluster.StripeTopology(pms, spec.Racks, spec.PowerDomains)
 		nativeFS := dfs.New(engine, dfs.Config{}, spec.Seed+13)
 		hc.NativeJT = mapred.NewJobTracker(engine, nativeFS, mapred.Config{}, mapred.Fair{})
 		if spec.Tracer != nil || spec.Metrics != nil {
@@ -409,6 +450,12 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 	}
 	if perf != nil {
 		hc.Faults.SetPerf(perf)
+	}
+	if spec.Invariants != nil {
+		// One attach covering both partitions: the checker keeps the full
+		// FS/JT set so its end-of-run liveness sweep sees every job.
+		spec.Invariants.Attach(engine, cl, env.FSs, env.JTs, spec.Audit)
+		hc.Faults.SetInvariants(spec.Invariants)
 	}
 	if spec.Faults != nil {
 		if err := hc.Faults.Arm(); err != nil {

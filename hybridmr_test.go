@@ -106,6 +106,45 @@ func TestVanillaHadoopBaselineIsSlower(t *testing.T) {
 	}
 }
 
+func TestTopologyAndInvariantsFacade(t *testing.T) {
+	inv := hybridmr.NewInvariantChecker()
+	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
+		NativePMs:      4,
+		VirtualHostPMs: 4,
+		Racks:          2,
+		PowerDomains:   2,
+		Seed:           21,
+		Invariants:     inv,
+		Faults: &hybridmr.FaultOptions{
+			Schedule: []hybridmr.ScheduledFault{
+				{At: 90 * time.Second, Kind: hybridmr.FaultNetPartition, Target: "rack-1", Duration: 45 * time.Second},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	// Both partitions stripe into the same rack and power-domain labels.
+	if got := dc.Cluster.Racks(); len(got) != 2 {
+		t.Fatalf("Racks() = %v, want 2 labels", got)
+	}
+	if got := dc.Cluster.PowerDomains(); len(got) != 2 {
+		t.Fatalf("PowerDomains() = %v, want 2 labels", got)
+	}
+	job, _, err := dc.SubmitJob(hybridmr.Sort().WithInputMB(1024), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.RunFor(time.Hour)
+	if !job.Done() {
+		t.Fatal("job incomplete after partition healed")
+	}
+	if vs := inv.Final(); len(vs) > 0 {
+		t.Fatalf("invariant violated: %s", vs[0])
+	}
+}
+
 func TestExperimentRegistryComplete(t *testing.T) {
 	exps := hybridmr.Experiments()
 	if len(exps) != 25 {

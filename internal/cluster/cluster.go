@@ -212,8 +212,12 @@ type Cluster struct {
 	// can unwind them.
 	migrations []*migration
 
+	// partitions are the currently active network splits (topology.go).
+	partitions []*Partition
+
 	tracer   *trace.Tracer
 	auditLog *audit.Log
+	inv      InvariantSink
 
 	// Cached metric handles; nil (a no-op) until SetTrace installs a
 	// registry.
@@ -258,6 +262,19 @@ func (c *Cluster) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 // (start, completion, abort, retry, abandonment) are recorded on it. A
 // nil log keeps auditing off.
 func (c *Cluster) SetAudit(l *audit.Log) { c.auditLog = l }
+
+// InvariantSink receives cluster-level safety events; the invariant
+// checker implements it. All methods must tolerate being called from
+// inside event callbacks.
+type InvariantSink interface {
+	// MigrationCommitted fires at the stop-and-copy commit point, when
+	// the VM attaches to its destination.
+	MigrationCommitted(vm *VM, from, to *PM)
+}
+
+// SetInvariants installs an invariant sink. A nil sink keeps checking
+// off.
+func (c *Cluster) SetInvariants(s InvariantSink) { c.inv = s }
 
 // Config returns the effective (defaulted) configuration.
 func (c *Cluster) Config() Config { return c.cfg }

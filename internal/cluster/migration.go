@@ -71,6 +71,9 @@ func (c *Cluster) migrate(vm *VM, dst *PM, done func(MigrationStats), retries in
 	if dst.off {
 		return fmt.Errorf("cluster: Migrate(%s): destination %s is powered off", vm.name, dst.name)
 	}
+	if !c.Reachable(src, dst) {
+		return fmt.Errorf("cluster: Migrate(%s): destination %s unreachable (network partition)", vm.name, dst.name)
+	}
 	if vm.state == VMMigrating {
 		return fmt.Errorf("cluster: Migrate(%s): already migrating", vm.name)
 	}
@@ -159,6 +162,9 @@ func (c *Cluster) migrate(vm *VM, dst *PM, done func(MigrationStats), retries in
 			dst.vms = append(dst.vms, vm)
 			vm.state = VMRunning
 			dst.update()
+			if c.inv != nil {
+				c.inv.MigrationCommitted(vm, src, dst)
+			}
 			span.End(trace.F("transferred_mb", transferred))
 			c.mMigrations.Inc()
 			c.mMigrationDowntime.Observe(downtimeSec)
@@ -286,9 +292,9 @@ func (c *Cluster) scheduleMigrationRetry(vm *VM, dst *PM, done func(MigrationSta
 		if vm.host == nil || vm.host == dst || vm.state != VMRunning {
 			return // the VM died, landed, or is otherwise occupied
 		}
-		if dst.off {
-			// Destination still down: keep backing off until retries
-			// run out.
+		if dst.off || !c.Reachable(vm.host, dst) {
+			// Destination still down or partitioned away: keep backing
+			// off until retries run out.
 			c.scheduleMigrationRetry(vm, dst, done, attempt)
 			return
 		}

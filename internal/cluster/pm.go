@@ -44,6 +44,8 @@ type PM struct {
 	vms            []*VM
 	native         []*Consumer
 	off            bool
+	rack           string
+	powerDomain    string
 
 	rawUsage   resource.Vector // current total raw allocation, for accounting
 	lastSettle time.Duration

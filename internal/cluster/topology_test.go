@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestStripeTopology(t *testing.T) {
+	_, c := testCluster(t)
+	pms := c.AddPMs("pm", 6)
+	StripeTopology(pms, 3, 2)
+	if got := c.Racks(); len(got) != 3 {
+		t.Fatalf("racks = %v, want 3", got)
+	}
+	if got := c.PowerDomains(); len(got) != 2 {
+		t.Fatalf("power domains = %v, want 2", got)
+	}
+	// Racks are contiguous runs of two; power domains stripe round-robin.
+	if len(c.PMsInRack("rack-0")) != 2 || len(c.PMsInRack("rack-2")) != 2 {
+		t.Errorf("rack membership uneven: %v / %v", c.PMsInRack("rack-0"), c.PMsInRack("rack-2"))
+	}
+	if len(c.PMsInPowerDomain("pd-0")) != 3 {
+		t.Errorf("pd-0 members = %d, want 3", len(c.PMsInPowerDomain("pd-0")))
+	}
+	if pms[0].Rack() != "rack-0" || pms[5].Rack() != "rack-2" {
+		t.Errorf("contiguous rack runs broken: %s, %s", pms[0].Rack(), pms[5].Rack())
+	}
+	if pms[0].PowerDomain() != "pd-0" || pms[1].PowerDomain() != "pd-1" {
+		t.Errorf("round-robin power domains broken: %s, %s", pms[0].PowerDomain(), pms[1].PowerDomain())
+	}
+	// A rack and a power domain always cross-cut here: no rack is wholly
+	// inside one power domain.
+	for _, rack := range c.Racks() {
+		domains := map[string]bool{}
+		for _, pm := range c.PMsInRack(rack) {
+			domains[pm.PowerDomain()] = true
+		}
+		if len(domains) < 2 {
+			t.Errorf("rack %s entirely inside one power domain", rack)
+		}
+	}
+}
+
+func TestPartitionReachability(t *testing.T) {
+	_, c := testCluster(t)
+	pms := c.AddPMs("pm", 4)
+	if !c.Reachable(pms[0], pms[3]) {
+		t.Fatal("unpartitioned machines must reach each other")
+	}
+	p := c.PartitionNetwork(pms[:2])
+	if !c.Partitioned() {
+		t.Fatal("Partitioned() false with an active partition")
+	}
+	if c.Reachable(pms[0], pms[3]) {
+		t.Error("cross-cut traffic must be blocked")
+	}
+	if !c.Reachable(pms[0], pms[1]) {
+		t.Error("machines on the same side must still reach each other")
+	}
+	if !pms[0].Isolated() || pms[3].Isolated() {
+		t.Error("isolation must cover exactly the cut set")
+	}
+	if c.Reachable(nil, pms[0]) {
+		t.Error("nil machines are never reachable")
+	}
+	p.Heal()
+	if c.Partitioned() || !c.Reachable(pms[0], pms[3]) {
+		t.Error("heal must restore connectivity")
+	}
+	p.Heal() // idempotent
+	if c.Partitioned() {
+		t.Error("double heal re-partitioned the cluster")
+	}
+}
+
+// A destination that fails during the stop-and-copy blackout must not
+// strand the VM: it resumes on the source and the migration retries
+// once the destination rejoins.
+func TestMigrationDestFailsMidCopyThenRejoins(t *testing.T) {
+	engine, c := testCluster(t)
+	src := c.AddPM("src")
+	dst := c.AddPM("dst")
+	vm, err := c.AddVM("vm", src, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := false
+	if err := c.Migrate(vm, dst, func(MigrationStats) { finished = true }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poll for the blackout window (pre-copy done, VM detached from the
+	// source, stop-and-copy attach pending) and kill the destination
+	// inside it.
+	var failedAt time.Duration
+	wasInBlackout := false
+	var tick *sim.Ticker
+	tick = sim.NewTicker(engine, 2*time.Millisecond, func(now time.Duration) {
+		m := c.migrationOf(vm)
+		if m == nil || !m.inBlackout {
+			return
+		}
+		wasInBlackout = true
+		failedAt = now
+		tick.Stop()
+		dst.Fail()
+		// The destination comes back before the 30 s retry backoff ends.
+		engine.After(10*time.Second, func() { dst.PowerOn() })
+	})
+	engine.RunUntil(10 * time.Minute)
+
+	if !wasInBlackout {
+		t.Fatal("never observed the stop-and-copy blackout; test setup broken")
+	}
+	if !finished {
+		t.Fatal("migration never completed after the destination rejoined")
+	}
+	if vm.Machine() != dst {
+		t.Fatalf("VM on %v, want %s after retry", vm.Machine(), dst.Name())
+	}
+	if vm.Machine().Failed() {
+		t.Fatal("VM landed on a failed machine")
+	}
+	if failedAt <= 0 {
+		t.Fatal("blackout fail time not recorded")
+	}
+}
+
+// A destination cut off by a network partition mid-transfer behaves
+// like a failed destination: the VM stays on the source and the retry
+// backs off until the partition heals.
+func TestMigrationAbortsAcrossPartition(t *testing.T) {
+	engine, c := testCluster(t)
+	src := c.AddPM("src")
+	dst := c.AddPM("dst")
+	vm, err := c.AddVM("vm", src, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := false
+	if err := c.Migrate(vm, dst, func(MigrationStats) { finished = true }); err != nil {
+		t.Fatal(err)
+	}
+	var p *Partition
+	engine.After(2*time.Second, func() {
+		p = c.PartitionNetwork([]*PM{dst})
+		if vm.Machine() != src {
+			t.Error("VM must stay on the source when the stream is cut")
+		}
+	})
+	engine.After(40*time.Second, func() { p.Heal() })
+	engine.RunUntil(10 * time.Minute)
+	if !finished {
+		t.Fatal("migration never completed after the partition healed")
+	}
+	if vm.Machine() != dst {
+		t.Fatalf("VM on %v, want %s", vm.Machine(), dst.Name())
+	}
+
+	// And starting a migration straight into an active partition must be
+	// refused up front.
+	vm2, err := c.AddVM("vm2", src, 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := c.PartitionNetwork([]*PM{dst})
+	if err := c.Migrate(vm2, dst, nil); err == nil {
+		t.Error("migration into an active partition must be rejected")
+	}
+	p2.Heal()
+}

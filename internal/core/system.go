@@ -249,6 +249,20 @@ func (s *System) SubmitJob(spec mapred.JobSpec, desiredJCT time.Duration, onDone
 		placement = PlacedNative
 		degraded = "; virtual partition missing, degraded to native"
 	}
+	// Correlated-failure awareness: placing into a partition whose whole
+	// failure domain is down (rack crash, power loss, network partition)
+	// would park the job until the domain recovers. When the chosen side
+	// has no tracker able to accept work and the other side does, flip.
+	if s.NativeJT != nil && s.VirtualJT != nil {
+		switch {
+		case placement == PlacedNative && s.NativeJT.LiveTrackers() == 0 && s.VirtualJT.LiveTrackers() > 0:
+			placement = PlacedVirtual
+			degraded += "; native partition has no live trackers (failure domain down), flipped to virtual"
+		case placement == PlacedVirtual && s.VirtualJT.LiveTrackers() == 0 && s.NativeJT.LiveTrackers() > 0:
+			placement = PlacedNative
+			degraded += "; virtual partition has no live trackers (failure domain down), flipped to native"
+		}
+	}
 	jt := s.VirtualJT
 	env := profiler.Virtual
 	if placement == PlacedNative {

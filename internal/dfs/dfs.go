@@ -93,6 +93,7 @@ type FileSystem struct {
 	mReadRemote        *trace.Counter
 	mReReplications    *trace.Counter
 	mBlocksLost        *trace.Counter
+	mBlocksRestored    *trace.Counter
 	mReplicasCorrupted *trace.Counter
 }
 
@@ -119,6 +120,7 @@ func (fs *FileSystem) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	fs.mReadRemote = reg.Counter("dfs.reads.remote")
 	fs.mReReplications = reg.Counter("dfs.blocks.rereplicated")
 	fs.mBlocksLost = reg.Counter("dfs.blocks.lost")
+	fs.mBlocksRestored = reg.Counter("dfs.blocks.restored")
 	fs.mReplicasCorrupted = reg.Counter("dfs.replicas.corrupted")
 }
 
@@ -228,11 +230,14 @@ func (fs *FileSystem) Delete(name string) error {
 	return nil
 }
 
-// placeReplicas implements the HDFS default policy: first replica on the
+// placeReplicas implements the HDFS policy: first replica on the
 // writer's DataNode when it is one, remaining replicas on randomly chosen
-// DataNodes — preferring distinct physical machines so a single server
-// failure cannot take out every copy, falling back to merely distinct
-// DataNodes when the cluster is too small for machine diversity.
+// DataNodes — preferring distinct racks when the datanodes span more than
+// one (Hadoop's rack-aware placement, so a rack switch or PDU loss cannot
+// take out every copy), then distinct physical machines, falling back to
+// merely distinct DataNodes when the cluster is too small for diversity.
+// DataNodes isolated by a network partition are never eligible: the
+// NameNode cannot reach them.
 func (fs *FileSystem) placeReplicas(preferred cluster.Node) []*DataNode {
 	if fs.perf != nil {
 		fs.perf.C.DFSBlocksPlaced++
@@ -244,18 +249,28 @@ func (fs *FileSystem) placeReplicas(preferred cluster.Node) []*DataNode {
 	chosen := make([]*DataNode, 0, want)
 	used := make(map[*DataNode]struct{}, want)
 	usedMachines := make(map[*cluster.PM]struct{}, want)
+	usedRacks := make(map[string]struct{}, want)
 	add := func(d *DataNode) {
 		chosen = append(chosen, d)
 		used[d] = struct{}{}
 		usedMachines[d.node.Machine()] = struct{}{}
+		usedRacks[nodeRack(d)] = struct{}{}
 	}
 	if preferred != nil {
 		if d, ok := fs.byNode[preferred]; ok {
 			add(d)
 		}
 	}
-	// Two passes: machine-diverse first, then any distinct DataNode.
-	for _, machineDiverse := range [...]bool{true, false} {
+	// Passes from strictest to loosest. The rack-diverse pass only exists
+	// when the datanodes actually span racks, so clusters without an
+	// assigned topology consume exactly the same rng draw sequence as
+	// before rack awareness existed.
+	type placePass struct{ machineDiverse, rackDiverse bool }
+	passes := []placePass{{true, false}, {false, false}}
+	if fs.spansRacks() {
+		passes = []placePass{{true, true}, {true, false}, {false, false}}
+	}
+	for _, pass := range passes {
 		attempts := 0
 		for len(chosen) < want && attempts < 8*len(fs.datanodes) {
 			attempts++
@@ -266,8 +281,16 @@ func (fs *FileSystem) placeReplicas(preferred cluster.Node) []*DataNode {
 			if _, dup := used[d]; dup {
 				continue
 			}
-			if machineDiverse {
+			if nodeIsolated(d) {
+				continue
+			}
+			if pass.machineDiverse {
 				if _, dup := usedMachines[d.node.Machine()]; dup {
+					continue
+				}
+			}
+			if pass.rackDiverse {
+				if _, dup := usedRacks[nodeRack(d)]; dup {
 					continue
 				}
 			}
@@ -275,6 +298,40 @@ func (fs *FileSystem) placeReplicas(preferred cluster.Node) []*DataNode {
 		}
 	}
 	return chosen
+}
+
+// nodeRack is the rack label of the machine behind a DataNode ("" when
+// no topology was assigned or the machine is gone).
+func nodeRack(d *DataNode) string {
+	if pm := d.node.Machine(); pm != nil {
+		return pm.Rack()
+	}
+	return ""
+}
+
+// nodeIsolated reports whether a network partition cuts the DataNode's
+// machine off from the NameNode.
+func nodeIsolated(d *DataNode) bool {
+	pm := d.node.Machine()
+	return pm != nil && pm.Isolated()
+}
+
+// spansRacks reports whether the registered DataNodes sit in more than
+// one rack — the condition under which rack-diverse placement engages.
+func (fs *FileSystem) spansRacks() bool {
+	first := ""
+	seen := false
+	for _, d := range fs.datanodes {
+		r := nodeRack(d)
+		if !seen {
+			first, seen = r, true
+			continue
+		}
+		if r != first {
+			return true
+		}
+	}
+	return false
 }
 
 // FailureReport summarizes the namespace damage after a DataNode loss.
@@ -461,6 +518,48 @@ func (fs *FileSystem) RepairUnderReplicated() int {
 	return copies
 }
 
+// RestoreBlock re-ingests a block whose every replica was destroyed,
+// from the file's durable upstream source — the gateway the input was
+// originally imported from, which outlives the cluster. Fresh replicas
+// are written to live DataNodes up to the sustainable target and the
+// ingest traffic is charged to each new holder, like re-replication. It
+// returns false when the block still has replicas (nothing to restore)
+// or no DataNode can take a copy. Correlated failures make total
+// replica loss a real event — a rack crash can take out every holder at
+// once — and without this path a re-executed map would read data that
+// no longer exists anywhere.
+func (fs *FileSystem) RestoreBlock(b *Block) bool {
+	if b == nil || len(b.Replicas) > 0 || len(fs.datanodes) == 0 {
+		return false
+	}
+	restored := false
+	for len(b.Replicas) < fs.TargetReplication() {
+		target := fs.pickNewReplica(b)
+		if target == nil {
+			break
+		}
+		b.Replicas = append(b.Replicas, target)
+		target.blocks[b.ID] = struct{}{}
+		target.usedMB += b.SizeMB
+		restored = true
+		fs.mBlocksRestored.Inc()
+		if fs.tracer != nil {
+			fs.tracer.Instant(target.node.Name(), "dfs", "restore-from-source",
+				trace.S("block", b.ID),
+				trace.F("size_mb", b.SizeMB))
+		}
+		// Re-ingest traffic: the copy streams in over the new holder's
+		// network and disk, best effort like the re-replication queue.
+		copyRate := 20.0
+		_ = target.node.Start(&cluster.Consumer{
+			Name:   fmt.Sprintf("dfs-restore:%s@%s", b.ID, target.node.Name()),
+			Demand: resourceVectorForCopy(copyRate),
+			Work:   b.SizeMB / copyRate,
+		})
+	}
+	return restored
+}
+
 // CorruptReplica destroys one replica of a block — a checksum failure on
 // d's disk. If other replicas survive, the block is immediately
 // re-replicated; if it was the last copy, the block is lost and the
@@ -495,7 +594,11 @@ func (fs *FileSystem) CorruptReplica(b *Block, d *DataNode) (lost bool) {
 }
 
 // pickNewReplica chooses a surviving DataNode not already holding the
-// block.
+// block, preferring racks that hold no replica yet (so repairs restore
+// rack diversity, not just the count) and never picking a node isolated
+// by a network partition. Without topology or partitions the candidate
+// set and the single rng draw are identical to the pre-rack-aware
+// behavior.
 func (fs *FileSystem) pickNewReplica(b *Block) *DataNode {
 	if fs.perf != nil {
 		// Repair scans every DataNode to find survivors not holding the
@@ -503,15 +606,30 @@ func (fs *FileSystem) pickNewReplica(b *Block) *DataNode {
 		fs.perf.C.DFSRepairScans += int64(len(fs.datanodes))
 	}
 	holders := make(map[*DataNode]struct{}, len(b.Replicas))
+	holderRacks := make(map[string]struct{}, len(b.Replicas))
 	for _, r := range b.Replicas {
 		holders[r] = struct{}{}
+		holderRacks[nodeRack(r)] = struct{}{}
 	}
+	rackAware := fs.spansRacks()
 	// Deterministic seeded choice among candidates.
-	var candidates []*DataNode
+	var candidates, offRack []*DataNode
 	for _, d := range fs.datanodes {
-		if _, dup := holders[d]; !dup {
-			candidates = append(candidates, d)
+		if _, dup := holders[d]; dup {
+			continue
 		}
+		if nodeIsolated(d) {
+			continue
+		}
+		candidates = append(candidates, d)
+		if rackAware {
+			if _, dup := holderRacks[nodeRack(d)]; !dup {
+				offRack = append(offRack, d)
+			}
+		}
+	}
+	if len(offRack) > 0 {
+		candidates = offRack
 	}
 	if len(candidates) == 0 {
 		return nil

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/testbed"
 	"repro/internal/workload"
 )
@@ -27,7 +28,12 @@ func ExtFaults() (*Outcome, error) {
 	var paths critPaths
 	run := func(virtual bool, rate float64) (float64, error) {
 		reg := pool.registry()
-		opts := testbed.Options{PMs: pms, Seed: 1237, EventSink: &fired, Metrics: reg}
+		// The safety-invariant checker is always on here: this is the one
+		// figure whose whole point is recovery, so a broken recovery path
+		// must fail the experiment (and with it the -check fidelity gate)
+		// by name rather than skew the JCT curve silently.
+		inv := invariant.New()
+		opts := testbed.Options{PMs: pms, Seed: 1237, EventSink: &fired, Metrics: reg, Invariants: inv}
 		if virtual {
 			opts.VMsPerPM = 2
 		}
@@ -52,6 +58,9 @@ func ExtFaults() (*Outcome, error) {
 		}
 		if got := rig.FS.UnderReplicated(); got != 0 {
 			return 0, fmt.Errorf("ext-faults: %d blocks under-replicated after recovery", got)
+		}
+		if vs := inv.Final(); len(vs) > 0 {
+			return 0, fmt.Errorf("ext-faults: safety invariant violated: %s", vs[0])
 		}
 		mode := "native"
 		if virtual {

@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/audit"
@@ -37,12 +38,23 @@ const (
 	TrackerHang Kind = "tracker-hang"
 	BlockLoss   Kind = "block-loss"
 	Straggler   Kind = "straggler"
+
+	// Correlated kinds take out a whole failure domain at once. Targets
+	// are domain names (a rack or power-domain label), resolved into
+	// member machines at fire time and crashed as one atomic batch.
+	RackCrash        Kind = "rack-crash"
+	PowerDomainCrash Kind = "power-crash"
+	// NetPartition isolates a rack from the control plane for Duration
+	// (heal-able: the machines keep running, only traffic is cut).
+	NetPartition Kind = "net-partition"
 )
 
 // kinds lists the profile-driven kinds in a fixed order; each gets its
 // own derived rng stream so changing one rate cannot shift another
-// kind's event times.
-var profileKinds = [...]Kind{PMCrash, VMCrash, TrackerHang, BlockLoss, Straggler}
+// kind's event times. New kinds append — reordering would reshuffle the
+// per-kind seeds and change every existing seeded scenario.
+var profileKinds = [...]Kind{PMCrash, VMCrash, TrackerHang, BlockLoss, Straggler,
+	RackCrash, PowerDomainCrash, NetPartition}
 
 // ScheduledFault is one declarative injection: at simulation time At,
 // inject Kind against Target (a PM, VM or tracker-compute-node name;
@@ -72,10 +84,23 @@ type Profile struct {
 	// StragglerPerHour is the rate of injected stragglers: a machine
 	// runs StragglerFactor times slower for StragglerDuration.
 	StragglerPerHour float64
+	// RackCrashPerHour is the rate of whole-rack crashes (top-of-rack
+	// switch or shared chassis failure). Injects nothing on clusters
+	// with no rack topology assigned.
+	RackCrashPerHour float64
+	// PowerDomainCrashPerHour is the rate of power-domain crashes (a
+	// PDU or circuit dropping every machine it feeds).
+	PowerDomainCrashPerHour float64
+	// NetPartitionPerHour is the rate of rack-level network partitions;
+	// each heals after PartitionHealAfter.
+	NetPartitionPerHour float64
 
 	// RepairAfter is the crash-to-repair delay for PM crashes
 	// (default 120 s). Zero or negative disables repair.
 	RepairAfter time.Duration
+	// PartitionHealAfter is how long an injected network partition
+	// lasts before it heals (default 90 s).
+	PartitionHealAfter time.Duration
 	// HangDuration is how long a hung tracker stays wedged (default 45 s).
 	HangDuration time.Duration
 	// StragglerDuration is how long an injected slowdown lasts
@@ -99,6 +124,9 @@ func (p Profile) withDefaults() Profile {
 	}
 	if p.StragglerFactor <= 1 {
 		p.StragglerFactor = 3
+	}
+	if p.PartitionHealAfter <= 0 {
+		p.PartitionHealAfter = 90 * time.Second
 	}
 	if p.Horizon <= 0 {
 		p.Horizon = time.Hour
@@ -138,8 +166,21 @@ type Injector struct {
 	reg      *trace.Registry
 	auditLog *audit.Log
 	perf     *perfstat.Stats
+	inv      InvariantSink
 	byKind   map[Kind]int
 }
+
+// InvariantSink is notified after every injection so a runtime checker
+// can sweep cross-layer safety invariants at the moment they are most
+// likely to break. The injector never imports the checker; any type
+// with this method plugs in.
+type InvariantSink interface {
+	Injected(kind, target string)
+}
+
+// SetInvariants installs an invariant checker. A nil sink keeps the
+// checks off.
+func (in *Injector) SetInvariants(s InvariantSink) { in.inv = s }
 
 // NewInjector builds an injector over the environment. Nothing fires
 // until Arm.
@@ -198,12 +239,39 @@ func (in *Injector) record(kind Kind, target string, args ...trace.Arg) {
 		in.perf.C.FaultInjections++
 	}
 	in.reg.Counter("fault." + string(kind)).Inc()
+	in.reg.Counter("fault.injections_by_kind." + string(kind)).Inc()
 	if in.tracer != nil {
 		all := append([]trace.Arg{trace.S("target", target)}, args...)
 		in.tracer.Instant("fault", "fault", string(kind), all...)
 	}
 	in.auditLog.Add("fault", string(kind), target, "injected",
 		"deterministic fault injection (schedule or seeded chaos profile)")
+	if in.inv != nil {
+		in.inv.Injected(string(kind), target)
+	}
+}
+
+// retarget walks a drawn index forward (wrapping) to the first eligible
+// entity in a fixed-order population. The draw itself always spans the
+// full population, so a kind's rng stream consumes exactly one value
+// per arrival no matter how many entities are currently dead; a draw
+// that lands on an ineligible target is re-aimed deterministically
+// instead of silently no-oping. Returns -1 when nothing is eligible.
+func (in *Injector) retarget(idx, n int, eligible func(int) bool) int {
+	for step := 0; step < n; step++ {
+		j := (idx + step) % n
+		if !eligible(j) {
+			continue
+		}
+		if step > 0 {
+			if in.perf != nil {
+				in.perf.C.FaultRetargets++
+			}
+			in.reg.Counter("fault.retargets").Inc()
+		}
+		return j
+	}
+	return -1
 }
 
 // Arm schedules the declarative schedule and, when a profile is set,
@@ -269,6 +337,16 @@ func (in *Injector) fireScheduled(f ScheduledFault) {
 			}
 			in.SlowPM(pm, factor, d)
 		}
+	case RackCrash:
+		in.CrashRack(f.Target)
+	case PowerDomainCrash:
+		in.CrashPowerDomain(f.Target)
+	case NetPartition:
+		d := f.Duration
+		if d <= 0 {
+			d = 90 * time.Second
+		}
+		in.PartitionRack(f.Target, d)
 	}
 }
 
@@ -292,6 +370,12 @@ func (in *Injector) armChaos(p Profile) {
 			rate = p.BlockLossPerHour
 		case Straggler:
 			rate = p.StragglerPerHour
+		case RackCrash:
+			rate = p.RackCrashPerHour
+		case PowerDomainCrash:
+			rate = p.PowerDomainCrashPerHour
+		case NetPartition:
+			rate = p.NetPartitionPerHour
 		}
 		if rate <= 0 {
 			continue
@@ -311,7 +395,9 @@ func (in *Injector) armChaos(p Profile) {
 }
 
 // fireChaos applies one profile-driven injection against a target drawn
-// from the kind's rng.
+// from the kind's rng. Draws span the full fixed-order population and
+// re-aim via retarget, so a draw landing on an already-dead machine
+// still injects somewhere instead of silently fizzling.
 func (in *Injector) fireChaos(kind Kind, p Profile, rng *rand.Rand) {
 	in.perf.Enter("fault.inject")
 	defer in.perf.Exit()
@@ -319,43 +405,130 @@ func (in *Injector) fireChaos(kind Kind, p Profile, rng *rand.Rand) {
 	case PMCrash:
 		// Never take the last machine: a cluster with nothing left is a
 		// different experiment.
-		candidates := in.livePMs()
-		if len(candidates) <= 1 {
+		pop := in.env.Cluster.PMs()
+		if len(pop) == 0 || len(in.livePMs()) <= 1 {
 			return
 		}
-		pm := candidates[rng.Intn(len(candidates))]
+		idx := in.retarget(rng.Intn(len(pop)), len(pop), func(i int) bool { return !pop[i].Failed() })
+		if idx < 0 {
+			return
+		}
+		pm := pop[idx]
 		in.CrashPM(pm)
 		if p.RepairAfter > 0 {
 			in.env.Engine.After(p.RepairAfter, func() { in.RepairPM(pm) })
 		}
 	case VMCrash:
+		// The VM inventory shrinks permanently (a destroyed VM never
+		// comes back), so this draw stays over the live list rather than
+		// a fixed population.
 		candidates := in.liveVMs()
 		if len(candidates) <= 2 {
 			return // keep a quorum of workers alive
 		}
 		in.CrashVM(candidates[rng.Intn(len(candidates))])
 	case TrackerHang:
-		var candidates []*mapred.TaskTracker
+		var pop []*mapred.TaskTracker
 		for _, jt := range in.env.JTs {
-			for _, tr := range jt.Trackers() {
-				if !tr.Lost() && !tr.Hung() {
-					candidates = append(candidates, tr)
-				}
-			}
+			pop = append(pop, jt.Trackers()...)
 		}
-		if len(candidates) == 0 {
+		if len(pop) == 0 {
 			return
 		}
-		in.HangTracker(candidates[rng.Intn(len(candidates))], p.HangDuration)
+		idx := in.retarget(rng.Intn(len(pop)), len(pop), func(i int) bool {
+			return !pop[i].Lost() && !pop[i].Hung()
+		})
+		if idx < 0 {
+			return
+		}
+		in.HangTracker(pop[idx], p.HangDuration)
 	case BlockLoss:
 		in.loseReplica(rng)
 	case Straggler:
-		candidates := in.livePMs()
-		if len(candidates) == 0 {
+		pop := in.env.Cluster.PMs()
+		if len(pop) == 0 {
 			return
 		}
-		in.SlowPM(candidates[rng.Intn(len(candidates))], p.StragglerFactor, p.StragglerDuration)
+		idx := in.retarget(rng.Intn(len(pop)), len(pop), func(i int) bool { return !pop[i].Failed() })
+		if idx < 0 {
+			return
+		}
+		in.SlowPM(pop[idx], p.StragglerFactor, p.StragglerDuration)
+	case RackCrash, PowerDomainCrash:
+		domains := in.env.Cluster.Racks()
+		members := in.env.Cluster.PMsInRack
+		if kind == PowerDomainCrash {
+			domains = in.env.Cluster.PowerDomains()
+			members = in.env.Cluster.PMsInPowerDomain
+		}
+		if len(domains) == 0 {
+			return
+		}
+		idx := in.retarget(rng.Intn(len(domains)), len(domains), func(i int) bool {
+			return in.domainCrashable(members(domains[i]))
+		})
+		if idx < 0 {
+			return
+		}
+		var crashed []*cluster.PM
+		if kind == RackCrash {
+			crashed = in.CrashRack(domains[idx])
+		} else {
+			crashed = in.CrashPowerDomain(domains[idx])
+		}
+		if p.RepairAfter > 0 {
+			for _, pm := range crashed {
+				pm := pm
+				in.env.Engine.After(p.RepairAfter, func() { in.RepairPM(pm) })
+			}
+		}
+	case NetPartition:
+		racks := in.env.Cluster.Racks()
+		if len(racks) == 0 {
+			return
+		}
+		idx := in.retarget(rng.Intn(len(racks)), len(racks), func(i int) bool {
+			return in.rackPartitionable(racks[i])
+		})
+		if idx < 0 {
+			return
+		}
+		in.PartitionRack(racks[idx], p.PartitionHealAfter)
 	}
+}
+
+// domainCrashable reports whether crashing the domain is a meaningful
+// injection: it has at least one live member, and at least one live
+// machine survives elsewhere.
+func (in *Injector) domainCrashable(members []*cluster.PM) bool {
+	liveIn := 0
+	for _, pm := range members {
+		if !pm.Failed() {
+			liveIn++
+		}
+	}
+	return liveIn > 0 && len(in.livePMs())-liveIn >= 1
+}
+
+// rackPartitionable reports whether isolating the rack cuts anything:
+// at least one live not-yet-isolated member, and at least one live
+// machine outside the rack to stay with the control plane.
+func (in *Injector) rackPartitionable(name string) bool {
+	cut := 0
+	for _, pm := range in.env.Cluster.PMsInRack(name) {
+		if !pm.Failed() && !in.env.Cluster.Isolated(pm) {
+			cut++
+		}
+	}
+	if cut == 0 {
+		return false
+	}
+	for _, pm := range in.livePMs() {
+		if pm.Rack() != name {
+			return true
+		}
+	}
+	return false
 }
 
 // CrashPM fails a physical machine and propagates the loss through every
@@ -370,16 +543,82 @@ func (in *Injector) CrashPM(pm *cluster.PM) dfs.FailureReport {
 		return dfs.FailureReport{}
 	}
 	in.record(PMCrash, pm.Name())
+	return in.crashPMs([]*cluster.PM{pm})
+}
+
+// CrashPMs fails several machines as one correlated event: every
+// jobtracker learns about the whole batch before any machine dies, so
+// work re-queued for the first victim cannot land on the second, and
+// the filesystems see one merged damage report. Records one pm-crash
+// per machine; already-failed machines are skipped.
+func (in *Injector) CrashPMs(pms []*cluster.PM) dfs.FailureReport {
+	targets := crashable(pms)
+	for _, pm := range targets {
+		in.record(PMCrash, pm.Name())
+	}
+	return in.crashPMs(targets)
+}
+
+// CrashRack fails every live machine in the named rack as one atomic
+// batch — a top-of-rack switch or shared chassis going down. Returns
+// the machines crashed (nil when the rack is empty or already dead).
+func (in *Injector) CrashRack(name string) []*cluster.PM {
+	targets := crashable(in.env.Cluster.PMsInRack(name))
+	if len(targets) == 0 {
+		return nil
+	}
+	in.record(RackCrash, name, trace.F("machines", float64(len(targets))))
+	in.crashPMs(targets)
+	return targets
+}
+
+// CrashPowerDomain fails every live machine fed by the named power
+// domain as one atomic batch — a PDU or circuit failure that cross-cuts
+// racks. Returns the machines crashed.
+func (in *Injector) CrashPowerDomain(name string) []*cluster.PM {
+	targets := crashable(in.env.Cluster.PMsInPowerDomain(name))
+	if len(targets) == 0 {
+		return nil
+	}
+	in.record(PowerDomainCrash, name, trace.F("machines", float64(len(targets))))
+	in.crashPMs(targets)
+	return targets
+}
+
+// crashable filters a machine set down to the ones a crash would
+// actually take out.
+func crashable(pms []*cluster.PM) []*cluster.PM {
+	var out []*cluster.PM
+	for _, pm := range pms {
+		if pm != nil && !pm.Failed() {
+			out = append(out, pm)
+		}
+	}
+	return out
+}
+
+// crashPMs is the atomic mechanics shared by every machine-crash path,
+// in the order recovery requires: jobtrackers first (the whole batch at
+// once, so re-queued tasks cannot land back on a machine about to die
+// with it), then the cluster failures themselves (killing consumers and
+// destroying VMs, aborting in-flight migrations), then the filesystems
+// with every lost node as one batch, so no doomed node is picked as a
+// re-replication target.
+func (in *Injector) crashPMs(pms []*cluster.PM) dfs.FailureReport {
+	if len(pms) == 0 {
+		return dfs.FailureReport{}
+	}
 	for _, jt := range in.env.JTs {
-		jt.HandleMachineFailure(pm)
+		jt.HandleMachineFailures(pms)
 	}
 	before := in.env.Cluster.VMs()
-	_ = pm.Fail()
-	// Everything that lost its host — the PM's resident VMs plus any VM
-	// caught mid-stop-and-copy migrating away from it — goes to the
-	// filesystems as one batch, so no doomed node is picked as a
-	// re-replication target.
-	affected := []cluster.Node{pm}
+	affected := make([]cluster.Node, 0, len(pms))
+	for _, pm := range pms {
+		_ = pm.Fail()
+		affected = append(affected, pm)
+	}
+	// Everything that lost its host — resident VMs plus any VM caught
+	// mid-stop-and-copy migrating away from a dying machine.
 	for _, vm := range before {
 		if vm.Machine() == nil {
 			affected = append(affected, vm)
@@ -392,6 +631,58 @@ func (in *Injector) CrashPM(pm *cluster.PM) dfs.FailureReport {
 		report.Lost += r.Lost
 	}
 	return report
+}
+
+// PartitionRack isolates the named rack from the control plane — the
+// machines keep running but heartbeats, DFS traffic and migration
+// streams across the cut stop. The partition heals after d (never, when
+// d <= 0); healing restores connectivity, lets lost trackers rejoin on
+// their next responsive heartbeat, and re-replicates anything that
+// degraded meanwhile. Returns the partition handle (nil for an unknown
+// or empty rack).
+func (in *Injector) PartitionRack(name string, d time.Duration) *cluster.Partition {
+	members := in.env.Cluster.PMsInRack(name)
+	if len(members) == 0 {
+		return nil
+	}
+	return in.partition(name, members, d)
+}
+
+// PartitionNetwork isolates an arbitrary machine set, healing after d
+// (never, when d <= 0).
+func (in *Injector) PartitionNetwork(pms []*cluster.PM, d time.Duration) *cluster.Partition {
+	if len(pms) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(pms))
+	for _, pm := range pms {
+		names = append(names, pm.Name())
+	}
+	return in.partition(strings.Join(names, "+"), pms, d)
+}
+
+func (in *Injector) partition(target string, pms []*cluster.PM, d time.Duration) *cluster.Partition {
+	in.record(NetPartition, target,
+		trace.F("machines", float64(len(pms))), trace.F("heal_sec", d.Seconds()))
+	p := in.env.Cluster.PartitionNetwork(pms)
+	if d > 0 {
+		in.env.Engine.After(d, func() { in.HealPartition(p) })
+	}
+	return p
+}
+
+// HealPartition heals a partition and repairs what degraded while it
+// was active: every filesystem re-replicates toward its target factor,
+// and isolated trackers rejoin via the heartbeat scanner. Healing an
+// already-healed partition is a no-op.
+func (in *Injector) HealPartition(p *cluster.Partition) {
+	if p.Healed() {
+		return
+	}
+	p.Heal()
+	for _, fs := range in.env.FSs {
+		fs.RepairUnderReplicated()
+	}
 }
 
 // RepairPM powers a failed machine back on. Destroyed VMs stay gone, but
@@ -479,25 +770,30 @@ func (in *Injector) loseReplica(rng *rand.Rand) {
 		fs *dfs.FileSystem
 		b  *dfs.Block
 	}
-	var victims []victim
+	var pop []victim
 	for _, fs := range in.env.FSs {
 		for _, f := range fs.Files() {
 			for _, b := range f.Blocks {
-				if len(b.Replicas) > 0 {
-					victims = append(victims, victim{fs, b})
-				}
+				pop = append(pop, victim{fs, b})
 			}
 		}
 	}
-	if len(victims) == 0 {
+	if len(pop) == 0 {
 		return
 	}
-	idx, ridx := 0, 0
+	idx := 0
 	if rng != nil {
-		idx = rng.Intn(len(victims))
-		ridx = rng.Intn(len(victims[idx].b.Replicas))
+		idx = rng.Intn(len(pop))
 	}
-	v := victims[idx]
+	idx = in.retarget(idx, len(pop), func(i int) bool { return len(pop[i].b.Replicas) > 0 })
+	if idx < 0 {
+		return
+	}
+	v := pop[idx]
+	ridx := 0
+	if rng != nil {
+		ridx = rng.Intn(len(v.b.Replicas))
+	}
 	in.record(BlockLoss, v.b.ID)
 	v.fs.CorruptReplica(v.b, v.b.Replicas[ridx])
 }

@@ -10,10 +10,11 @@ import (
 // ParseProfile parses the -faults command-line syntax: a comma-separated
 // list of key=value pairs. Rate keys (events per simulated hour) are the
 // fault-kind names — pm-crash, vm-crash, tracker-hang, block-loss,
-// straggler — and the tuning keys are repair-sec, hang-sec,
-// straggler-sec, straggler-factor and horizon-min. Example:
+// straggler, rack-crash, power-crash, net-partition — and the tuning
+// keys are repair-sec, hang-sec, straggler-sec, straggler-factor,
+// partition-heal-sec and horizon-min. Example:
 //
-//	pm-crash=2,vm-crash=4,block-loss=6,horizon-min=30
+//	pm-crash=2,rack-crash=1,net-partition=2,horizon-min=30
 func ParseProfile(spec string) (*Profile, error) {
 	p := &Profile{}
 	for _, tok := range strings.Split(spec, ",") {
@@ -40,6 +41,12 @@ func ParseProfile(spec string) (*Profile, error) {
 			p.BlockLossPerHour = f
 		case string(Straggler):
 			p.StragglerPerHour = f
+		case string(RackCrash):
+			p.RackCrashPerHour = f
+		case string(PowerDomainCrash):
+			p.PowerDomainCrashPerHour = f
+		case string(NetPartition):
+			p.NetPartitionPerHour = f
 		case "repair-sec":
 			p.RepairAfter = time.Duration(f * float64(time.Second))
 		case "hang-sec":
@@ -48,10 +55,12 @@ func ParseProfile(spec string) (*Profile, error) {
 			p.StragglerDuration = time.Duration(f * float64(time.Second))
 		case "straggler-factor":
 			p.StragglerFactor = f
+		case "partition-heal-sec":
+			p.PartitionHealAfter = time.Duration(f * float64(time.Second))
 		case "horizon-min":
 			p.Horizon = time.Duration(f * float64(time.Minute))
 		default:
-			return nil, fmt.Errorf("fault: unknown key %q (kinds: pm-crash, vm-crash, tracker-hang, block-loss, straggler; tuning: repair-sec, hang-sec, straggler-sec, straggler-factor, horizon-min)", key)
+			return nil, fmt.Errorf("fault: unknown key %q (kinds: pm-crash, vm-crash, tracker-hang, block-loss, straggler, rack-crash, power-crash, net-partition; tuning: repair-sec, hang-sec, straggler-sec, straggler-factor, partition-heal-sec, horizon-min)", key)
 		}
 	}
 	return p, nil

@@ -77,6 +77,86 @@ func (jt *JobTracker) checkTrackerHealth() {
 	}
 }
 
+// OutputUnfetchable explains why a completed map's output on this
+// tracker cannot serve shuffle fetches right now, or returns "" when it
+// can. Map output lives on the mapper's local disk, so it is gone with
+// the node and unreachable across a partition. The reducer-side fetch
+// gate and the safety-invariant checker share this predicate so the
+// recovery path and its watchdog cannot drift apart.
+func (tr *TaskTracker) OutputUnfetchable() string {
+	m := tr.Compute.Machine()
+	switch {
+	case m == nil:
+		return "node destroyed"
+	case m.Failed():
+		return "machine failed"
+	case m.Isolated():
+		return "network partition"
+	case tr.lost:
+		return "tracker lost without map re-execution"
+	}
+	return ""
+}
+
+// shuffleFetchFailed is the reducer-side fetch-failure detector, checked
+// at the moment a reduce attempt would complete: if any map output it
+// shuffled from sits on an unreachable node, the completion is a lie —
+// the data was never fetchable. The attempt is discarded and re-queued
+// and the affected maps are re-executed, which is Hadoop's "too many
+// fetch failures" escalation compressed to the simulator's granularity.
+// This covers the window between a failure or partition and the
+// heartbeat detector noticing it; once the detector fires, trackersLost
+// handles the same outputs. Returns whether the completion was vetoed.
+func (jt *JobTracker) shuffleFetchFailed(a *Attempt) bool {
+	if jt.cfg.DisableMapReexecution {
+		// Fault-injection hook: with re-execution broken the whole fetch
+		// machinery is off, so the invariant checker sees the raw damage.
+		return false
+	}
+	var bad []*TaskTracker
+	seen := make(map[*TaskTracker]bool)
+	for _, m := range a.Task.Job.maps {
+		if m.state != TaskDone || m.outputTracker == nil || seen[m.outputTracker] {
+			continue
+		}
+		if m.outputTracker.OutputUnfetchable() == "" {
+			continue
+		}
+		seen[m.outputTracker] = true
+		bad = append(bad, m.outputTracker)
+	}
+	if len(bad) == 0 {
+		return false
+	}
+	jt.mFetchFailures.Inc()
+	names := make([]string, len(bad))
+	for i, tr := range bad {
+		names[i] = tr.Compute.Name()
+	}
+	if jt.tracer != nil {
+		jt.tracer.Instant(a.Tracker.Compute.Name(), "mapred", "fetch-failure",
+			trace.S("reduce", a.Task.ID()),
+			trace.F("unreachable_sources", float64(len(bad))))
+	}
+	if jt.auditLog != nil {
+		jt.auditLog.Add("mapred", "fetch-failure", a.Task.ID(),
+			"discard the reduce completion, re-execute the source maps",
+			fmt.Sprintf("shuffle source(s) %v unreachable at completion (%s)",
+				names, bad[0].OutputUnfetchable()))
+	}
+	// Re-queue the stranded outputs first: the job rolls back to the map
+	// phase, so the re-queued reduce below cannot relaunch until the
+	// barrier is re-met. The rollback kills this attempt too (it is still
+	// formally running); the fallback covers reduce-less edge ordering.
+	for _, tr := range bad {
+		jt.reexecuteLostMaps(tr)
+	}
+	if !a.killed {
+		jt.attemptKilled(a)
+	}
+	return true
+}
+
 // trackerLost declares a single tracker dead; see trackersLost.
 func (jt *JobTracker) trackerLost(tr *TaskTracker, cause string) {
 	jt.trackersLost([]*TaskTracker{tr}, cause)
@@ -98,23 +178,32 @@ func (jt *JobTracker) trackersLost(batch []*TaskTracker, cause string) int {
 		}
 		lost = append(lost, tr)
 		tr.lost = true
-		tr.failures++
 		tr.blacklistUntil = now
 		blacklisted := false
-		if over := tr.failures - jt.cfg.TrackerFailureLimit; over >= 0 {
-			// Repeat offenders sit out exponentially longer, capped so
-			// the shift cannot overflow.
-			if over > 6 {
-				over = 6
+		trCause := cause
+		if tr.isolatedOnly() {
+			// A network partition, not a node fault: the tracker is
+			// healthy and rejoins as soon as the partition heals. Charging
+			// the failure count here would blacklist innocent machines
+			// after every split.
+			trCause = "network-partition"
+		} else {
+			tr.failures++
+			if over := tr.failures - jt.cfg.TrackerFailureLimit; over >= 0 {
+				// Repeat offenders sit out exponentially longer, capped so
+				// the shift cannot overflow.
+				if over > 6 {
+					over = 6
+				}
+				tr.blacklistUntil = now + jt.cfg.BlacklistBackoff<<uint(over)
+				blacklisted = true
+				jt.mTrackersBlacklisted.Inc()
 			}
-			tr.blacklistUntil = now + jt.cfg.BlacklistBackoff<<uint(over)
-			blacklisted = true
-			jt.mTrackersBlacklisted.Inc()
 		}
 		jt.mTrackersLost.Inc()
 		if jt.tracer != nil {
 			args := []trace.Arg{
-				trace.S("cause", cause),
+				trace.S("cause", trCause),
 				trace.F("failures", float64(tr.failures)),
 			}
 			if blacklisted {
@@ -124,11 +213,15 @@ func (jt *JobTracker) trackersLost(batch []*TaskTracker, cause string) int {
 		}
 		if jt.auditLog != nil {
 			decision := "rejoin on next responsive heartbeat"
+			reason := fmt.Sprintf("%s; failure %d of %d tolerated", trCause, tr.failures, jt.cfg.TrackerFailureLimit)
 			if blacklisted {
 				decision = fmt.Sprintf("blacklist for %v", tr.blacklistUntil-now)
 			}
-			jt.auditLog.Add("mapred", "tracker-lost", tr.Compute.Name(), decision,
-				fmt.Sprintf("%s; failure %d of %d tolerated", cause, tr.failures, jt.cfg.TrackerFailureLimit))
+			if trCause == "network-partition" {
+				decision = "rejoin when the partition heals"
+				reason = "partition isolated the node; no failure charged against it"
+			}
+			jt.auditLog.Add("mapred", "tracker-lost", tr.Compute.Name(), decision, reason)
 		}
 	}
 	if len(lost) == 0 {
@@ -174,6 +267,11 @@ func (jt *JobTracker) restoreTracker(tr *TaskTracker) {
 // fetches force a re-run. Jobs already in the reduce phase roll back to
 // the map phase. Returns the number of re-queued maps.
 func (jt *JobTracker) reexecuteLostMaps(tr *TaskTracker) int {
+	if jt.cfg.DisableMapReexecution {
+		// Fault-injection hook: leave the lost outputs dangling so the
+		// invariant checker can prove it notices.
+		return 0
+	}
 	now := jt.engine.Now()
 	total := 0
 	for _, job := range jt.jobs {

@@ -58,6 +58,13 @@ type Config struct {
 	// BlacklistBackoff is the initial blacklist hold-off; it doubles
 	// with each failure beyond the limit (default 60 s).
 	BlacklistBackoff time.Duration
+
+	// DisableMapReexecution is a fault-injection hook: it turns off the
+	// re-execution of completed maps whose output node was lost, leaving
+	// reducers to consume vanished intermediate data. Only the chaos
+	// harness sets it, to prove the invariant checker catches the broken
+	// recovery path; it must never be on in a real configuration.
+	DisableMapReexecution bool
 }
 
 // SlotCapPolicy fixes each task's resource cap as a fraction of its
@@ -182,7 +189,8 @@ func (tr *TaskTracker) Lost() bool { return tr.lost }
 func (tr *TaskTracker) Failures() int { return tr.failures }
 
 // responsive reports whether the tracker could heartbeat right now: its
-// daemon is not hung and both of its nodes still sit on live machines.
+// daemon is not hung, both of its nodes still sit on live machines, and
+// no network partition cuts those machines off from the control plane.
 func (tr *TaskTracker) responsive() bool {
 	if tr.hung {
 		return false
@@ -191,7 +199,26 @@ func (tr *TaskTracker) responsive() bool {
 	if cm == nil || sm == nil {
 		return false
 	}
-	return !cm.Failed() && !sm.Failed()
+	if cm.Failed() || sm.Failed() {
+		return false
+	}
+	return !cm.Isolated() && !sm.Isolated()
+}
+
+// isolatedOnly reports whether the tracker is unreachable purely
+// because of a network partition: its machines are alive and the daemon
+// is not hung, but a partition cuts it off. Such a loss is the
+// network's fault, not the node's, so it does not advance the failure
+// count toward the blacklist.
+func (tr *TaskTracker) isolatedOnly() bool {
+	if tr.hung {
+		return false
+	}
+	cm, sm := tr.Compute.Machine(), tr.Storage.Machine()
+	if cm == nil || sm == nil || cm.Failed() || sm.Failed() {
+		return false
+	}
+	return cm.Isolated() || sm.Isolated()
 }
 
 func (tr *TaskTracker) split() bool { return tr.Compute != tr.Storage }
@@ -222,6 +249,7 @@ type JobTracker struct {
 	tracer     *trace.Tracer
 	auditLog   *audit.Log
 	perf       *perfstat.Stats
+	inv        InvariantSink
 	countReads bool
 
 	// Cached metric handles; nil (a no-op) until SetTrace installs a
@@ -236,6 +264,7 @@ type JobTracker struct {
 	mTrackersRestored    *trace.Counter
 	mTrackersBlacklisted *trace.Counter
 	mMapsReexecuted      *trace.Counter
+	mFetchFailures       *trace.Counter
 }
 
 // NewJobTracker creates a framework instance over the given DFS. A nil
@@ -287,6 +316,7 @@ func (jt *JobTracker) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 	jt.mTrackersRestored = reg.Counter("mapred.trackers.restored")
 	jt.mTrackersBlacklisted = reg.Counter("mapred.trackers.blacklisted")
 	jt.mMapsReexecuted = reg.Counter("mapred.maps.reexecuted")
+	jt.mFetchFailures = reg.Counter("mapred.shuffle.fetch_failures")
 }
 
 // SetAudit installs a decision log. Slot assignments, speculation
@@ -298,6 +328,39 @@ func (jt *JobTracker) SetAudit(l *audit.Log) { jt.auditLog = l }
 // rounds, tracker×kind scans and speculation sweeps are then counted
 // and timed. A nil collector keeps the instrumentation off.
 func (jt *JobTracker) SetPerf(ps *perfstat.Stats) { jt.perf = ps }
+
+// InvariantSink receives scheduling safety events; the invariant
+// checker implements it.
+type InvariantSink interface {
+	// AttemptStarted fires after an attempt is launched on a tracker.
+	AttemptStarted(jt *JobTracker, a *Attempt)
+	// AttemptFinished fires when an attempt completes (before the task
+	// and job state advance).
+	AttemptFinished(jt *JobTracker, a *Attempt)
+}
+
+// SetInvariants installs an invariant sink. A nil sink keeps checking
+// off.
+func (jt *JobTracker) SetInvariants(s InvariantSink) { jt.inv = s }
+
+// LiveTrackers counts trackers able to accept work right now: enabled,
+// not declared lost, and responsive (machines alive, daemon not hung,
+// no partition cutting them off). Phase I consults it to avoid placing
+// a job into a partition whose failure domain is currently down.
+func (jt *JobTracker) LiveTrackers() int {
+	n := 0
+	for _, tr := range jt.trackers {
+		if !tr.disabled && !tr.lost && tr.responsive() {
+			n++
+		}
+	}
+	return n
+}
+
+// FleetViable reports whether at least one tracker could still run
+// work, now or after a repair — the condition under which parked jobs
+// are a livelock rather than a clean fleet-dead stall.
+func (jt *JobTracker) FleetViable() bool { return jt.anyViableTracker() }
 
 // Close stops the background speculation and health scanners.
 func (jt *JobTracker) Close() {
@@ -539,6 +602,18 @@ func (jt *JobTracker) launch(task *Task, tr *TaskTracker, speculative bool) erro
 	if tr.lost {
 		return fmt.Errorf("mapred: launch(%s): tracker %s is lost", task.ID(), tr.Compute.Name())
 	}
+	if task.Kind == MapTask && task.Block != nil && len(task.Block.Replicas) == 0 {
+		// Correlated failures can destroy every holder of an input block
+		// faster than re-replication copies it away. Re-ingest the block
+		// from the job's durable upstream source before reading — without
+		// this, a re-executed map would consume data that no longer exists
+		// anywhere in the cluster.
+		if jt.fs.RestoreBlock(task.Block) {
+			jt.auditLog.Add("dfs", "restore-input", task.Block.ID,
+				"re-ingested from source",
+				fmt.Sprintf("all replicas lost; map %s needs the block", task.ID()))
+		}
+	}
 	demand, work, serveDisk := demandAndWork(task, tr)
 	a := &Attempt{
 		Task:        task,
@@ -618,6 +693,9 @@ func (jt *JobTracker) launch(task *Task, tr *TaskTracker, speculative bool) erro
 		tr.redsRunning++
 	}
 	jt.attempts[a] = struct{}{}
+	if jt.inv != nil {
+		jt.inv.AttemptStarted(jt, a)
+	}
 	return nil
 }
 
@@ -656,8 +734,14 @@ func (jt *JobTracker) attemptFinished(a *Attempt) {
 	if a.finished || a.killed {
 		return
 	}
+	if a.Task.Kind == ReduceTask && jt.shuffleFetchFailed(a) {
+		return
+	}
 	a.finished = true
 	a.FinishedAt = jt.engine.Now()
+	if jt.inv != nil {
+		jt.inv.AttemptFinished(jt, a)
+	}
 	jt.releaseSlot(a)
 	if a.serve != nil && a.serve.Running() {
 		a.serve.Stop()
@@ -830,6 +914,20 @@ func (jt *JobTracker) offHostFraction(n cluster.Node) float64 {
 // (reducers could no longer fetch them), and the trackers rejoin only
 // if their machine comes back and any blacklist hold-off expires.
 func (jt *JobTracker) HandleMachineFailure(pm *cluster.PM) int {
+	return jt.HandleMachineFailures([]*cluster.PM{pm})
+}
+
+// HandleMachineFailures is the correlated-loss variant: every tracker
+// on any of the failed machines is declared lost in ONE batch, so the
+// re-queue triggered by the first kill cannot land work on a sibling
+// that the same rack or power-domain crash is about to take down too.
+func (jt *JobTracker) HandleMachineFailures(pms []*cluster.PM) int {
+	failed := make(map[*cluster.PM]bool, len(pms))
+	for _, pm := range pms {
+		if pm != nil {
+			failed[pm] = true
+		}
+	}
 	var affected []*TaskTracker
 	for _, tr := range jt.trackers {
 		if tr.lost {
@@ -838,7 +936,7 @@ func (jt *JobTracker) HandleMachineFailure(pm *cluster.PM) int {
 		cm, sm := tr.Compute.Machine(), tr.Storage.Machine()
 		// A nil machine means the node's VM was already destroyed by the
 		// failure.
-		if cm == pm || sm == pm || cm == nil || sm == nil {
+		if failed[cm] || failed[sm] || cm == nil || sm == nil {
 			affected = append(affected, tr)
 		}
 	}

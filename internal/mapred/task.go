@@ -88,6 +88,13 @@ func (t *Task) runningAttempts() int {
 	return n
 }
 
+// OutputTracker returns the tracker holding this completed map's
+// intermediate output, or nil while the task is not done (or after the
+// output node was lost and the task was re-queued). The invariant
+// checker uses it to assert that no reduce consumes vanished map
+// output.
+func (t *Task) OutputTracker() *TaskTracker { return t.outputTracker }
+
 // ID identifies the task within its job.
 func (t *Task) ID() string {
 	return fmt.Sprintf("%s-%d/%s-%d", t.Job.Spec.Name, t.Job.ID, t.Kind, t.Index)

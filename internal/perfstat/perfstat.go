@@ -76,8 +76,11 @@ type Counters struct {
 	DFSPlacementDraws int64
 	DFSRepairScans    int64
 
-	// Fault injection.
+	// Fault injection. FaultRetargets counts chaos draws that landed on
+	// an ineligible target (already dead, hung or isolated) and walked
+	// forward to the next eligible one instead of no-oping.
 	FaultInjections int64
+	FaultRetargets  int64
 }
 
 // counterDefs maps exported JSON names to struct fields, in output order.
@@ -100,6 +103,7 @@ var counterDefs = []struct {
 	{"engine.heap_pushes", func(c *Counters) *int64 { return &c.EngineHeapPushes }},
 	{"engine.heap_sift_swaps", func(c *Counters) *int64 { return &c.EngineHeapSiftSwaps }},
 	{"fault.injections", func(c *Counters) *int64 { return &c.FaultInjections }},
+	{"fault.retargets", func(c *Counters) *int64 { return &c.FaultRetargets }},
 	{"ips.attempts_scanned", func(c *Counters) *int64 { return &c.IPSAttemptsScanned }},
 	{"ips.ticks", func(c *Counters) *int64 { return &c.IPSTicks }},
 	{"jt.attempts_sorted", func(c *Counters) *int64 { return &c.JTAttemptsSorted }},

@@ -78,6 +78,7 @@ func Write(w io.Writer, d Data) error {
 	swimlane(&b, d)
 	critPaths(&b, d)
 	perfSection(&b, d)
+	faultSection(&b, d)
 	auditTable(&b, d)
 	metricsTables(&b, d)
 	b.WriteString("</body></html>\n")
@@ -416,6 +417,39 @@ func auditTable(b *bytes.Buffer, d Data) {
 
 // metricsTables renders the registry snapshot: counters, gauges and
 // histogram quantiles in sorted order.
+// faultSection breaks injected faults down by kind (the
+// fault.injections_by_kind.* counters), alongside the retarget count —
+// rate-drawn injections whose victim was already dead and that were
+// redirected to the next live target. Runs without a fault injector (no
+// matching counters) render no section at all.
+func faultSection(b *bytes.Buffer, d Data) {
+	const prefix = "fault.injections_by_kind."
+	kinds := make([]string, 0, 4)
+	for k := range d.Metrics.Counters {
+		if strings.HasPrefix(k, prefix) && d.Metrics.Counters[k] > 0 {
+			kinds = append(kinds, k)
+		}
+	}
+	if len(kinds) == 0 {
+		return
+	}
+	sort.Strings(kinds)
+	b.WriteString("<h2>Fault injections</h2>\n")
+	total := 0.0
+	for _, k := range kinds {
+		total += d.Metrics.Counters[k]
+	}
+	retargets := d.Metrics.Counters["fault.retargets"]
+	fmt.Fprintf(b, "<p class=\"dim\">%g injection(s) total · %g rate-drawn draw(s) retargeted past dead victims</p>\n",
+		total, retargets)
+	b.WriteString("<table><thead><tr><th>kind</th><th class=\"num\">injections</th></tr></thead><tbody>\n")
+	for _, k := range kinds {
+		fmt.Fprintf(b, "<tr><td class=\"mono\">%s</td><td class=\"num\">%g</td></tr>\n",
+			esc(strings.TrimPrefix(k, prefix)), d.Metrics.Counters[k])
+	}
+	b.WriteString("</tbody></table>\n")
+}
+
 func metricsTables(b *bytes.Buffer, d Data) {
 	b.WriteString("<h2>Metrics registry snapshot</h2>\n")
 	s := d.Metrics

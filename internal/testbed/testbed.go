@@ -15,6 +15,7 @@ import (
 	"repro/internal/critpath"
 	"repro/internal/dfs"
 	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/mapred"
 	"repro/internal/perfstat"
 	"repro/internal/sim"
@@ -33,6 +34,15 @@ type Options struct {
 	VMMemoryMB float64
 	// VMCPUs is vCPUs per VM (default 1).
 	VMCPUs int
+	// Racks > 0 assigns the PMs to that many racks in contiguous runs
+	// (cluster.StripeTopology), enabling rack-aware DFS placement and
+	// the rack-level correlated faults (rack-crash, net-partition).
+	// Zero leaves the cluster topology-free, exactly as before.
+	Racks int
+	// PowerDomains > 0 stripes the PMs round-robin across that many
+	// power domains (PDUs that cross-cut racks), enabling power-crash
+	// correlated faults.
+	PowerDomains int
 	// Dom0 runs "native" execution in the privileged domain, with its
 	// small overhead (Figure 2(c)).
 	Dom0 bool
@@ -77,6 +87,10 @@ type Options struct {
 	// extra wiring. Collectors are per-rig: they must not be shared across
 	// concurrently running rigs.
 	Perf *perfstat.Stats
+	// Invariants, when non-nil, is attached to every layer of the rig as
+	// a runtime safety-invariant checker; read its Violations (or call
+	// Final) after the run. Checkers are per-rig, like Perf.
+	Invariants *invariant.Checker
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +129,9 @@ type Rig struct {
 	// (manual injection works on any rig) and armed only when
 	// Options.Faults was set.
 	Faults *fault.Injector
+	// Invariants is the runtime safety-invariant checker (nil unless
+	// Options.Invariants was set).
+	Invariants *invariant.Checker
 	// OnAllJobsDone, if set before RunJob/RunJobs, fires when the last
 	// submitted job completes — while the engine is still draining.
 	// Callers use it to stop periodic observers (utilization samplers)
@@ -164,6 +181,7 @@ func New(opts Options) (*Rig, error) {
 
 	rig := &Rig{Engine: engine, Cluster: cl, FS: fs, JT: jt, Perf: perf, metrics: opts.Metrics}
 	rig.PMs = cl.AddPMs("pm", opts.PMs)
+	cluster.StripeTopology(rig.PMs, opts.Racks, opts.PowerDomains)
 
 	switch {
 	case opts.VMsPerPM <= 0:
@@ -224,6 +242,11 @@ func New(opts Options) (*Rig, error) {
 	}
 	if perf != nil {
 		rig.Faults.SetPerf(perf)
+	}
+	if opts.Invariants != nil {
+		opts.Invariants.Attach(engine, cl, []*dfs.FileSystem{fs}, []*mapred.JobTracker{jt}, opts.Audit)
+		rig.Faults.SetInvariants(opts.Invariants)
+		rig.Invariants = opts.Invariants
 	}
 	if opts.Faults != nil {
 		if err := rig.Faults.Arm(); err != nil {
