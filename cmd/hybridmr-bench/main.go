@@ -54,6 +54,15 @@
 // PERF.json is byte-deterministic at any -parallel value; wall times
 // live in a separate section excluded from determinism comparisons.
 //
+// -scale-up runs the same scenario at synthetic datacenter-scale
+// operating points (-scale-up-sizes, default 2500,10000 PMs) and writes
+// a SCALEUP.json report (-scale-up-out) with the same layout. It fails
+// if any indexed controller (jt, drm, p1) grows faster than the
+// O(n^1.2) acceptance ceiling across the points, and when -baseline is
+// given it also guards each point's events/sec against the file's
+// scale_up floors (-write-baseline records them, preserving the
+// figure-experiment sections).
+//
 // -cpuprofile, -memprofile and -profile-dir wire the Go runtime
 // profilers around whichever mode runs, for use with go tool pprof.
 package main
@@ -64,6 +73,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -116,6 +126,12 @@ type baselineFile struct {
 	// costRatioTolerance × baseline fails the comparison. Lower is
 	// always fine — that is an algorithmic improvement.
 	CostRatios map[string]map[string]float64 `json:"cost_ratios,omitempty"`
+	// ScaleUp records events/sec per datacenter-scale operating point
+	// ("pm2500", "pm10000") from the -scale-up suite, guarded with the
+	// same baselineTolerance floor as the figure experiments. Written by
+	// -scale-up -write-baseline, which leaves the sections above intact
+	// (and vice versa).
+	ScaleUp map[string]float64 `json:"scale_up,omitempty"`
 }
 
 const baselineTolerance = 3.0
@@ -184,6 +200,9 @@ func run(args []string, stdout io.Writer) error {
 	sweepSizes := fs.String("sweep-sizes", "", "comma-separated total-PM counts for -scale-sweep (default 24,96,384)")
 	sweepSeed := fs.Int64("sweep-seed", 1, "base seed for -scale-sweep")
 	perfOut := fs.String("perf-out", "PERF.json", "scale-sweep report path (with -scale-sweep)")
+	scaleUp := fs.Bool("scale-up", false, "run the datacenter-scale operating points instead of the figure experiments")
+	scaleUpSizes := fs.String("scale-up-sizes", "", "comma-separated total-PM counts for -scale-up (default 2500,10000)")
+	scaleUpOut := fs.String("scale-up-out", "SCALEUP.json", "scale-up report path (with -scale-up)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	profileDir := fs.String("profile-dir", "", "write cpu.pprof and mem.pprof into this directory (overrides -cpuprofile/-memprofile)")
@@ -236,6 +255,19 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		if err := runScaleSweep(sizes, *sweepSeed, *perfOut, stdout); err != nil {
+			return err
+		}
+		return stopProf()
+	}
+	if *scaleUp {
+		sizes, err := parseSizes(*scaleUpSizes)
+		if err != nil {
+			return err
+		}
+		if sizes == nil {
+			sizes = scalesweep.DefaultScaleUpSizes()
+		}
+		if err := runScaleUp(sizes, *sweepSeed, *scaleUpOut, *baselinePath, *writeBaseline, stdout); err != nil {
 			return err
 		}
 		return stopProf()
@@ -381,6 +413,117 @@ func runScaleSweep(sizes []int, seed int64, outPath string, stdout io.Writer) er
 	return nil
 }
 
+// runScaleUp runs the weak-scaling scenario at synthetic
+// datacenter-scale operating points, writes the SCALEUP.json report
+// (same byte-deterministic layout as PERF.json), enforces the indexed
+// controllers' growth ceiling when more than one point ran, and guards
+// each point's events/sec against the baseline's scale_up floors.
+func runScaleUp(sizes []int, seed int64, outPath, baselinePath string, writeBaseline bool, stdout io.Writer) error {
+	f, err := scalesweep.Run(scalesweep.Options{Sizes: sizes, Seed: seed})
+	if err != nil {
+		return err
+	}
+	data, err := f.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", outPath, err)
+	}
+	fmt.Fprintf(stdout, "Scale-up suite over PM counts %v (seed %d):\n", f.Report.Sizes, seed)
+	measured := make(map[string]float64, len(f.Wall))
+	for i, w := range f.Wall {
+		r := f.Report.Results[i]
+		eps := 0.0
+		if w.WallSeconds > 0 {
+			eps = float64(r.EventsFired) / w.WallSeconds
+		}
+		measured[fmt.Sprintf("pm%d", w.Size)] = eps
+		fmt.Fprintf(stdout, "  %5d PMs: %d trackers, %d jobs, %d events in %.2fs (%.0f events/sec)\n",
+			r.Size, r.Trackers, r.Jobs, r.EventsFired, w.WallSeconds, eps)
+	}
+	if len(f.Report.Sizes) >= 2 {
+		indexed := make(map[string]bool, len(scalesweep.IndexedControllers))
+		for _, name := range scalesweep.IndexedControllers {
+			indexed[name] = true
+		}
+		var busts []string
+		for _, c := range f.Report.Controllers {
+			if !indexed[c.Name] {
+				continue
+			}
+			if c.MaxExponent > scalesweep.AcceptanceCeiling {
+				busts = append(busts, fmt.Sprintf("%s grows %s via %s, ceiling O(n^%.1f)",
+					c.Name, c.Complexity, c.DrivenBy, scalesweep.AcceptanceCeiling))
+			} else {
+				fmt.Fprintf(stdout, "  growth %-4s %s via %s (ceiling O(n^%.1f)) ok\n",
+					c.Name, c.Complexity, c.DrivenBy, scalesweep.AcceptanceCeiling)
+			}
+		}
+		if len(busts) > 0 {
+			return fmt.Errorf("scale-up growth regression (indexed controller past the ceiling):\n  %s",
+				strings.Join(busts, "\n  "))
+		}
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", outPath)
+	if baselinePath != "" {
+		return handleScaleUpBaseline(baselinePath, writeBaseline, measured, stdout)
+	}
+	return nil
+}
+
+// handleScaleUpBaseline records or checks the per-point events/sec
+// floors of the scale-up suite. Writing preserves the figure-experiment
+// sections of the baseline file; the scenario does not depend on -scale,
+// so no scale consistency check applies here.
+func handleScaleUpBaseline(path string, write bool, measured map[string]float64, stdout io.Writer) error {
+	var base baselineFile
+	data, err := os.ReadFile(path)
+	if err == nil {
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", path, err)
+		}
+	} else if !write {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	if write {
+		base.ScaleUp = measured
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write baseline: %w", err)
+		}
+		fmt.Fprintf(stdout, "wrote scale-up floors for %d operating point(s) to %s\n", len(measured), path)
+		return nil
+	}
+	keys := make([]string, 0, len(measured))
+	for k := range measured {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var regressions []string
+	for _, k := range keys {
+		got := measured[k]
+		want, ok := base.ScaleUp[k]
+		if !ok || want <= 0 {
+			continue
+		}
+		floor := want / baselineTolerance
+		if got < floor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f events/sec, floor %.0f (baseline %.0f)", k, got, floor, want))
+		} else {
+			fmt.Fprintf(stdout, "throughput %s: %.0f events/sec vs baseline %.0f (floor %.0f) ok\n", k, got, want, floor)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("scale-up throughput regression:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
 // runChaosSearch fuzzes random correlated-fault schedules through the
 // runtime invariant checker, minimizes the first failure found, writes
 // the byte-deterministic CHAOS.json report and fails on any violation.
@@ -456,6 +599,12 @@ func printViolations(stdout io.Writer, vs []invariant.Violation) {
 func handleBaseline(path string, write bool, scale float64, order []string, measured map[string]float64, ratios map[string]map[string]float64, stdout io.Writer) error {
 	if write {
 		base := baselineFile{Scale: scale, EventsPerSec: measured, CostRatios: ratios}
+		if prev, err := os.ReadFile(path); err == nil {
+			var old baselineFile
+			if json.Unmarshal(prev, &old) == nil {
+				base.ScaleUp = old.ScaleUp
+			}
+		}
 		data, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {
 			return err

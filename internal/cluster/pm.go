@@ -51,6 +51,8 @@ type PM struct {
 	lastSettle time.Duration
 	slowdown   float64 // injected straggler factor; <= 1 means full speed
 
+	watchers []func() // notified after every update(); see Watch
+
 	offSpan trace.Span // open while the PM is powered off
 }
 
@@ -240,6 +242,16 @@ func (pm *PM) settle() {
 	pm.lastSettle = now
 }
 
+// Watch registers a callback invoked after every re-solve of this PM's
+// allocation (consumer attach/detach, demand/cap/weight change, VM
+// arrival/departure, power or slowdown transitions, failure). Schedulers
+// use it to invalidate cached per-machine state instead of rescanning the
+// fleet. Callbacks must not mutate cluster state; they run synchronously
+// on the simulation goroutine, so ordering is deterministic.
+func (pm *PM) Watch(fn func()) {
+	pm.watchers = append(pm.watchers, fn)
+}
+
 // update re-solves the two-level fair-share allocation and reschedules
 // completion events. Callers must settle first (update settles again
 // defensively; settling twice at the same instant is a no-op).
@@ -247,6 +259,9 @@ func (pm *PM) update() {
 	pm.settle()
 	pm.resolve()
 	pm.reschedule()
+	for _, fn := range pm.watchers {
+		fn()
+	}
 }
 
 // resolve computes allocations and speeds for every consumer on the PM.

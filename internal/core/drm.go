@@ -133,35 +133,27 @@ func (d *DRM) Stop() {
 // Modes returns the managed dimensions.
 func (d *DRM) Modes() ResourceModes { return d.modes }
 
-// tick runs one DRM epoch: profile, detect contention, re-balance.
+// tick runs one DRM epoch: profile, detect contention, re-balance. It
+// walks the JobTracker's maintained per-node attempt buckets — already
+// grouped by compute node in name order, attempts name-ordered within
+// each — instead of rebuilding that exact structure from a full attempt
+// sort every epoch (the O(n^1.97) the scale sweep measured before the
+// index refactor). The visit order, and therefore every cap adjustment
+// and rescheduled event, is unchanged. Every running attempt is still
+// observed each epoch: the Estimators' sliding windows, the IPS's cap
+// interplay and the audit trail all depend on per-attempt observation,
+// so the delta structure is the grouping, not a skip of "clean" nodes.
 func (d *DRM) tick() {
 	d.perf.Enter("core.drm")
 	defer d.perf.Exit()
-	running := d.jt.RunningAttempts()
-	byNode := make(map[cluster.Node][]*mapred.Attempt)
-	var nodes []cluster.Node
-	for _, a := range running {
-		if _, seen := byNode[a.Node()]; !seen {
-			nodes = append(nodes, a.Node())
-		}
-		byNode[a.Node()] = append(byNode[a.Node()], a)
-	}
 	if d.perf != nil {
 		d.perf.C.DRMSweeps++
-		d.perf.C.DRMNodesScanned += int64(len(nodes))
-		d.perf.C.DRMAttemptsObserved += int64(len(running))
+		d.perf.C.DRMAttemptsObserved += int64(d.jt.RunningCount())
 	}
-	// Visit nodes in name order: cap adjustments reschedule events, so
-	// map-iteration order would perturb the simulation across runs.
-	sort.Slice(nodes, func(i, j int) bool {
+	d.jt.EachNodeAttempts(func(node cluster.Node, attempts []*mapred.Attempt) {
 		if d.perf != nil {
-			d.perf.C.DRMSortCmps++
+			d.perf.C.DRMNodesScanned++
 		}
-		return nodes[i].Name() < nodes[j].Name()
-	})
-	for _, node := range nodes {
-		attempts := byNode[node]
-		// Attempts are already name-ordered (RunningAttempts sorts).
 		d.observe(attempts)
 		cap := node.UsefulCapacity()
 		if d.modes.CPU {
@@ -174,7 +166,7 @@ func (d *DRM) tick() {
 		if d.modes.Memory {
 			d.balanceMemory(attempts, cap.Get(resource.Memory))
 		}
-	}
+	})
 }
 
 // observe feeds the LRM Estimators: per job and task kind, the attempt's

@@ -255,10 +255,10 @@ func (s *System) SubmitJob(spec mapred.JobSpec, desiredJCT time.Duration, onDone
 	// has no tracker able to accept work and the other side does, flip.
 	if s.NativeJT != nil && s.VirtualJT != nil {
 		switch {
-		case placement == PlacedNative && s.NativeJT.LiveTrackers() == 0 && s.VirtualJT.LiveTrackers() > 0:
+		case placement == PlacedNative && !s.NativeJT.AnyLiveTracker() && s.VirtualJT.AnyLiveTracker():
 			placement = PlacedVirtual
 			degraded += "; native partition has no live trackers (failure domain down), flipped to virtual"
-		case placement == PlacedVirtual && s.VirtualJT.LiveTrackers() == 0 && s.NativeJT.LiveTrackers() > 0:
+		case placement == PlacedVirtual && !s.VirtualJT.AnyLiveTracker() && s.NativeJT.AnyLiveTracker():
 			placement = PlacedNative
 			degraded += "; virtual partition has no live trackers (failure domain down), flipped to native"
 		}

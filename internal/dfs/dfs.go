@@ -83,6 +83,14 @@ type FileSystem struct {
 	files     map[string]*File
 	nextBlock int
 
+	// pool is the placement sampling pool: the same DataNodes as
+	// datanodes, but in an order placeReplicas is free to permute so a
+	// draw window can exclude ineligible nodes by swapping them past the
+	// window edge instead of rejection-sampling around them. poolPos
+	// tracks each node's current pool index.
+	pool    []*DataNode
+	poolPos map[*DataNode]int
+
 	tracer *trace.Tracer
 	perf   *perfstat.Stats
 
@@ -100,11 +108,12 @@ type FileSystem struct {
 // New creates an empty filesystem on the given engine.
 func New(engine *sim.Engine, cfg Config, seed int64) *FileSystem {
 	return &FileSystem{
-		engine: engine,
-		cfg:    cfg.withDefaults(),
-		rng:    rand.New(rand.NewSource(seed)),
-		byNode: make(map[cluster.Node]*DataNode),
-		files:  make(map[string]*File),
+		engine:  engine,
+		cfg:     cfg.withDefaults(),
+		rng:     rand.New(rand.NewSource(seed)),
+		byNode:  make(map[cluster.Node]*DataNode),
+		files:   make(map[string]*File),
+		poolPos: make(map[*DataNode]int),
 	}
 }
 
@@ -159,7 +168,19 @@ func (fs *FileSystem) AddDataNode(n cluster.Node) *DataNode {
 	d := &DataNode{node: n, blocks: make(map[string]struct{})}
 	fs.datanodes = append(fs.datanodes, d)
 	fs.byNode[n] = d
+	fs.poolPos[d] = len(fs.pool)
+	fs.pool = append(fs.pool, d)
 	return d
+}
+
+// swapPool exchanges two pool slots, keeping poolPos in sync.
+func (fs *FileSystem) swapPool(i, j int) {
+	if i == j {
+		return
+	}
+	fs.pool[i], fs.pool[j] = fs.pool[j], fs.pool[i]
+	fs.poolPos[fs.pool[i]] = i
+	fs.poolPos[fs.pool[j]] = j
 }
 
 // DataNodes returns the registered DataNodes.
@@ -238,6 +259,15 @@ func (fs *FileSystem) Delete(name string) error {
 // merely distinct DataNodes when the cluster is too small for diversity.
 // DataNodes isolated by a network partition are never eligible: the
 // NameNode cannot reach them.
+//
+// Sampling draws from the shared pool through a shrinking window rather
+// than rejection-sampling the full fleet: every draw either places a
+// replica or permanently narrows the window (isolated or already-used
+// nodes leave it for the rest of the block, diversity violators for the
+// rest of the pass), so draws per block stay near the replication factor
+// instead of scaling with fleet size. Window layout during a pass:
+// [0, limit) eligible, [limit, hard) excluded this pass only,
+// [hard, len) excluded for the whole block.
 func (fs *FileSystem) placeReplicas(preferred cluster.Node) []*DataNode {
 	if fs.perf != nil {
 		fs.perf.C.DFSBlocksPlaced++
@@ -247,14 +277,23 @@ func (fs *FileSystem) placeReplicas(preferred cluster.Node) []*DataNode {
 		want = len(fs.datanodes)
 	}
 	chosen := make([]*DataNode, 0, want)
-	used := make(map[*DataNode]struct{}, want)
 	usedMachines := make(map[*cluster.PM]struct{}, want)
 	usedRacks := make(map[string]struct{}, want)
+	hard := len(fs.pool)
+	limit := hard
 	add := func(d *DataNode) {
 		chosen = append(chosen, d)
-		used[d] = struct{}{}
 		usedMachines[d.node.Machine()] = struct{}{}
 		usedRacks[nodeRack(d)] = struct{}{}
+		if j := fs.poolPos[d]; j < hard {
+			if j < limit {
+				fs.swapPool(j, limit-1)
+				limit--
+				j = limit
+			}
+			fs.swapPool(j, hard-1)
+			hard--
+		}
 	}
 	if preferred != nil {
 		if d, ok := fs.byNode[preferred]; ok {
@@ -263,34 +302,39 @@ func (fs *FileSystem) placeReplicas(preferred cluster.Node) []*DataNode {
 	}
 	// Passes from strictest to loosest. The rack-diverse pass only exists
 	// when the datanodes actually span racks, so clusters without an
-	// assigned topology consume exactly the same rng draw sequence as
-	// before rack awareness existed.
+	// assigned topology skip straight to machine diversity.
 	type placePass struct{ machineDiverse, rackDiverse bool }
 	passes := []placePass{{true, false}, {false, false}}
 	if fs.spansRacks() {
 		passes = []placePass{{true, true}, {true, false}, {false, false}}
 	}
 	for _, pass := range passes {
-		attempts := 0
-		for len(chosen) < want && attempts < 8*len(fs.datanodes) {
-			attempts++
+		limit = hard
+		for len(chosen) < want && limit > 0 {
 			if fs.perf != nil {
 				fs.perf.C.DFSPlacementDraws++
 			}
-			d := fs.datanodes[fs.rng.Intn(len(fs.datanodes))]
-			if _, dup := used[d]; dup {
-				continue
-			}
+			j := limit - 1 - fs.rng.Intn(limit)
+			d := fs.pool[j]
 			if nodeIsolated(d) {
+				// Unreachable for every pass of this block.
+				fs.swapPool(j, limit-1)
+				limit--
+				fs.swapPool(limit, hard-1)
+				hard--
 				continue
 			}
 			if pass.machineDiverse {
 				if _, dup := usedMachines[d.node.Machine()]; dup {
+					fs.swapPool(j, limit-1)
+					limit--
 					continue
 				}
 			}
 			if pass.rackDiverse {
 				if _, dup := usedRacks[nodeRack(d)]; dup {
+					fs.swapPool(j, limit-1)
+					limit--
 					continue
 				}
 			}

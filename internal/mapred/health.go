@@ -22,7 +22,7 @@ func (jt *JobTracker) ensureHealthTicker() {
 		return
 	}
 	jt.healthTick = sim.NewTicker(jt.engine, jt.cfg.HeartbeatInterval, func(time.Duration) {
-		if len(jt.Jobs()) == 0 {
+		if len(jt.activeJobs) == 0 {
 			jt.healthTick.Stop()
 			return
 		}
@@ -228,12 +228,12 @@ func (jt *JobTracker) trackersLost(batch []*TaskTracker, cause string) int {
 		return 0
 	}
 	// Every tracker in the batch is marked before any kill runs: the
-	// schedule() calls inside attemptKilled skip all of them.
+	// schedule() calls inside attemptKilled skip all of them. attemptsOn
+	// snapshots the tracker's node bucket in consumer-name order — the
+	// same order the old full RunningAttempts scan visited the tracker's
+	// attempts in, without materializing the fleet per lost tracker.
 	for _, tr := range lost {
-		for _, a := range jt.RunningAttempts() {
-			if a.Tracker != tr {
-				continue
-			}
+		for _, a := range jt.attemptsOn(tr) {
 			if a.consumer != nil && a.consumer.Running() {
 				a.consumer.Kill() // fires attemptKilled via OnKilled
 			} else {
@@ -274,8 +274,8 @@ func (jt *JobTracker) reexecuteLostMaps(tr *TaskTracker) int {
 	}
 	now := jt.engine.Now()
 	total := 0
-	for _, job := range jt.jobs {
-		if job.Done() || len(job.reduces) == 0 {
+	for _, job := range jt.activeJobs {
+		if len(job.reduces) == 0 {
 			// Map-only jobs write straight to the DFS; nothing to redo.
 			continue
 		}
@@ -285,7 +285,7 @@ func (jt *JobTracker) reexecuteLostMaps(tr *TaskTracker) int {
 				continue
 			}
 			job.uncountMapOutput(t)
-			t.state = TaskPending
+			jt.setTaskState(t, TaskPending)
 			t.pendingSince = now
 			job.mapsRemaining++
 			n++
@@ -326,7 +326,7 @@ func (jt *JobTracker) reexecuteLostMaps(tr *TaskTracker) int {
 // longer fetch) and re-queued behind the restored map barrier.
 func (jt *JobTracker) rollbackToMapPhase(job *Job) {
 	// Phase flips first so the kills below cannot relaunch reduces.
-	job.state = JobMapPhase
+	jt.setJobState(job, JobMapPhase)
 	job.mapsDoneAt = 0
 	job.phaseSpan.End(trace.S("outcome", "rolled-back"))
 	if jt.tracer != nil {

@@ -1,0 +1,82 @@
+package mapred
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// The index layer exists to make steady-state scheduling cheap at
+// datacenter scale, so its maintenance operations must not allocate
+// once the backing slices have grown to the fleet's working size —
+// otherwise a 10k-PM run spends its time in the garbage collector
+// instead of the event loop. Growth allocations (first insert into a
+// fresh set, a new node bucket) are expected and excluded by
+// prewarming before measuring.
+
+// TestFreeSetMaintenanceZeroAlloc measures the slot-churn hot path:
+// a tracker leaving and re-entering the free-slot sets as its map and
+// reduce slots fill and drain.
+func TestFreeSetMaintenanceZeroAlloc(t *testing.T) {
+	_, jt := rig(t, 16, Config{}, nil)
+	trackers := jt.Trackers()
+	tr := trackers[len(trackers)/2]
+	churn := func() {
+		tr.mapRunning = jt.cfg.MapSlots
+		tr.redsRunning = jt.cfg.ReduceSlots
+		jt.syncFree(tr) // leaves both sets
+		tr.mapRunning = 0
+		tr.redsRunning = 0
+		jt.syncFree(tr) // re-enters both sets
+	}
+	churn() // prewarm: every tracker already resides in both sets from AddTracker
+	if allocs := testing.AllocsPerRun(100, churn); allocs != 0 {
+		t.Errorf("free-set churn allocates %.1f times per slot cycle, want 0", allocs)
+	}
+}
+
+// TestRunningIndexMaintenanceZeroAlloc measures the attempt-launch and
+// -release hot path: inserting into and removing from the name-sorted
+// running list and its per-node bucket.
+func TestRunningIndexMaintenanceZeroAlloc(t *testing.T) {
+	_, jt := rig(t, 16, Config{}, nil)
+	trackers := jt.Trackers()
+	attempts := make([]*Attempt, len(trackers))
+	for i, tr := range trackers {
+		attempts[i] = &Attempt{
+			Tracker:  tr,
+			consumer: &cluster.Consumer{Name: fmt.Sprintf("alloc-test-%02d", i)},
+		}
+	}
+	churn := func() {
+		for _, a := range attempts {
+			jt.runningInsert(a)
+		}
+		for _, a := range attempts {
+			jt.runningRemove(a)
+		}
+	}
+	churn() // prewarm: creates the node buckets and grows the slices once
+	if allocs := testing.AllocsPerRun(100, churn); allocs != 0 {
+		t.Errorf("running-index churn allocates %.1f times per launch/release sweep, want 0", allocs)
+	}
+}
+
+// TestPressureRefreshKeepsSetsOrdered drives the dirty-PM refresh path
+// and verifies both free-slot sets stay sorted under their comparator —
+// the invariant the binary searches in freeInsert/freeRemove rely on.
+func TestPressureRefreshKeepsSetsOrdered(t *testing.T) {
+	_, jt := rig(t, 16, Config{CapacityAware: true}, nil)
+	for _, tr := range jt.Trackers() {
+		jt.refreshPressure(tr)
+	}
+	for _, set := range [][]*TaskTracker{jt.freeMaps, jt.freeReds} {
+		for i := 1; i < len(set); i++ {
+			if jt.freeLess(set[i], set[i-1]) {
+				t.Fatalf("free set out of order at %d: %s before %s",
+					i, set[i-1].Compute.Name(), set[i].Compute.Name())
+			}
+		}
+	}
+}

@@ -41,6 +41,11 @@ type Job struct {
 	doneAt        time.Duration
 	mapsRemaining int
 	redsRemaining int
+	// pendingMaps/pendingReds count tasks in TaskPending, maintained by
+	// JobTracker.setTaskState; together with the phase gate they answer
+	// hasPending in O(1) and feed the scheduler's schedulable totals.
+	pendingMaps int
+	pendingReds int
 
 	// mapOutputMB records, per physical machine, how much map output
 	// lives there; the shuffle model charges network for the fraction a
@@ -179,23 +184,13 @@ func (j *Job) pendingTask(kind TaskKind, tr *TaskTracker) *Task {
 	return any
 }
 
-// hasPending reports whether the job has unscheduled tasks of the kind.
+// hasPending reports whether the job has unscheduled tasks of the kind,
+// from the maintained pending counters — no task-list scan.
 func (j *Job) hasPending(kind TaskKind) bool {
-	list := j.maps
 	if kind == ReduceTask {
-		if j.state != JobReducePhase {
-			return false
-		}
-		list = j.reduces
-	} else if j.state != JobMapPhase {
-		return false
+		return j.state == JobReducePhase && j.pendingReds > 0
 	}
-	for _, t := range list {
-		if t.state == TaskPending {
-			return true
-		}
-	}
-	return false
+	return j.state == JobMapPhase && j.pendingMaps > 0
 }
 
 // runningTasks counts tasks currently in the running state.

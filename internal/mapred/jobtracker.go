@@ -3,7 +3,6 @@ package mapred
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/audit"
@@ -131,6 +130,21 @@ type TaskTracker struct {
 	redsRunning int
 	disabled    bool
 
+	// idx is the registration order, the deterministic tie-breaker the
+	// free-slot index sorts on.
+	idx int
+	// pm is the physical machine currently backing Compute, tracked so
+	// the free-slot index can follow VM migrations.
+	pm *cluster.PM
+	// pressure caches trackerPressure(tr); it is recomputed only when the
+	// backing machine's allocation changed (see JobTracker.flushDirty), so
+	// at every schedule() entry it equals the freshly computed value.
+	pressure float64
+	// inFreeMaps/inFreeReds record membership in the JobTracker's
+	// per-task-type free-slot sets.
+	inFreeMaps bool
+	inFreeReds bool
+
 	// hung simulates a wedged TaskTracker daemon: tasks may keep
 	// running, but heartbeats stop and the JobTracker eventually
 	// declares the tracker lost.
@@ -246,6 +260,51 @@ type JobTracker struct {
 	// attempts holds every running attempt for DRM/IPS introspection.
 	attempts map[*Attempt]struct{}
 
+	// Incrementally maintained indexes. They replace the full-fleet scans
+	// the scale sweep measured superlinear (jt O(n^2.20) before): schedule()
+	// walks only trackers with free slots, ordered by cached machine
+	// pressure; RunningAttempts returns a maintained name-sorted list; the
+	// DRM iterates per-node attempt buckets instead of rebuilding and
+	// sorting the fleet every tick. Every structure is updated at the state
+	// transition that changes it, so the scheduling decisions — and with
+	// them every simulation byte — are identical to the scan-based code.
+
+	// activeJobs holds non-done jobs in submission order.
+	activeJobs []*Job
+	// schedulableMaps/Reds count pending tasks whose phase gate is open
+	// (maps of JobMapPhase jobs, reduces of JobReducePhase jobs). A zero
+	// count proves NextTask would return nil for every tracker, letting
+	// schedule() stop without touching the fleet.
+	schedulableMaps int
+	schedulableReds int
+	// freeMaps/freeReds hold trackers with a free slot of each task
+	// type, ordered by (cached pressure, registration index) under
+	// CapacityAware and by registration index otherwise — exactly the
+	// prefix order the old sort.SliceStable produced. Their union is the
+	// old single free set; schedule() merge-iterates whichever sets have
+	// schedulable work so a map wave never walks map-full trackers.
+	freeMaps    []*TaskTracker
+	freeReds    []*TaskTracker
+	scratchMaps []*TaskTracker
+	scratchReds []*TaskTracker
+	runningSnap []*Attempt
+	// runningSorted holds every running attempt ordered by consumer name,
+	// maintained at launch/release instead of rebuilt and re-sorted per
+	// RunningAttempts call.
+	runningSorted []*Attempt
+	// buckets groups running attempts by compute node for the DRM's
+	// per-node sweep; bucketOrder keeps the buckets in node-name order.
+	buckets     map[cluster.Node]*nodeBucket
+	bucketOrder []*nodeBucket
+	// Pressure-cache invalidation: each PM hosting a tracker gets a
+	// cluster watcher that marks it dirty when its allocation is
+	// re-solved; flushDirty refreshes the affected cached pressures at the
+	// next schedule() entry.
+	dirtySet   map[*cluster.PM]bool
+	dirtyPMs   []*cluster.PM
+	pmTrackers map[*cluster.PM][]*TaskTracker
+	watched    map[*cluster.PM]bool
+
 	tracer     *trace.Tracer
 	auditLog   *audit.Log
 	perf       *perfstat.Stats
@@ -274,12 +333,24 @@ func NewJobTracker(engine *sim.Engine, fs *dfs.FileSystem, cfg Config, sched Sch
 		sched = FIFO{}
 	}
 	return &JobTracker{
-		engine:   engine,
-		fs:       fs,
-		cfg:      cfg.withDefaults(),
-		sched:    sched,
-		attempts: make(map[*Attempt]struct{}),
+		engine:     engine,
+		fs:         fs,
+		cfg:        cfg.withDefaults(),
+		sched:      sched,
+		attempts:   make(map[*Attempt]struct{}),
+		buckets:    make(map[cluster.Node]*nodeBucket),
+		dirtySet:   make(map[*cluster.PM]bool),
+		pmTrackers: make(map[*cluster.PM][]*TaskTracker),
+		watched:    make(map[*cluster.PM]bool),
 	}
+}
+
+// nodeBucket groups the running attempts on one compute node, ordered by
+// consumer name — the per-node view the DRM sweeps.
+type nodeBucket struct {
+	node     cluster.Node
+	name     string
+	attempts []*Attempt
 }
 
 // ensureSpecTicker starts the straggler scanner while jobs are active; it
@@ -293,7 +364,7 @@ func (jt *JobTracker) ensureSpecTicker() {
 		// Park on a drained queue, and also when every worker is
 		// permanently gone — stalled jobs would otherwise keep this
 		// ticker (and simulated time) running forever.
-		if len(jt.Jobs()) == 0 || !jt.anyViableTracker() {
+		if len(jt.activeJobs) == 0 || !jt.anyViableTracker() {
 			jt.specTick.Stop()
 			return
 		}
@@ -357,6 +428,19 @@ func (jt *JobTracker) LiveTrackers() int {
 	return n
 }
 
+// AnyLiveTracker reports whether at least one tracker can accept work
+// right now — the early-exit form of LiveTrackers() > 0 for callers that
+// only need existence, not the count (Phase I's failure-domain check runs
+// per submission; counting the whole fleet each time is O(n²) over a run).
+func (jt *JobTracker) AnyLiveTracker() bool {
+	for _, tr := range jt.trackers {
+		if !tr.disabled && !tr.lost && tr.responsive() {
+			return true
+		}
+	}
+	return false
+}
+
 // FleetViable reports whether at least one tracker could still run
 // work, now or after a repair — the condition under which parked jobs
 // are a livelock rather than a clean fleet-dead stall.
@@ -388,11 +472,23 @@ func (jt *JobTracker) AddTracker(node cluster.Node) *TaskTracker {
 // compute and storage nodes. The storage node is registered as a DFS
 // DataNode.
 func (jt *JobTracker) AddSplitTracker(compute, storage cluster.Node) *TaskTracker {
-	tr := &TaskTracker{Compute: compute, Storage: storage, jt: jt}
+	tr := &TaskTracker{Compute: compute, Storage: storage, jt: jt, idx: len(jt.trackers)}
 	tr.lastSeen = jt.engine.Now()
 	jt.fs.AddDataNode(storage)
 	jt.trackers = append(jt.trackers, tr)
-	if len(jt.Jobs()) > 0 {
+	if jt.cfg.CapacityAware {
+		tr.pm = compute.Machine()
+		if tr.pm != nil {
+			jt.pmTrackers[tr.pm] = append(jt.pmTrackers[tr.pm], tr)
+			jt.watchPM(tr.pm)
+		}
+		if jt.perf != nil {
+			jt.perf.C.JTPressureProbes++
+		}
+		tr.pressure = trackerPressure(tr)
+	}
+	jt.syncFree(tr) // a fresh tracker always has free slots
+	if len(jt.activeJobs) > 0 {
 		// Capacity added mid-run (e.g. after a fleet-dead park): revive
 		// the failure detector and straggler scanner, and offer the
 		// queue to the new worker.
@@ -410,36 +506,33 @@ func (jt *JobTracker) Trackers() []*TaskTracker {
 	return out
 }
 
-// Jobs returns jobs that are not yet complete.
+// Jobs returns jobs that are not yet complete, in submission order.
 func (jt *JobTracker) Jobs() []*Job {
-	out := make([]*Job, 0, len(jt.jobs))
-	for _, j := range jt.jobs {
-		if !j.Done() {
-			out = append(out, j)
-		}
-	}
+	out := make([]*Job, len(jt.activeJobs))
+	copy(out, jt.activeJobs)
 	return out
 }
 
 // RunningAttempts returns every attempt currently executing, ordered by
 // consumer name; the Phase II DRM and IPS iterate this to observe and
-// control MapReduce load. The deterministic order matters: map-iteration
-// order would leak into the DRM's cap-adjustment sequence and randomize
-// the simulation across runs.
+// control MapReduce load.
+//
+// Determinism contract (established in PR 6, preserved by the index
+// refactor): the order is always ascending consumer name, never a map
+// iteration order — map order would leak into the DRM's cap-adjustment
+// sequence and randomize the simulation across runs. The list is now
+// maintained incrementally (each attempt is inserted at its sorted
+// position at launch and removed at release) instead of rebuilt and
+// re-sorted per call; jt.attempts_sorted keeps its PR 6 semantics of
+// counting elements returned, not sort comparisons, because comparison
+// tallies of a map-fed sort were run-dependent even when the sorted
+// result was identical.
 func (jt *JobTracker) RunningAttempts() []*Attempt {
-	out := make([]*Attempt, 0, len(jt.attempts))
-	for a := range jt.attempts {
-		out = append(out, a)
-	}
-	// Count elements sorted, not comparisons: the input permutation comes
-	// from map iteration, so a comparison tally would differ run to run
-	// even though the sorted result is identical.
 	if jt.perf != nil {
-		jt.perf.C.JTAttemptsSorted += int64(len(out))
+		jt.perf.C.JTAttemptsSorted += int64(len(jt.runningSorted))
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return out[i].consumer.Name < out[j].consumer.Name
-	})
+	out := make([]*Attempt, len(jt.runningSorted))
+	copy(out, jt.runningSorted)
 	return out
 }
 
@@ -492,6 +585,10 @@ func (jt *JobTracker) Submit(spec JobSpec, onComplete func(*Job)) (*Job, error) 
 		job.reduces = append(job.reduces, &Task{Job: job, Kind: ReduceTask, Index: i, state: TaskPending})
 	}
 	job.redsRemaining = len(job.reduces)
+	job.pendingMaps = len(job.maps)
+	job.pendingReds = len(job.reduces)
+	// The job starts in the map phase: only its maps are schedulable.
+	jt.schedulableMaps += job.pendingMaps
 
 	if jt.tracer != nil {
 		track := fmt.Sprintf("job:%s-%d", spec.Name, job.ID)
@@ -503,6 +600,7 @@ func (jt *JobTracker) Submit(spec JobSpec, onComplete func(*Job)) (*Job, error) 
 	}
 
 	jt.jobs = append(jt.jobs, job)
+	jt.activeJobs = append(jt.activeJobs, job)
 	jt.ensureSpecTicker()
 	jt.ensureHealthTicker()
 	jt.schedule()
@@ -513,44 +611,102 @@ func (jt *JobTracker) Submit(spec JobSpec, onComplete func(*Job)) (*Job, error) 
 // are visited least-loaded first, so batch tasks flow toward VMs with
 // spare capacity before touching nodes already busy with interactive
 // tenants — the capacity-guided placement of HybridMR's DRM.
+//
+// The loop runs on the maintained free-slot index instead of copying and
+// sorting the whole fleet per call: cached pressures are refreshed for
+// dirtied machines at entry (so the index order equals what a fresh
+// stable sort would produce), only trackers with free slots are visited,
+// and the walk stops as soon as the schedulable-task counters prove
+// NextTask would return nil everywhere. Decisions are unchanged — the
+// trackers skipped by the index are exactly those the old scan skipped
+// after probing them.
 func (jt *JobTracker) schedule() {
 	jt.perf.Enter("mapred.schedule")
 	defer jt.perf.Exit()
 	if jt.perf != nil {
 		jt.perf.C.JTScheduleCalls++
 	}
-	ordered := make([]*TaskTracker, len(jt.trackers))
-	copy(ordered, jt.trackers)
-	if jt.cfg.CapacityAware {
-		sort.SliceStable(ordered, func(i, j int) bool {
-			if jt.perf != nil {
-				jt.perf.C.JTPressureProbes += 2
-			}
-			return trackerPressure(ordered[i]) < trackerPressure(ordered[j])
-		})
-	}
+	jt.flushDirty()
 	for {
-		assigned := false
+		if jt.schedulableMaps == 0 && jt.schedulableReds == 0 {
+			return
+		}
 		if jt.perf != nil {
 			jt.perf.C.JTScheduleRounds++
 		}
-		for _, tr := range ordered {
+		assigned := false
+		// Snapshot the free sets with schedulable work: launches during
+		// the round remove filled trackers from the live sets, and the
+		// original per-call order must hold for the whole round.
+		// Pressures are not recomputed mid-call, exactly as the old
+		// per-call sort froze them. A set whose task type has nothing
+		// schedulable is skipped entirely — every visit to it would be
+		// the no-op probe the old scan performed on map-full trackers
+		// during a map wave, which is where its O(n^2) hid.
+		var snapM, snapR []*TaskTracker
+		if jt.schedulableMaps > 0 {
+			snapM = append(jt.scratchMaps[:0], jt.freeMaps...)
+			jt.scratchMaps = snapM
+		}
+		if jt.schedulableReds > 0 {
+			snapR = append(jt.scratchReds[:0], jt.freeReds...)
+			jt.scratchReds = snapR
+		}
+		// Merge-iterate the two sets in the shared (pressure, idx) order;
+		// a tracker free for both kinds appears in both and is visited
+		// once, map kind first — the old per-tracker kind order.
+		mi, ri := 0, 0
+		for mi < len(snapM) || ri < len(snapR) {
+			if jt.schedulableMaps == 0 && jt.schedulableReds == 0 {
+				break // drained: every further probe would return nil
+			}
+			var tr *TaskTracker
+			tryMap, tryRed := false, false
+			switch {
+			case mi < len(snapM) && ri < len(snapR):
+				if snapM[mi] == snapR[ri] {
+					tr, tryMap, tryRed = snapM[mi], true, true
+					mi++
+					ri++
+				} else if jt.freeLess(snapM[mi], snapR[ri]) {
+					tr, tryMap = snapM[mi], true
+					mi++
+				} else {
+					tr, tryRed = snapR[ri], true
+					ri++
+				}
+			case mi < len(snapM):
+				tr, tryMap = snapM[mi], true
+				mi++
+			default:
+				tr, tryRed = snapR[ri], true
+				ri++
+			}
 			if tr.disabled || tr.lost {
 				continue
 			}
-			for _, kind := range [...]TaskKind{MapTask, ReduceTask} {
+			if tryMap {
 				if jt.perf != nil {
 					jt.perf.C.JTPairsScanned++
 				}
-				if tr.FreeSlots(kind) <= 0 {
-					continue
+				if tr.FreeSlots(MapTask) > 0 && jt.schedulableMaps > 0 {
+					if task := jt.sched.NextTask(jt, tr, MapTask); task != nil {
+						if err := jt.launch(task, tr, false); err == nil {
+							assigned = true
+						}
+					}
 				}
-				task := jt.sched.NextTask(jt, tr, kind)
-				if task == nil {
-					continue
+			}
+			if tryRed {
+				if jt.perf != nil {
+					jt.perf.C.JTPairsScanned++
 				}
-				if err := jt.launch(task, tr, false); err == nil {
-					assigned = true
+				if tr.FreeSlots(ReduceTask) > 0 && jt.schedulableReds > 0 {
+					if task := jt.sched.NextTask(jt, tr, ReduceTask); task != nil {
+						if err := jt.launch(task, tr, false); err == nil {
+							assigned = true
+						}
+					}
 				}
 			}
 		}
@@ -686,13 +842,15 @@ func (jt *JobTracker) launch(task *Task, tr *TaskTracker, speculative bool) erro
 		_ = tr.Storage.Start(a.serve)
 	}
 	task.attempts = append(task.attempts, a)
-	task.state = TaskRunning
+	jt.setTaskState(task, TaskRunning)
 	if task.Kind == MapTask {
 		tr.mapRunning++
 	} else {
 		tr.redsRunning++
 	}
+	jt.syncFree(tr)
 	jt.attempts[a] = struct{}{}
+	jt.runningInsert(a)
 	if jt.inv != nil {
 		jt.inv.AttemptStarted(jt, a)
 	}
@@ -756,7 +914,7 @@ func (jt *JobTracker) attemptFinished(a *Attempt) {
 		jt.schedule()
 		return
 	}
-	task.state = TaskDone
+	jt.setTaskState(task, TaskDone)
 	// Cancel losing attempts.
 	for _, other := range task.attempts {
 		if other != a && other.Running() {
@@ -783,7 +941,7 @@ func (jt *JobTracker) attemptFinished(a *Attempt) {
 			if len(job.reduces) == 0 {
 				jt.finishJob(job)
 			} else {
-				job.state = JobReducePhase
+				jt.setJobState(job, JobReducePhase)
 				// Reduces become schedulable only now: slot wait is
 				// measured from the barrier, not from submission.
 				for _, t := range job.reduces {
@@ -823,7 +981,7 @@ func (jt *JobTracker) attemptKilled(a *Attempt) {
 	}
 	task := a.Task
 	if task.state == TaskRunning && task.runningAttempts() == 0 {
-		task.state = TaskPending
+		jt.setTaskState(task, TaskPending)
 		task.pendingSince = jt.engine.Now()
 	}
 	jt.schedule()
@@ -834,20 +992,23 @@ func (jt *JobTracker) releaseSlot(a *Attempt) {
 		return
 	}
 	delete(jt.attempts, a)
+	jt.runningRemove(a)
 	if a.Task.Kind == MapTask {
 		a.Tracker.mapRunning--
 	} else {
 		a.Tracker.redsRunning--
 	}
+	jt.syncFree(a.Tracker)
 }
 
 func (jt *JobTracker) finishJob(job *Job) {
-	job.state = JobDone
+	jt.setJobState(job, JobDone)
+	jt.removeActiveJob(job)
 	job.doneAt = jt.engine.Now()
 	job.phaseSpan.End()
 	job.span.End(trace.F("jct_sec", job.JCT().Seconds()))
 	jt.mJobsCompleted.Inc()
-	if len(jt.Jobs()) == 0 && jt.specTick != nil {
+	if len(jt.activeJobs) == 0 && jt.specTick != nil {
 		jt.specTick.Stop()
 	}
 	if job.OnComplete != nil {
@@ -885,7 +1046,7 @@ func (jt *JobTracker) Relocate(a *Attempt, dst *TaskTracker) error {
 	if a.serve != nil && a.serve.Running() {
 		a.serve.Stop()
 	}
-	a.Task.state = TaskPending
+	jt.setTaskState(a.Task, TaskPending)
 	a.Task.pendingSince = jt.engine.Now()
 	return jt.launch(a.Task, dst, false)
 }
@@ -991,7 +1152,7 @@ func (jt *JobTracker) speculate() {
 		}
 		m[a.Task.Kind] = append(m[a.Task.Kind], a)
 	}
-	for _, job := range jt.jobs {
+	for _, job := range jt.activeJobs {
 		kinds, ok := byJobKind[job]
 		if !ok {
 			continue

@@ -23,11 +23,10 @@ var _ Scheduler = FIFO{}
 func (FIFO) Name() string { return "fifo" }
 
 // NextTask returns the first pending task of the oldest job that has one.
+// activeJobs holds exactly the non-done jobs in submission order, so the
+// walk skips completed history instead of filtering it per call.
 func (FIFO) NextTask(jt *JobTracker, tr *TaskTracker, kind TaskKind) *Task {
-	for _, j := range jt.jobs {
-		if j.Done() {
-			continue
-		}
+	for _, j := range jt.activeJobs {
 		if t := j.pendingTask(kind, tr); t != nil {
 			return t
 		}
@@ -49,24 +48,19 @@ func (Fair) NextTask(jt *JobTracker, tr *TaskTracker, kind TaskKind) *Task {
 	var best *Job
 	bestDeficit := 0.0
 	var totalWeight float64
-	active := 0
-	for _, j := range jt.jobs {
-		if j.Done() {
-			continue
-		}
+	for _, j := range jt.activeJobs {
 		w := j.Weight
 		if w <= 0 {
 			w = 1
 		}
 		totalWeight += w
-		active++
 	}
-	if active == 0 {
+	if len(jt.activeJobs) == 0 {
 		return nil
 	}
 	totalSlots := float64(len(jt.trackers) * (jt.cfg.MapSlots + jt.cfg.ReduceSlots))
-	for _, j := range jt.jobs {
-		if j.Done() || !j.hasPending(kind) {
+	for _, j := range jt.activeJobs {
+		if !j.hasPending(kind) {
 			continue
 		}
 		w := j.Weight

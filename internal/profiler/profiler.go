@@ -53,16 +53,64 @@ type entry struct {
 	result RunResult
 }
 
+// keyIndex accelerates per-key history queries. Every estimator path
+// filters the history by either cluster size (exact int match) or data
+// size (almostEqual float match) and then consumes the survivors in
+// insertion order; the index stores, per key, the entry indices grouped
+// by each filter value so a query touches only the group it needs. The
+// groups preserve ascending entry order, so arrays rebuilt from them are
+// element-for-element identical to the old full-scan filters — the
+// regression fits, and therefore every estimate, are bit-exact.
+type keyIndex struct {
+	// byNodes maps a cluster size to the ascending entry indices recorded
+	// at that size.
+	byNodes map[int][]int
+	// nodesAsc is the sorted list of distinct cluster sizes seen, kept in
+	// ascending order as sizes first appear.
+	nodesAsc []int
+	// dataVals groups entries by data size, one group per distinct value
+	// (first-appearance order). almostEqual is not transitive, so a group
+	// member may sit up to 1e-6 from its representative; queries widen the
+	// representative check to 2e-6 and re-test members individually.
+	dataVals []dataVal
+}
+
+type dataVal struct {
+	mb   float64
+	idxs []int // ascending entry indices with almostEqual(dataMB, mb)
+}
+
+func (ki *keyIndex) add(i int, e entry) {
+	if _, ok := ki.byNodes[e.nodes]; !ok {
+		pos := sort.SearchInts(ki.nodesAsc, e.nodes)
+		ki.nodesAsc = append(ki.nodesAsc, 0)
+		copy(ki.nodesAsc[pos+1:], ki.nodesAsc[pos:])
+		ki.nodesAsc[pos] = e.nodes
+	}
+	ki.byNodes[e.nodes] = append(ki.byNodes[e.nodes], i)
+	for gi := range ki.dataVals {
+		if almostEqual(ki.dataVals[gi].mb, e.dataMB) {
+			ki.dataVals[gi].idxs = append(ki.dataVals[gi].idxs, i)
+			return
+		}
+	}
+	ki.dataVals = append(ki.dataVals, dataVal{mb: e.dataMB, idxs: []int{i}})
+}
+
 // DB is the profile database: per (job, environment), the history of
-// observed runs.
+// observed runs plus the query index over it.
 type DB struct {
 	entries map[string][]entry
+	index   map[string]*keyIndex
 	perf    *perfstat.Stats
 }
 
 // NewDB creates an empty profile database.
 func NewDB() *DB {
-	return &DB{entries: make(map[string][]entry)}
+	return &DB{
+		entries: make(map[string][]entry),
+		index:   make(map[string]*keyIndex),
+	}
 }
 
 func dbKey(job string, env Environment) string {
@@ -72,7 +120,14 @@ func dbKey(job string, env Environment) string {
 // Add records an observation.
 func (db *DB) Add(job string, env Environment, nodes int, dataMB float64, r RunResult) {
 	k := dbKey(job, env)
-	db.entries[k] = append(db.entries[k], entry{nodes: nodes, dataMB: dataMB, result: r})
+	e := entry{nodes: nodes, dataMB: dataMB, result: r}
+	ki, ok := db.index[k]
+	if !ok {
+		ki = &keyIndex{byNodes: make(map[int][]int)}
+		db.index[k] = ki
+	}
+	ki.add(len(db.entries[k]), e)
+	db.entries[k] = append(db.entries[k], e)
 }
 
 // Len returns the number of observations for a job/environment.
@@ -80,11 +135,23 @@ func (db *DB) Len(job string, env Environment) int {
 	return len(db.entries[dbKey(job, env)])
 }
 
-// Lookup returns an exact match if one exists.
+// Lookup returns an exact match if one exists. Only entries recorded at
+// the requested cluster size are visited; within that group the scan
+// runs in insertion order, so the match returned is the same first match
+// the old full-history walk found.
 func (db *DB) Lookup(job string, env Environment, nodes int, dataMB float64) (RunResult, bool) {
-	for _, e := range db.entries[dbKey(job, env)] {
-		if e.nodes == nodes && almostEqual(e.dataMB, dataMB) {
-			return e.result, true
+	k := dbKey(job, env)
+	ki := db.index[k]
+	if ki == nil {
+		return RunResult{}, false
+	}
+	all := db.entries[k]
+	for _, i := range ki.byNodes[nodes] {
+		if db.perf != nil {
+			db.perf.C.P1ProfileEntriesScanned++
+		}
+		if almostEqual(all[i].dataMB, dataMB) {
+			return all[i].result, true
 		}
 	}
 	return RunResult{}, false
@@ -106,13 +173,15 @@ func almostEqual(a, b float64) bool {
 //  4. both differ: data-size extrapolation at the nearest profiled
 //     cluster size, rescaled by the cluster-size model.
 func (db *DB) Estimate(job string, env Environment, nodes int, dataMB float64) (RunResult, error) {
-	all := db.entries[dbKey(job, env)]
+	k := dbKey(job, env)
+	all := db.entries[k]
+	ki := db.index[k]
 	if db.perf != nil {
-		// The exact-match lookup below walks the history once; each
-		// extrapolation fallback that runs re-walks it and counts its own
-		// pass.
+		// P1ProfileEntriesScanned now counts the entries each resolution
+		// step actually reads through the index, not a full-history pass
+		// per call; an exact-match hit touches only the handful of entries
+		// recorded at the requested cluster size.
 		db.perf.C.P1Estimates++
-		db.perf.C.P1ProfileEntriesScanned += int64(len(all))
 	}
 	if len(all) == 0 {
 		return RunResult{}, fmt.Errorf("%w: no runs of %s on %s", ErrNoProfile, job, env)
@@ -121,10 +190,10 @@ func (db *DB) Estimate(job string, env Environment, nodes int, dataMB float64) (
 		return r, nil
 	}
 
-	if r, err := db.extrapolateData(all, nodes, dataMB); err == nil {
+	if r, err := db.extrapolateData(all, ki, nodes, dataMB); err == nil {
 		return r, nil
 	}
-	if r, err := db.extrapolateCluster(all, nodes, dataMB); err == nil {
+	if r, err := db.extrapolateCluster(all, ki, nodes, dataMB); err == nil {
 		return r, nil
 	}
 
@@ -132,22 +201,21 @@ func (db *DB) Estimate(job string, env Environment, nodes int, dataMB float64) (
 	// profiled cluster size n0, then carry the slope (the per-MB work
 	// term) across cluster sizes by the paper's inverse model: a phase
 	// is a constant plus work/n, so phase(n, d) = intercept + slope*d*n0/n.
-	nearest, ok := nearestNodes(all, nodes)
+	nearest, ok := nearestNodes(ki, nodes)
 	if !ok {
 		return RunResult{}, fmt.Errorf("%w: no usable runs of %s", ErrNoProfile, job)
 	}
-	return db.combinedEstimate(all, nearest, nodes, dataMB)
+	return db.combinedEstimate(all, ki, nearest, nodes, dataMB)
 }
 
-func (db *DB) combinedEstimate(all []entry, n0, nodes int, dataMB float64) (RunResult, error) {
+func (db *DB) combinedEstimate(all []entry, ki *keyIndex, n0, nodes int, dataMB float64) (RunResult, error) {
+	group := ki.byNodes[n0]
 	if db.perf != nil {
-		db.perf.C.P1ProfileEntriesScanned += int64(len(all))
+		db.perf.C.P1ProfileEntriesScanned += int64(len(group))
 	}
 	var xs, ms, rs []float64
-	for _, e := range all {
-		if e.nodes != n0 {
-			continue
-		}
+	for _, i := range group {
+		e := all[i]
 		xs = append(xs, e.dataMB)
 		ms = append(ms, e.result.MapSec)
 		rs = append(rs, e.result.ReduceSec)
@@ -173,16 +241,16 @@ func (db *DB) combinedEstimate(all []entry, n0, nodes int, dataMB float64) (RunR
 }
 
 // extrapolateData fits JCT (and phases) linearly against data size using
-// runs at exactly the requested cluster size.
-func (db *DB) extrapolateData(all []entry, nodes int, dataMB float64) (RunResult, error) {
+// runs at exactly the requested cluster size; the index hands over that
+// group directly, in insertion order.
+func (db *DB) extrapolateData(all []entry, ki *keyIndex, nodes int, dataMB float64) (RunResult, error) {
+	group := ki.byNodes[nodes]
 	if db.perf != nil {
-		db.perf.C.P1ProfileEntriesScanned += int64(len(all))
+		db.perf.C.P1ProfileEntriesScanned += int64(len(group))
 	}
 	var xs, jct, ms, rs []float64
-	for _, e := range all {
-		if e.nodes != nodes {
-			continue
-		}
+	for _, i := range group {
+		e := all[i]
 		xs = append(xs, e.dataMB)
 		jct = append(jct, e.result.JCTSec)
 		ms = append(ms, e.result.MapSec)
@@ -212,16 +280,31 @@ func (db *DB) extrapolateData(all []entry, nodes int, dataMB float64) (RunResult
 
 // extrapolateCluster fits the map phase as an inverse-linear function of
 // cluster size and the reduce phase piece-wise, using runs at exactly the
-// requested data size.
-func (db *DB) extrapolateCluster(all []entry, nodes int, dataMB float64) (RunResult, error) {
-	if db.perf != nil {
-		db.perf.C.P1ProfileEntriesScanned += int64(len(all))
-	}
-	var xs, ms, rs []float64
-	for _, e := range all {
-		if !almostEqual(e.dataMB, dataMB) {
+// requested data size. Candidate entries come from the data-size groups:
+// a matching entry can only live in a group whose representative is
+// within 2e-6 of the query (members sit within 1e-6 of their rep), so
+// only those groups' members are re-tested. The surviving indices are
+// merged back into ascending order, reproducing the old scan's order.
+func (db *DB) extrapolateCluster(all []entry, ki *keyIndex, nodes int, dataMB float64) (RunResult, error) {
+	var idxs []int
+	for _, g := range ki.dataVals {
+		d := g.mb - dataMB
+		if d >= 2e-6 || d <= -2e-6 {
 			continue
 		}
+		for _, i := range g.idxs {
+			if db.perf != nil {
+				db.perf.C.P1ProfileEntriesScanned++
+			}
+			if almostEqual(all[i].dataMB, dataMB) {
+				idxs = append(idxs, i)
+			}
+		}
+	}
+	sort.Ints(idxs)
+	var xs, ms, rs []float64
+	for _, i := range idxs {
+		e := all[i]
 		xs = append(xs, float64(e.nodes))
 		ms = append(ms, e.result.MapSec)
 		rs = append(rs, e.result.ReduceSec)
@@ -262,30 +345,21 @@ func clampResult(r RunResult) RunResult {
 	return r
 }
 
-func nearestNodes(all []entry, nodes int) (int, bool) {
+func nearestNodes(ki *keyIndex, nodes int) (int, bool) {
 	// Prefer cluster sizes that have at least two data points (needed
-	// for data extrapolation).
-	counts := make(map[int]int)
-	for _, e := range all {
-		counts[e.nodes]++
-	}
-	candidates := make([]int, 0, len(counts))
-	for n, c := range counts {
-		if c >= 2 {
-			candidates = append(candidates, n)
+	// for data extrapolation). nodesAsc is already sorted, so walking it
+	// reproduces the old sort-then-scan tie-breaking (smaller size wins
+	// on equal distance) over distinct sizes instead of every entry.
+	best, bestDist, found := 0, 0, false
+	for _, n := range ki.nodesAsc {
+		if len(ki.byNodes[n]) < 2 {
+			continue
+		}
+		if d := abs(n - nodes); !found || d < bestDist {
+			best, bestDist, found = n, d, true
 		}
 	}
-	if len(candidates) == 0 {
-		return 0, false
-	}
-	sort.Ints(candidates)
-	best, bestDist := candidates[0], abs(candidates[0]-nodes)
-	for _, n := range candidates[1:] {
-		if d := abs(n - nodes); d < bestDist {
-			best, bestDist = n, d
-		}
-	}
-	return best, true
+	return best, found
 }
 
 func abs(x int) int {

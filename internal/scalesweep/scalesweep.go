@@ -37,6 +37,20 @@ const Schema = "hybridmr.perf/v1"
 // 16× size range.
 const SuperlinearThreshold = 1.05
 
+// AcceptanceCeiling is the growth exponent the indexed controllers must
+// not exceed: the scheduler-state index work flattened jt, drm and p1
+// from n^2.2/n^2.0/n^1.6 to at most ~n^1.2, and the sweep's regression
+// guard fails any change that lets one of them climb back above this.
+const AcceptanceCeiling = 1.2
+
+// IndexedControllers names the controllers covered by AcceptanceCeiling.
+var IndexedControllers = []string{"jt", "drm", "p1"}
+
+// DefaultScaleUpSizes are the synthetic datacenter-scale operating
+// points the -scale-up suite runs: 2.5k PMs (CI-speed smoke) and 10k
+// PMs (the full datacenter point).
+func DefaultScaleUpSizes() []int { return []int{2500, 10000} }
+
 // Options parameterizes a sweep.
 type Options struct {
 	// Sizes are the total PM counts to run, smallest first. Each size n
@@ -160,6 +174,14 @@ func Run(opts Options) (File, error) {
 	rep.Exponents = FitExponents(rep.Results)
 	rep.Controllers = ClassifyControllers(rep.Exponents)
 	return File{Schema: Schema, Report: rep, Wall: walls}, nil
+}
+
+// RunPoint runs the sweep's weak-scaling scenario at a single cluster
+// size and returns its deterministic result and wall timing — the
+// single-operating-point entry used by the scale-up suite and the sim
+// CLI's scaleup scenario.
+func RunPoint(size int, opts Options) (SizeResult, WallResult, error) {
+	return runSize(size, opts.withDefaults())
 }
 
 // runSize runs the weak-scaling scenario at one cluster size: waves of
