@@ -83,6 +83,7 @@ import (
 	"repro/internal/fidelity"
 	"repro/internal/invariant"
 	"repro/internal/perfstat"
+	"repro/internal/progress"
 	"repro/internal/scalesweep"
 	"repro/internal/trace"
 )
@@ -203,6 +204,7 @@ func run(args []string, stdout io.Writer) error {
 	scaleUp := fs.Bool("scale-up", false, "run the datacenter-scale operating points instead of the figure experiments")
 	scaleUpSizes := fs.String("scale-up-sizes", "", "comma-separated total-PM counts for -scale-up (default 2500,10000)")
 	scaleUpOut := fs.String("scale-up-out", "SCALEUP.json", "scale-up report path (with -scale-up)")
+	progressOn := fs.Bool("progress", false, "print a live wall-clock heartbeat (completed points, events/sec, ETA) to stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	profileDir := fs.String("profile-dir", "", "write cpu.pprof and mem.pprof into this directory (overrides -cpuprofile/-memprofile)")
@@ -237,6 +239,14 @@ func run(args []string, stdout io.Writer) error {
 	experiments.Scale = *scale
 	experiments.Parallelism = *parallel
 
+	// The heartbeat prints to stderr from its own goroutine and reads
+	// only atomic state, so it cannot disturb any deterministic output.
+	var pr *progress.Reporter
+	if *progressOn {
+		pr = progress.Start(os.Stderr, "bench", 0, 0)
+		defer pr.Stop()
+	}
+
 	if *chaosReplay != "" {
 		if err := runChaosReplay(*chaosReplay, stdout); err != nil {
 			return err
@@ -254,7 +264,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := runScaleSweep(sizes, *sweepSeed, *perfOut, stdout); err != nil {
+		if err := runScaleSweep(sizes, *sweepSeed, *perfOut, pr, stdout); err != nil {
 			return err
 		}
 		return stopProf()
@@ -267,7 +277,7 @@ func run(args []string, stdout io.Writer) error {
 		if sizes == nil {
 			sizes = scalesweep.DefaultScaleUpSizes()
 		}
-		if err := runScaleUp(sizes, *sweepSeed, *scaleUpOut, *baselinePath, *writeBaseline, stdout); err != nil {
+		if err := runScaleUp(sizes, *sweepSeed, *scaleUpOut, *baselinePath, *writeBaseline, pr, stdout); err != nil {
 			return err
 		}
 		return stopProf()
@@ -295,6 +305,7 @@ func run(args []string, stdout io.Writer) error {
 	report := &fidelity.Report{Scale: *scale}
 	measured := make(map[string]float64, len(selected))
 	ratios := make(map[string]map[string]float64, len(selected))
+	pr.SetTotal(int64(len(selected)))
 	for _, e := range selected {
 		start := time.Now()
 		outcome, err := e.Run()
@@ -339,6 +350,7 @@ func run(args []string, stdout io.Writer) error {
 			fr.EventsFired = outcome.EventsFired
 			report.Add(fr)
 		}
+		pr.Add(1)
 	}
 
 	if *baselinePath != "" {
@@ -386,8 +398,15 @@ func parseSizes(s string) ([]int, error) {
 // runScaleSweep runs the controller-complexity sweep and writes
 // PERF.json. The report section of the file is byte-deterministic; the
 // wall section is not, and determinism comparisons must strip it.
-func runScaleSweep(sizes []int, seed int64, outPath string, stdout io.Writer) error {
-	f, err := scalesweep.Run(scalesweep.Options{Sizes: sizes, Seed: seed})
+func runScaleSweep(sizes []int, seed int64, outPath string, pr *progress.Reporter, stdout io.Writer) error {
+	if len(sizes) == 0 {
+		sizes = scalesweep.DefaultSweepSizes()
+	}
+	pr.SetTotal(int64(len(sizes)))
+	f, err := scalesweep.Run(scalesweep.Options{
+		Sizes: sizes, Seed: seed,
+		OnPointDone: func() { pr.Add(1) },
+	})
 	if err != nil {
 		return err
 	}
@@ -418,8 +437,12 @@ func runScaleSweep(sizes []int, seed int64, outPath string, stdout io.Writer) er
 // (same byte-deterministic layout as PERF.json), enforces the indexed
 // controllers' growth ceiling when more than one point ran, and guards
 // each point's events/sec against the baseline's scale_up floors.
-func runScaleUp(sizes []int, seed int64, outPath, baselinePath string, writeBaseline bool, stdout io.Writer) error {
-	f, err := scalesweep.Run(scalesweep.Options{Sizes: sizes, Seed: seed})
+func runScaleUp(sizes []int, seed int64, outPath, baselinePath string, writeBaseline bool, pr *progress.Reporter, stdout io.Writer) error {
+	pr.SetTotal(int64(len(sizes)))
+	f, err := scalesweep.Run(scalesweep.Options{
+		Sizes: sizes, Seed: seed,
+		OnPointDone: func() { pr.Add(1) },
+	})
 	if err != nil {
 		return err
 	}

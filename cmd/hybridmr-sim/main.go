@@ -34,6 +34,7 @@
 //	hybridmr-sim -scenario chaos -faults pm-crash=4,block-loss=12,repair-sec=90
 //	hybridmr-sim -scenario scaleup -pms 10000
 //	hybridmr-sim -benchmark Sort -pms 48 -profile-dir prof/
+//	hybridmr-sim -scenario chaos -timeseries ts.jsonl -slo slo.json -progress
 //
 // -cpuprofile, -memprofile and -profile-dir wire the Go runtime
 // profilers around the whole run (runtime/pprof format, loadable with
@@ -60,6 +61,17 @@
 // audit log and per-job critical-path breakdowns, with no external
 // assets. All outputs contain only simulated timestamps, so two runs with
 // the same seed produce byte-identical files.
+//
+// -timeseries streams sim-clock-windowed telemetry (counters, gauges and
+// histogram digests from the engine, scheduler, DFS and services) as
+// JSONL with memory bounded regardless of horizon; -slo evaluates the
+// stock service-level objectives over those windows with multi-window
+// burn-rate alerting and writes the summary JSON (the report gains
+// time-series charts and an SLO burn panel when these are on). Both
+// outputs carry only simulated time and stay byte-deterministic.
+// -progress prints a live wall-clock heartbeat (elapsed, events/sec,
+// percent and ETA where known) to stderr; it reads only atomic state and
+// never touches the deterministic artifacts.
 package main
 
 import (
@@ -83,10 +95,12 @@ import (
 	"repro/internal/mapred"
 	"repro/internal/metrics"
 	"repro/internal/perfstat"
+	"repro/internal/progress"
 	"repro/internal/report"
 	"repro/internal/scalesweep"
 	"repro/internal/sim"
 	"repro/internal/testbed"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -104,6 +118,8 @@ type obsConfig struct {
 	metricsOn              bool
 	auditFile              string
 	reportFile             string
+	tsFile                 string
+	sloFile                string
 }
 
 // runObs bundles the observers of one simulation run. Multi-benchmark
@@ -119,6 +135,7 @@ type runObs struct {
 	reg    *trace.Registry
 	log    *audit.Log
 	rec    *metrics.Recorder
+	ts     *timeseries.Collector
 
 	title  string
 	simEnd time.Duration
@@ -137,14 +154,19 @@ func newRunObs(cfg obsConfig, suffix string, seed int64) *runObs {
 	if cfg.auditFile != "" || cfg.reportFile != "" {
 		o.log = audit.New(0)
 	}
+	if cfg.tsFile != "" || cfg.sloFile != "" {
+		o.ts = timeseries.New(0, 0)
+	}
 	return o
 }
 
 // watch attaches a utilization/power recorder to the run's cluster when
-// a report was requested; the report's timeline view reads it back.
+// a report or windowed telemetry was requested; the report's timeline
+// view reads it back, and its ticks sample the telemetry probes.
 func (o *runObs) watch(cl *cluster.Cluster) {
-	if o.cfg.reportFile != "" {
+	if o.cfg.reportFile != "" || o.ts != nil {
 		o.rec = metrics.NewRecorder(cl, 10*time.Second, 0)
+		o.rec.SetTimeSeries(o.ts)
 	}
 }
 
@@ -185,6 +207,13 @@ func (o *runObs) finish(out io.Writer, eventsPerSec float64) error {
 	if o.rec != nil {
 		o.rec.Stop()
 	}
+	// Evaluate SLOs once; the JSON summary, the JSONL rows and the
+	// report's burn panel all read the same evaluation.
+	var sloRep timeseries.SLOReport
+	var sloRows []timeseries.WindowEval
+	if o.cfg.sloFile != "" {
+		sloRep, sloRows = timeseries.Evaluate(o.ts, timeseries.DefaultObjectives())
+	}
 	if o.cfg.reportFile != "" {
 		d := report.Data{
 			Title:        o.title,
@@ -200,6 +229,13 @@ func (o *runObs) finish(out io.Writer, eventsPerSec float64) error {
 		if o.rec != nil {
 			d.Samples = o.rec.Samples()
 			d.EnergyWh = o.rec.EnergyWh()
+		}
+		if o.ts != nil {
+			d.TimeSeries = o.ts.Snapshot()
+		}
+		if o.cfg.sloFile != "" {
+			d.SLO = &sloRep
+			d.SLORows = sloRows
 		}
 		path := suffixed(o.cfg.reportFile, o.suffix)
 		f, err := os.Create(path)
@@ -230,6 +266,40 @@ func (o *runObs) finish(out io.Writer, eventsPerSec float64) error {
 			return err
 		}
 		fmt.Fprintf(out, "\naudit: %d decisions -> %s\n", o.log.Len(), path)
+	}
+	if o.cfg.tsFile != "" {
+		path := suffixed(o.cfg.tsFile, o.suffix)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		// Series windows first, then the SLO evaluation rows (when -slo is
+		// on): one JSONL stream carries the full windowed record.
+		if err := o.ts.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := timeseries.WriteSLOJSONL(f, sloRows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntimeseries: %d windows x %.0fs -> %s\n",
+			o.ts.Windows(), o.ts.Window().Seconds(), path)
+	}
+	if o.cfg.sloFile != "" {
+		path := suffixed(o.cfg.sloFile, o.suffix)
+		data, err := sloRep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nslo: %d objective(s), %d page(s), %d ticket(s) -> %s\n",
+			len(sloRep.Objectives), sloRep.Pages, sloRep.Tickets, path)
 	}
 	// Wall-clock throughput goes to the registry only — never into the
 	// report, trace or audit files, which must stay deterministic.
@@ -279,6 +349,9 @@ func run(args []string, out io.Writer) error {
 	metricsOn := fs.Bool("metrics", false, "print the metrics registry after the run")
 	auditFile := fs.String("audit", "", "write the scheduler decision log as JSONL to this file")
 	reportFile := fs.String("report", "", "write a self-contained HTML observatory report to this file")
+	tsFile := fs.String("timeseries", "", "write windowed time-series telemetry (and SLO evaluations with -slo) as JSONL to this file")
+	sloFile := fs.String("slo", "", "evaluate the stock SLOs over the windowed telemetry and write the summary JSON to this file")
+	progressOn := fs.Bool("progress", false, "print a live wall-clock heartbeat (events/sec, ETA) to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a runtime/pprof heap profile to this file on exit")
 	profileDir := fs.String("profile-dir", "", "write cpu.pprof and mem.pprof into this directory (overrides -cpuprofile/-memprofile)")
@@ -310,6 +383,16 @@ func run(args []string, out io.Writer) error {
 	cfg := obsConfig{
 		traceFile: *traceFile, traceFormat: *traceFormat,
 		metricsOn: *metricsOn, auditFile: *auditFile, reportFile: *reportFile,
+		tsFile: *tsFile, sloFile: *sloFile,
+	}
+
+	// The heartbeat goes to stderr and reads only wall-clock state plus
+	// the process-wide atomic event counter, so it can never perturb the
+	// deterministic outputs.
+	var pr *progress.Reporter
+	if *progressOn {
+		pr = progress.Start(os.Stderr, mode, 0, 0)
+		defer pr.Stop()
 	}
 
 	firedBefore := sim.ProcessEvents()
@@ -325,9 +408,10 @@ func run(args []string, out io.Writer) error {
 		switch mode {
 		case "quickstart":
 			obs := newRunObs(cfg, "", *seed)
-			if err := runQuickstart(*seed, obs, out); err != nil {
+			if err := runQuickstart(*seed, obs, pr, out); err != nil {
 				return err
 			}
+			pr.Stop()
 			return obs.finish(out, throughput())
 		case "job":
 			return runJobs(*bench, jobOptions{
@@ -339,6 +423,7 @@ func run(args []string, out io.Writer) error {
 			if err := runChaos(*seed, *faultSeed, *faults, *invariants, obs, out); err != nil {
 				return err
 			}
+			pr.Stop()
 			return obs.finish(out, throughput())
 		case "scaleup":
 			size := *pms
@@ -361,7 +446,7 @@ func run(args []string, out io.Writer) error {
 // runQuickstart exercises every traced subsystem: hybrid placement, task
 // execution with data locality, interactive-service SLA monitoring, live
 // VM migration and PM power management.
-func runQuickstart(seed int64, obs *runObs, out io.Writer) error {
+func runQuickstart(seed int64, obs *runObs, pr *progress.Reporter, out io.Writer) error {
 	obs.title = "quickstart"
 	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
 		NativePMs:      4,
@@ -371,12 +456,31 @@ func runQuickstart(seed int64, obs *runObs, out io.Writer) error {
 		Tracer:         obs.tracer,
 		Metrics:        obs.reg,
 		Audit:          obs.log,
+		TimeSeries:     obs.ts,
 	})
 	if err != nil {
 		return err
 	}
 	defer dc.Close()
 	obs.watch(dc.Cluster)
+
+	// The scenario simulates exactly 20 minutes; slicing each RunFor into
+	// short chunks gives the heartbeat a completed fraction to show.
+	// RunUntil(a); RunUntil(b) is identical to RunUntil(b), so slicing
+	// cannot change any deterministic output.
+	pr.SetTotal(int64(20 * time.Minute / time.Millisecond))
+	runFor := func(d time.Duration) {
+		const slice = 30 * time.Second
+		for d > 0 {
+			c := d
+			if c > slice {
+				c = slice
+			}
+			dc.RunFor(c)
+			pr.Add(int64(c / time.Millisecond))
+			d -= c
+		}
+	}
 
 	svc, err := dc.DeployService(hybridmr.RUBiS())
 	if err != nil {
@@ -399,7 +503,7 @@ func runQuickstart(seed int64, obs *runObs, out io.Writer) error {
 		}
 		jobs = append(jobs, submitted{job, placement})
 	}
-	dc.RunFor(10 * time.Minute)
+	runFor(10 * time.Minute)
 
 	// Consolidate: pm-1's two worker VMs move to pm-2 and pm-3, then the
 	// emptied machine powers down.
@@ -420,7 +524,7 @@ func runQuickstart(seed int64, obs *runObs, out io.Writer) error {
 	if migErr != nil {
 		return migErr
 	}
-	dc.RunFor(2 * time.Minute)
+	runFor(2 * time.Minute)
 
 	if pm := pmByName(dc.HostPMs, "pm-1"); pm != nil {
 		if err := pm.PowerOff(); err != nil {
@@ -429,7 +533,7 @@ func runQuickstart(seed int64, obs *runObs, out io.Writer) error {
 		fmt.Fprintf(out, "powered off pm-1 (%d/%d PMs on)\n",
 			dc.Cluster.PoweredOnPMs(), len(dc.Cluster.PMs()))
 	}
-	dc.RunFor(8 * time.Minute)
+	runFor(8 * time.Minute)
 
 	fmt.Fprintf(out, "\nquickstart after %s simulated:\n", dc.Now())
 	for _, s := range jobs {
@@ -487,6 +591,7 @@ func runChaos(seed, faultSeed int64, profileSpec string, checkInvariants bool, o
 		Tracer:     obs.tracer,
 		Metrics:    obs.reg,
 		Audit:      obs.log,
+		TimeSeries: obs.ts,
 		Invariants: inv,
 		Faults: &fault.Options{
 			Seed: faultSeed,
@@ -669,6 +774,7 @@ func runJob(o jobOptions, obs *runObs, out io.Writer) error {
 		Tracer:       obs.tracer,
 		Metrics:      obs.reg,
 		Audit:        obs.log,
+		TimeSeries:   obs.ts,
 	})
 	if err != nil {
 		return err

@@ -7,7 +7,10 @@
 // job's map/reduce phase split; then it asks the audit log *why* each
 // job landed on its partition (with the candidates Phase I weighed) and
 // which speculative launches paid off, and finally prints the critical
-// path bounding one job's completion time.
+// path bounding one job's completion time. A windowed-telemetry coda
+// replays the same JSONL queries you would run with jq against a
+// `hybridmr-sim -timeseries` export: slot-wait pressure per window, and
+// the first window whose p99 slot wait breached the stock SLO threshold.
 package main
 
 import (
@@ -42,6 +45,7 @@ type event struct {
 func run() error {
 	tracer := hybridmr.NewTracer()
 	auditLog := hybridmr.NewAuditLog(0)
+	ts := hybridmr.NewTimeSeries(0, 0)
 	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
 		NativePMs:      2,
 		VirtualHostPMs: 2,
@@ -49,11 +53,13 @@ func run() error {
 		Seed:           3,
 		Tracer:         tracer,
 		Audit:          auditLog,
+		TimeSeries:     ts,
 	})
 	if err != nil {
 		return err
 	}
 	defer dc.Close()
+	rec := dc.NewRecorder(0) // ticks sample the probe-backed series
 
 	// A mixed workload: a shuffle-heavy sort, a scan, and a CPU-bound
 	// estimator, all competing for the same slots.
@@ -163,5 +169,52 @@ func run() error {
 	fmt.Printf("  makespan %.1fs = %.1fs waiting + %.1fs running (%d retried, %d speculative wins)\n",
 		rep.Makespan.Seconds(), rep.Wait.Seconds(), rep.Run.Seconds(),
 		rep.Retried, rep.SpeculativeWins)
+
+	// Windowed telemetry: the same JSONL a `hybridmr-sim -timeseries`
+	// export carries, queried the way you would with jq. The Go decoding
+	// below is a line-for-line stand-in for:
+	//
+	//	jq 'select(.series=="mapred.task.slot_wait_sec")' ts.jsonl
+	//	jq -s 'map(select(.series=="mapred.task.slot_wait_sec"
+	//	         and .p99 > 20)) | min_by(.start_s)
+	//	       | {label, start_s, end_s, p99}' ts.jsonl
+	rec.Stop()
+	var tsBuf bytes.Buffer
+	if err := ts.WriteJSONL(&tsBuf); err != nil {
+		return err
+	}
+	type tsRow struct {
+		Series string   `json:"series"`
+		Label  string   `json:"label"`
+		StartS float64  `json:"start_s"`
+		EndS   float64  `json:"end_s"`
+		Count  uint64   `json:"count"`
+		P99    *float64 `json:"p99"`
+	}
+	const slaSec = 20.0 // the stock map-slot-wait objective's threshold
+	var breach *tsRow
+	fmt.Printf("\nslot-wait pressure per %gs window (from the windowed JSONL):\n\n", ts.Window().Seconds())
+	tsDec := json.NewDecoder(&tsBuf)
+	for tsDec.More() {
+		var row tsRow
+		if err := tsDec.Decode(&row); err != nil {
+			return err
+		}
+		if row.Series != "mapred.task.slot_wait_sec" || row.P99 == nil {
+			continue
+		}
+		fmt.Printf("  %-10s  %5.0fs -> %5.0fs  %3d launches  p99 wait %6.1fs\n",
+			row.Label, row.StartS, row.EndS, row.Count, *row.P99)
+		if *row.P99 > slaSec && (breach == nil || row.StartS < breach.StartS) {
+			r := row
+			breach = &r
+		}
+	}
+	if breach != nil {
+		fmt.Printf("\nfirst window breaching the %gs slot-wait SLO: %s at %.0fs-%.0fs (p99 %.1fs)\n",
+			slaSec, breach.Label, breach.StartS, breach.EndS, *breach.P99)
+	} else {
+		fmt.Printf("\nno window breached the %gs slot-wait SLO\n", slaSec)
+	}
 	return nil
 }

@@ -44,6 +44,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/testbed"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -136,10 +137,40 @@ type (
 	// InvariantViolation is one recorded invariant breach, with the last
 	// audited decision before it tripped (when an AuditLog was wired).
 	InvariantViolation = invariant.Violation
+	// TimeSeriesCollector aggregates counters, gauges and histogram
+	// digests into sim-clock windows with fixed memory regardless of run
+	// length; hand one to ClusterSpec.TimeSeries or RigOptions.TimeSeries.
+	// Nil-safe: a nil collector disables all windowed telemetry.
+	TimeSeriesCollector = timeseries.Collector
+	// TimeSeriesSnapshot is one series' windowed aggregates.
+	TimeSeriesSnapshot = timeseries.SeriesSnapshot
+	// SLOObjective is one declarative service-level objective evaluated
+	// per window against the collected telemetry.
+	SLOObjective = timeseries.Objective
+	// SLOReport is the summary the SLO engine emits: per-objective error
+	// budgets, burn-rate alert episodes and met/missed verdicts.
+	SLOReport = timeseries.SLOReport
+	// SLOWindowEval is one objective's evaluation of one window (the SLO
+	// JSONL row).
+	SLOWindowEval = timeseries.WindowEval
+	// SLOAlert is one contiguous burn-rate alert episode.
+	SLOAlert = timeseries.Alert
 )
 
 // NewPerfStats builds an empty performance-attribution collector.
 var NewPerfStats = perfstat.New
+
+// NewTimeSeries builds a windowed telemetry collector; non-positive
+// arguments take the defaults (10s windows, 240 of them before
+// downsampling doubles the width).
+var NewTimeSeries = timeseries.New
+
+// DefaultSLOObjectives returns the simulator's stock SLO set.
+var DefaultSLOObjectives = timeseries.DefaultObjectives
+
+// EvaluateSLOs runs objectives over a collector's windows, returning the
+// summary report and the per-window evaluation rows.
+var EvaluateSLOs = timeseries.Evaluate
 
 // NewInvariantChecker builds an unattached safety-invariant checker.
 var NewInvariantChecker = invariant.New
@@ -294,6 +325,17 @@ type ClusterSpec struct {
 	// safety-invariant checker; read its Final() after the run. Checkers
 	// are per-deployment, like Perf.
 	Invariants *InvariantChecker
+	// TimeSeries, when non-nil, attaches a windowed telemetry collector
+	// to every layer of the deployment: per-service latency and
+	// SLA-violation series, per-job slot-wait histograms, task-queue
+	// depths, migration and power churn, and the engine's occupancy
+	// gauges. Pair with NewRecorder so probe-backed series get sampled.
+	// Collectors are per-deployment, like Perf.
+	TimeSeries *TimeSeriesCollector
+	// SampleInterval sets the cadence of recorders built by NewRecorder
+	// when its interval argument is zero (default 10s). Each sample costs
+	// 56 bytes regardless of PM count.
+	SampleInterval time.Duration
 }
 
 // HybridCluster is a ready-to-use hybrid data center running HybridMR.
@@ -318,10 +360,12 @@ type HybridCluster struct {
 	// when neither ClusterSpec.Perf nor ClusterSpec.Metrics was set).
 	Perf *PerfStats
 
-	engine      *sim.Engine
-	nextSvc     int
-	metricsReg  *MetricsRegistry
-	perfFlushed perfstat.Counters
+	engine         *sim.Engine
+	nextSvc        int
+	metricsReg     *MetricsRegistry
+	perfFlushed    perfstat.Counters
+	ts             *TimeSeriesCollector
+	sampleInterval time.Duration
 }
 
 // NewHybridCluster assembles a hybrid data center per the spec and wires
@@ -339,7 +383,10 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 		perf = perfstat.New()
 	}
 
-	hc := &HybridCluster{Perf: perf, metricsReg: spec.Metrics}
+	hc := &HybridCluster{
+		Perf: perf, metricsReg: spec.Metrics,
+		ts: spec.TimeSeries, sampleInterval: spec.SampleInterval,
+	}
 	var engine *sim.Engine
 	var cl *cluster.Cluster
 
@@ -354,10 +401,11 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 				SlotCaps:      mapred.DefaultSlotCaps(),
 				CapacityAware: !spec.VanillaHadoop,
 			},
-			Tracer:  spec.Tracer,
-			Metrics: spec.Metrics,
-			Audit:   spec.Audit,
-			Perf:    perf,
+			Tracer:     spec.Tracer,
+			Metrics:    spec.Metrics,
+			Audit:      spec.Audit,
+			Perf:       perf,
+			TimeSeries: spec.TimeSeries,
 		})
 		if err != nil {
 			return nil, err
@@ -380,6 +428,15 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 			spec.Audit.SetClock(engine)
 			cl.SetAudit(spec.Audit)
 		}
+		if ts := spec.TimeSeries; ts != nil {
+			// The virtual-partition path registers these through the
+			// testbed; a native-only deployment wires them here.
+			cl.SetTimeSeries(ts)
+			ts.ProbeCounter("sim.events", "", func() float64 { return float64(engine.Fired()) })
+			ts.Probe("sim.pending_events", "", func() float64 { return float64(engine.Pending()) })
+			ts.Probe("sim.freelist_events", "", func() float64 { return float64(engine.FreelistLen()) })
+			ts.Probe("sim.cancel_debt", "", func() float64 { return float64(engine.CancelDebt()) })
+		}
 	}
 
 	if spec.NativePMs > 0 {
@@ -397,6 +454,9 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 		if perf != nil {
 			nativeFS.SetPerf(perf)
 			hc.NativeJT.SetPerf(perf)
+		}
+		if spec.TimeSeries != nil {
+			hc.NativeJT.SetTimeSeries(spec.TimeSeries, "native")
 		}
 		for _, pm := range pms {
 			hc.NativeJT.AddTracker(pm)
@@ -420,6 +480,9 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 	}
 	if perf != nil {
 		sys.SetPerf(perf)
+	}
+	if spec.TimeSeries != nil {
+		sys.SetTimeSeries(spec.TimeSeries)
 	}
 	hc.System = sys
 	hc.Cluster = cl
@@ -487,9 +550,17 @@ func (hc *HybridCluster) SubmitJob(spec JobSpec, desiredJCT time.Duration, onDon
 	return hc.System.SubmitJob(spec, desiredJCT, onDone)
 }
 
-// NewRecorder starts sampling utilization and energy on the cluster.
+// NewRecorder starts sampling utilization and energy on the cluster. A
+// zero interval takes ClusterSpec.SampleInterval (default 10s). When the
+// deployment carries a TimeSeries collector, each tick also feeds the
+// cluster gauges into it and samples the registered probes.
 func (hc *HybridCluster) NewRecorder(interval time.Duration) *Recorder {
-	return metrics.NewRecorder(hc.Cluster, interval, 0)
+	if interval <= 0 {
+		interval = hc.sampleInterval
+	}
+	rec := metrics.NewRecorder(hc.Cluster, interval, 0)
+	rec.SetTimeSeries(hc.ts)
+	return rec
 }
 
 // RunFor advances simulated time by d.
@@ -512,6 +583,11 @@ func (hc *HybridCluster) RunUntilIdle() {
 // registry (they are nondeterministic). RunFor and RunUntilIdle flush
 // automatically.
 func (hc *HybridCluster) FlushPerf() {
+	if hc.metricsReg != nil {
+		hc.metricsReg.Gauge("engine.pending_events").Set(float64(hc.engine.Pending()))
+		hc.metricsReg.Gauge("engine.freelist_events").Set(float64(hc.engine.FreelistLen()))
+		hc.metricsReg.Gauge("engine.cancel_debt").Set(float64(hc.engine.CancelDebt()))
+	}
 	if hc.Perf == nil || hc.metricsReg == nil {
 		return
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 )
 
@@ -218,6 +219,7 @@ type Cluster struct {
 	tracer   *trace.Tracer
 	auditLog *audit.Log
 	inv      InvariantSink
+	ts       *timeseries.Collector
 
 	// Cached metric handles; nil (a no-op) until SetTrace installs a
 	// registry.
@@ -262,6 +264,12 @@ func (c *Cluster) SetTrace(tr *trace.Tracer, reg *trace.Registry) {
 // (start, completion, abort, retry, abandonment) are recorded on it. A
 // nil log keeps auditing off.
 func (c *Cluster) SetAudit(l *audit.Log) { c.auditLog = l }
+
+// SetTimeSeries attaches a windowed telemetry collector: migration
+// completions and PM power transitions become windowed counter series,
+// giving the SLO layer time-resolved churn data the end-of-run registry
+// totals cannot provide. A nil collector keeps the series off.
+func (c *Cluster) SetTimeSeries(ts *timeseries.Collector) { c.ts = ts }
 
 // InvariantSink receives cluster-level safety events; the invariant
 // checker implements it. All methods must tolerate being called from

@@ -37,6 +37,7 @@ func (pm *PM) Fail() error {
 	pm.update()
 	pm.cluster.mPowerTransitions.Inc()
 	pm.cluster.mPMCrashes.Inc()
+	pm.cluster.ts.Add("cluster.pm.power_transitions", "", pm.cluster.engine.Now(), 1)
 	if tr := pm.cluster.tracer; tr != nil {
 		tr.Instant(pm.name, "power", "failure",
 			trace.F("killed_consumers", float64(len(victims))),

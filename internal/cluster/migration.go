@@ -168,6 +168,7 @@ func (c *Cluster) migrate(vm *VM, dst *PM, done func(MigrationStats), retries in
 			span.End(trace.F("transferred_mb", transferred))
 			c.mMigrations.Inc()
 			c.mMigrationDowntime.Observe(downtimeSec)
+			c.ts.Add("cluster.migrations", "", c.engine.Now(), 1)
 			c.auditLog.Add("cluster", "migrate-done", vmName, "running on "+dstName,
 				fmt.Sprintf("moved %.0f MB in %.1fs, %.2fs downtime",
 					transferred, (c.engine.Now()-startAt).Seconds(), downtimeSec))

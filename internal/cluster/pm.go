@@ -138,6 +138,7 @@ func (pm *PM) PowerOff() error {
 	}
 	pm.off = true
 	pm.cluster.mPowerTransitions.Inc()
+	pm.cluster.ts.Add("cluster.pm.power_transitions", "", pm.cluster.engine.Now(), 1)
 	if tr := pm.cluster.tracer; tr != nil {
 		tr.Instant(pm.name, "power", "power-off")
 		pm.offSpan = tr.Begin(pm.name, "power", "powered-off")
@@ -149,6 +150,7 @@ func (pm *PM) PowerOff() error {
 func (pm *PM) PowerOn() {
 	if pm.off {
 		pm.cluster.mPowerTransitions.Inc()
+		pm.cluster.ts.Add("cluster.pm.power_transitions", "", pm.cluster.engine.Now(), 1)
 		if tr := pm.cluster.tracer; tr != nil {
 			tr.Instant(pm.name, "power", "power-on")
 		}

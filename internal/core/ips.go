@@ -11,6 +11,7 @@ import (
 	"repro/internal/perfstat"
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -48,6 +49,7 @@ type IPS struct {
 	reg      *trace.Registry
 	auditLog *audit.Log
 	perf     *perfstat.Stats
+	ts       *timeseries.Collector
 
 	// PauseStreak is the number of consecutive violating epochs before
 	// the Arbiter escalates from relocation/throttling to pausing a
@@ -94,6 +96,13 @@ func (p *IPS) SetAudit(l *audit.Log) { p.auditLog = l }
 // epochs are then counted and timed. A nil collector keeps the
 // instrumentation off.
 func (p *IPS) SetPerf(ps *perfstat.Stats) { p.perf = ps }
+
+// SetTimeSeries attaches a windowed telemetry collector. Each monitoring
+// epoch then records every watched service's latency into a per-service
+// windowed histogram and SLA violations into a per-service counter
+// series — the time-resolved view the end-state-only SLAViolated flag
+// cannot give. A nil collector keeps the series off.
+func (p *IPS) SetTimeSeries(ts *timeseries.Collector) { p.ts = ts }
 
 // Watch registers an interactive service for SLA monitoring.
 func (p *IPS) Watch(svc *workload.Service) {
@@ -161,6 +170,7 @@ func (p *IPS) tick(time.Duration) {
 		p.observe(st)
 		if st.svc.SLAViolated() {
 			st.streak++
+			p.ts.Add("service.sla_violations", st.svc.Spec().Name, p.engine.Now(), 1)
 			p.arbitrate(st)
 		} else {
 			st.streak = 0
@@ -188,6 +198,7 @@ func (p *IPS) observe(st *ipsService) {
 		io += alloc.Get(resource.DiskIO) + alloc.Get(resource.NetIO)
 	}
 	lat := st.svc.LatencyMs()
+	p.ts.Observe("service.latency_ms", st.svc.Spec().Name, p.engine.Now(), lat)
 	st.models.CPU.Observe(cpu, lat)
 	st.models.Memory.Observe(mem, lat)
 	st.models.IO.Observe(io, lat)

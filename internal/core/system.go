@@ -12,6 +12,7 @@ import (
 	"repro/internal/profiler"
 	"repro/internal/sim"
 	"repro/internal/testbed"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -178,6 +179,16 @@ func (s *System) SetPerf(ps *perfstat.Stats) {
 		s.ips.SetPerf(ps)
 	}
 	s.prof.SetPerf(ps)
+}
+
+// SetTimeSeries attaches a windowed telemetry collector to the Phase II
+// controllers — currently the IPS, whose per-service latency and
+// SLA-violation series feed the SLO engine. A nil collector keeps the
+// series off.
+func (s *System) SetTimeSeries(ts *timeseries.Collector) {
+	if s.ips != nil {
+		s.ips.SetTimeSeries(ts)
+	}
 }
 
 // Profiler exposes the Phase I profiler (e.g. for pre-training or

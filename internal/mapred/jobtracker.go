@@ -11,6 +11,7 @@ import (
 	"repro/internal/perfstat"
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 )
 
@@ -309,6 +310,7 @@ type JobTracker struct {
 	auditLog   *audit.Log
 	perf       *perfstat.Stats
 	inv        InvariantSink
+	ts         *timeseries.Collector
 	countReads bool
 
 	// Cached metric handles; nil (a no-op) until SetTrace installs a
@@ -399,6 +401,22 @@ func (jt *JobTracker) SetAudit(l *audit.Log) { jt.auditLog = l }
 // rounds, tracker×kind scans and speculation sweeps are then counted
 // and timed. A nil collector keeps the instrumentation off.
 func (jt *JobTracker) SetPerf(ps *perfstat.Stats) { jt.perf = ps }
+
+// SetTimeSeries attaches a windowed telemetry collector: slot waits
+// become per-job windowed histograms (labeled by job name), and
+// pending/running task depths are registered as probes the recorder
+// samples each tick, labeled with the given partition label (hybrid
+// deployments run two JobTrackers against one collector). A nil
+// collector keeps the series off.
+func (jt *JobTracker) SetTimeSeries(ts *timeseries.Collector, label string) {
+	jt.ts = ts
+	ts.Probe("mapred.tasks.pending", label, func() float64 {
+		return float64(jt.schedulableMaps + jt.schedulableReds)
+	})
+	ts.Probe("mapred.tasks.running", label, func() float64 {
+		return float64(len(jt.runningSorted))
+	})
+}
 
 // InvariantSink receives scheduling safety events; the invariant
 // checker implements it.
@@ -799,6 +817,7 @@ func (jt *JobTracker) launch(task *Task, tr *TaskTracker, speculative bool) erro
 	if !speculative {
 		a.SlotWait = jt.engine.Now() - task.pendingSince
 		jt.mSlotWait.Observe(a.SlotWait.Seconds())
+		jt.ts.Observe("mapred.task.slot_wait_sec", task.Job.Spec.Name, jt.engine.Now(), a.SlotWait.Seconds())
 	} else {
 		jt.mSpeculative.Inc()
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/timeseries"
 )
 
 // Sample is one utilization/power observation.
@@ -37,6 +38,7 @@ type Recorder struct {
 	energyJ float64
 	lastAt  time.Duration
 	lastW   float64
+	ts      *timeseries.Collector
 }
 
 // NewRecorder starts sampling every interval (default 10 s). If horizon
@@ -64,6 +66,13 @@ func NewRecorder(c *cluster.Cluster, interval, horizon time.Duration) *Recorder 
 	return r
 }
 
+// SetTimeSeries attaches a windowed telemetry collector: every sampling
+// tick feeds the cluster's power, powered-on PM count and per-resource
+// utilization gauges into it and triggers a probe sweep, so probe-backed
+// series (engine depth, task queues) share the recorder's cadence. Call
+// before the first tick; a nil collector detaches.
+func (r *Recorder) SetTimeSeries(ts *timeseries.Collector) { r.ts = ts }
+
 func (r *Recorder) sample(now time.Duration) {
 	// Accounting never extends past the horizon: the first tick at or
 	// beyond it is attributed to the horizon instant itself.
@@ -87,7 +96,16 @@ func (r *Recorder) sample(now time.Duration) {
 	for _, k := range resource.Kinds() {
 		util = util.Set(k, r.cluster.MeanUtilization(k))
 	}
-	r.samples = append(r.samples, Sample{At: now, Util: util, PowerW: w, PMsOn: r.cluster.PoweredOnPMs()})
+	pmsOn := r.cluster.PoweredOnPMs()
+	r.samples = append(r.samples, Sample{At: now, Util: util, PowerW: w, PMsOn: pmsOn})
+	if r.ts != nil {
+		r.ts.SetGauge("cluster.power_w", "", now, w)
+		r.ts.SetGauge("cluster.pms_on", "", now, float64(pmsOn))
+		for _, k := range resource.Kinds() {
+			r.ts.SetGauge("cluster.util."+k.String(), "", now, util.Get(k))
+		}
+		r.ts.SampleProbes(now)
+	}
 }
 
 // Stop halts sampling, taking one final sample so that energy accounting

@@ -1,0 +1,61 @@
+package progress
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReporterFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	r := Start(&buf, "sweep", 4, time.Hour) // interval far past the test's life
+	r.Add(1)
+	r.Add(3)
+	r.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "sweep:") {
+		t.Fatalf("final line missing label: %q", out)
+	}
+	if !strings.Contains(out, "100%") {
+		t.Fatalf("final line should report completion: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("final line must end with a newline: %q", out)
+	}
+}
+
+func TestReporterStopIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	r := Start(&buf, "x", 0, time.Hour)
+	r.Stop()
+	n := buf.Len()
+	r.Stop()
+	if buf.Len() != n {
+		t.Fatalf("second Stop wrote more output")
+	}
+}
+
+func TestNilReporterNoOps(t *testing.T) {
+	var r *Reporter
+	r.Set(1)
+	r.Add(2)
+	r.SetTotal(3)
+	r.Stop() // must not panic
+}
+
+func TestSetTotalDrivesETA(t *testing.T) {
+	var buf bytes.Buffer
+	r := Start(&buf, "run", 0, time.Hour)
+	r.SetTotal(10)
+	r.Set(5)
+	time.Sleep(10 * time.Millisecond) // nonzero elapsed so the ETA term is live
+	r.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "50%") {
+		t.Fatalf("expected a completed fraction in %q", out)
+	}
+	if !strings.Contains(out, "ETA") {
+		t.Fatalf("expected an ETA for a partial run in %q", out)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/perfstat"
 	"repro/internal/resource"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 )
 
@@ -68,6 +69,13 @@ type Data struct {
 	Perf *perfstat.Snapshot
 	// Jobs holds one critical-path digest per completed job.
 	Jobs []JobPath
+	// TimeSeries holds the run's windowed telemetry snapshots (from a
+	// timeseries.Collector); one chart renders per series name.
+	TimeSeries []timeseries.SeriesSnapshot
+	// SLO and SLORows carry the SLO engine's summary and per-window
+	// evaluations for the burn panel.
+	SLO     *timeseries.SLOReport
+	SLORows []timeseries.WindowEval
 }
 
 // Write renders the observatory to w as a single HTML document.
@@ -75,6 +83,8 @@ func Write(w io.Writer, d Data) error {
 	var b bytes.Buffer
 	head(&b, d)
 	timeline(&b, d)
+	timeSeriesSection(&b, d)
+	sloSection(&b, d)
 	swimlane(&b, d)
 	critPaths(&b, d)
 	perfSection(&b, d)
@@ -190,6 +200,165 @@ func axes(b *bytes.Buffer, w, h, pad float64, end time.Duration, kind string) {
 		fmt.Fprintf(b, "<text x=\"%.0f\" y=\"%.0f\" font-size=\"10\" fill=\"#78818f\">100%%</text>\n", 2.0, pad+4)
 		fmt.Fprintf(b, "<text x=\"%.0f\" y=\"%.0f\" font-size=\"10\" fill=\"#78818f\">0%%</text>\n", 2.0, h-pad)
 	}
+}
+
+// timeSeriesSection renders one chart per windowed series name: a
+// polyline per label, the y-axis scaled to the series' maximum value
+// (rate for counters, mean for gauges, p99 for histograms).
+func timeSeriesSection(b *bytes.Buffer, d Data) {
+	b.WriteString("<h2>Windowed time series</h2>\n")
+	if len(d.TimeSeries) == 0 {
+		b.WriteString("<p class=\"dim\">no windowed telemetry recorded for this run (enable with -timeseries)</p>\n")
+		return
+	}
+	// Group label streams under their series name; snapshots arrive in
+	// (name, label) order, so grouping preserves determinism.
+	type group struct {
+		name    string
+		kind    timeseries.Kind
+		streams []timeseries.SeriesSnapshot
+	}
+	var groups []group
+	for _, s := range d.TimeSeries {
+		if n := len(groups); n > 0 && groups[n-1].name == s.Name {
+			groups[n-1].streams = append(groups[n-1].streams, s)
+			continue
+		}
+		groups = append(groups, group{name: s.Name, kind: s.Kind, streams: []timeseries.SeriesSnapshot{s}})
+	}
+
+	const w, h, pad = 920.0, 110.0, 26.0
+	var end time.Duration
+	for _, g := range groups {
+		for _, s := range g.streams {
+			if n := len(s.Points); n > 0 && s.Points[n-1].End > end {
+				end = s.Points[n-1].End
+			}
+		}
+	}
+	if end <= 0 {
+		end = time.Second
+	}
+	for _, g := range groups {
+		maxV := 0.0
+		for _, s := range g.streams {
+			for _, p := range s.Points {
+				if v := p.Value(g.kind); v > maxV {
+					maxV = v
+				}
+			}
+		}
+		if maxV <= 0 {
+			maxV = 1
+		}
+		unit := map[timeseries.Kind]string{
+			timeseries.KindCounter: "rate/s", timeseries.KindGauge: "mean", timeseries.KindHist: "p99",
+		}[g.kind]
+		fmt.Fprintf(b, "<p><b class=\"mono\">%s</b> <span class=\"dim\">(%s %s, max %.4g)</span>", esc(g.name), g.kind, unit, maxV)
+		if len(g.streams) > 1 || g.streams[0].Label != "" {
+			b.WriteString(" <span class=\"legend\">")
+			for i, s := range g.streams {
+				label := s.Label
+				if label == "" {
+					label = "(all)"
+				}
+				fmt.Fprintf(b, "<span><i style=\"background:%s\"></i>%s</span>", palette[i%len(palette)], esc(label))
+			}
+			b.WriteString("</span>")
+		}
+		b.WriteString("</p>\n")
+		fmt.Fprintf(b, "<svg width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n", w, h, w, h)
+		axes(b, w, h, pad, end, "ts")
+		for i, s := range g.streams {
+			var pts strings.Builder
+			for _, p := range s.Points {
+				mid := p.Start + (p.End-p.Start)/2
+				xx := pad + (w-2*pad)*float64(mid)/float64(end)
+				yy := h - pad - (h-2*pad)*p.Value(g.kind)/maxV
+				fmt.Fprintf(&pts, "%.1f,%.1f ", xx, yy)
+			}
+			fmt.Fprintf(b, "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\"/>\n",
+				strings.TrimSpace(pts.String()), palette[i%len(palette)])
+		}
+		b.WriteString("</svg>\n")
+	}
+}
+
+// sloSection renders the SLO burn panel: the per-objective budget table
+// and, per objective, a window strip colored by alert state — green for
+// clean windows, amber for ticket-level burn, red for page-level burn —
+// so a deterministic chaos alert is visible at a glance.
+func sloSection(b *bytes.Buffer, d Data) {
+	b.WriteString("<h2>SLO error budgets &amp; burn-rate alerts</h2>\n")
+	if d.SLO == nil || len(d.SLO.Objectives) == 0 {
+		b.WriteString("<p class=\"dim\">no SLOs evaluated for this run (enable with -slo)</p>\n")
+		return
+	}
+	fmt.Fprintf(b, "<p class=\"dim\">%d window(s) of %.0fs · %d page(s) · %d ticket(s)</p>\n",
+		d.SLO.Windows, d.SLO.WindowS, d.SLO.Pages, d.SLO.Tickets)
+	b.WriteString("<table><thead><tr><th>objective</th><th>condition</th><th class=\"num\">target</th><th class=\"num\">bad windows</th><th class=\"num\">budget consumed</th><th class=\"num\">first breach</th><th>alerts</th><th>verdict</th></tr></thead><tbody>\n")
+	for _, o := range d.SLO.Objectives {
+		cond := fmt.Sprintf("%s{%s} %s %s %g", o.Objective.Series, o.Objective.Label, o.Objective.Agg, o.Objective.Op, o.Objective.Threshold)
+		breach := "—"
+		if o.FirstBreachS >= 0 {
+			breach = fmt.Sprintf("%.0fs", o.FirstBreachS)
+		}
+		var alerts []string
+		for _, a := range o.Alerts {
+			alerts = append(alerts, fmt.Sprintf("%s @%.0f–%.0fs (burn %.1f)", a.Severity, a.StartS, a.EndS, a.PeakBurn))
+		}
+		alertCell := "<span class=\"dim\">none</span>"
+		if len(alerts) > 0 {
+			alertCell = esc(strings.Join(alerts, "; "))
+		}
+		verdict := "<b style=\"color:#4da06a\">met</b>"
+		if !o.Met {
+			verdict = "<b style=\"color:#c55a5a\">missed</b>"
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=\"mono\">%s</td><td class=\"num\">%.2f</td><td class=\"num\">%d/%d</td><td class=\"num\">%.0f%%</td><td class=\"num\">%s</td><td>%s</td><td>%s</td></tr>\n",
+			esc(o.Objective.Name), esc(cond), o.Objective.Target, o.BadWindows, o.Windows,
+			o.BudgetConsumed*100, breach, alertCell, verdict)
+	}
+	b.WriteString("</tbody></table>\n")
+
+	if len(d.SLORows) == 0 {
+		return
+	}
+	// Burn strips: one row of window cells per objective.
+	byObj := map[string][]timeseries.WindowEval{}
+	var objOrder []string
+	for _, r := range d.SLORows {
+		if _, ok := byObj[r.Objective]; !ok {
+			objOrder = append(objOrder, r.Objective)
+		}
+		byObj[r.Objective] = append(byObj[r.Objective], r)
+	}
+	const w, cellH, labelW = 920.0, 16.0, 180.0
+	h := 8 + (cellH+6)*float64(len(objOrder))
+	fmt.Fprintf(b, "<svg width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n", w, h, w, h)
+	for oi, name := range objOrder {
+		rows := byObj[name]
+		y := 8 + (cellH+6)*float64(oi)
+		fmt.Fprintf(b, "<text x=\"4\" y=\"%.1f\" font-size=\"11\">%s</text>\n", y+cellH-4, esc(name))
+		cw := (w - labelW - 10) / float64(len(rows))
+		for i, r := range rows {
+			fill := "#dfe9df"
+			switch {
+			case r.Alert == "page":
+				fill = "#c55a5a"
+			case r.Alert == "ticket":
+				fill = "#d98f2b"
+			case r.GoodFrac < 1:
+				fill = "#e8d9a8"
+			}
+			title := fmt.Sprintf("%s w%d [%.0f–%.0fs): good %.2f, burn fast %.1f / slow %.1f %s",
+				name, r.Window, r.StartS, r.EndS, r.GoodFrac, r.BurnFast, r.BurnSlow, r.Alert)
+			fmt.Fprintf(b, "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.0f\" fill=\"%s\"><title>%s</title></rect>\n",
+				labelW+cw*float64(i), y, cw-1, cellH, fill, esc(title))
+		}
+	}
+	b.WriteString("</svg>\n")
+	b.WriteString("<div class=\"legend\"><span><i style=\"background:#dfe9df\"></i>clean</span><span><i style=\"background:#e8d9a8\"></i>burning</span><span><i style=\"background:#d98f2b\"></i>ticket</span><span><i style=\"background:#c55a5a\"></i>page</span></div>\n")
 }
 
 // swimlane renders one lane per trace track (PMs, VMs, jobs, services):

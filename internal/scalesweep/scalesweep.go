@@ -51,6 +51,10 @@ var IndexedControllers = []string{"jt", "drm", "p1"}
 // PMs (the full datacenter point).
 func DefaultScaleUpSizes() []int { return []int{2500, 10000} }
 
+// DefaultSweepSizes are the controller-complexity sweep's geometric
+// cluster sizes, used when Options.Sizes is empty.
+func DefaultSweepSizes() []int { return []int{24, 96, 384} }
+
 // Options parameterizes a sweep.
 type Options struct {
 	// Sizes are the total PM counts to run, smallest first. Each size n
@@ -61,11 +65,16 @@ type Options struct {
 	Seed int64
 	// Waves is the number of job-arrival waves (default 5).
 	Waves int
+	// OnPointDone, when non-nil, is called once as each size finishes —
+	// a progress hook for live heartbeats. Sizes fan across worker
+	// goroutines, so the callback may run concurrently; it must not
+	// touch the deterministic results.
+	OnPointDone func()
 }
 
 func (o Options) withDefaults() Options {
 	if len(o.Sizes) == 0 {
-		o.Sizes = []int{24, 96, 384}
+		o.Sizes = DefaultSweepSizes()
 	}
 	if o.Waves <= 0 {
 		o.Waves = 5
@@ -253,6 +262,9 @@ func runSize(size int, opts Options) (SizeResult, WallResult, error) {
 		Size:        size,
 		WallSeconds: time.Since(start).Seconds(),
 		Spans:       sn.Spans,
+	}
+	if opts.OnPointDone != nil {
+		opts.OnPointDone()
 	}
 	return res, wall, nil
 }

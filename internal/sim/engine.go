@@ -126,6 +126,15 @@ func (e *Engine) Pending() int { return e.live }
 // proxy for how much concurrent activity the simulation carried.
 func (e *Engine) MaxPending() int { return e.maxPending }
 
+// FreelistLen returns the number of recycled events currently parked on
+// the freelist — allocated capacity waiting for reuse.
+func (e *Engine) FreelistLen() int { return len(e.free) }
+
+// CancelDebt returns the number of cancelled events still occupying heap
+// slots while they await lazy removal (the sweep threshold bounds it at
+// max(64, live)).
+func (e *Engine) CancelDebt() int { return e.dead }
+
 // Cancelled returns the number of pending events removed via Cancel.
 // Cancelling an event that already fired (or was already cancelled) does
 // not count.

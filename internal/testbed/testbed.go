@@ -17,8 +17,10 @@ import (
 	"repro/internal/fault"
 	"repro/internal/invariant"
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 	"repro/internal/perfstat"
 	"repro/internal/sim"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 )
 
@@ -91,6 +93,18 @@ type Options struct {
 	// a runtime safety-invariant checker; read its Violations (or call
 	// Final) after the run. Checkers are per-rig, like Perf.
 	Invariants *invariant.Checker
+	// TimeSeries, when non-nil, attaches a windowed telemetry collector
+	// to every layer of the rig: slot waits, task-queue depths, migration
+	// and power churn, and (via Probe registration here) the engine's
+	// live pending-event, freelist and cancel-debt gauges. Collectors are
+	// per-rig, like Perf. Pair with NewRecorder so probe series actually
+	// get sampled.
+	TimeSeries *timeseries.Collector
+	// SampleInterval sets the cadence of recorders built by Rig.NewRecorder
+	// (default 10s). Each sample costs 56 bytes regardless of PM count —
+	// utilization is pre-aggregated into a fixed resource.Vector — so one
+	// simulated hour at the default interval is ~20 KB even at 10k PMs.
+	SampleInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -141,9 +155,13 @@ type Rig struct {
 	// Perf is the rig's performance-attribution collector (nil when
 	// neither Options.Perf nor Options.Metrics was set).
 	Perf *perfstat.Stats
+	// TimeSeries is the rig's windowed telemetry collector (nil unless
+	// Options.TimeSeries was set).
+	TimeSeries *timeseries.Collector
 	// metrics and perfFlushed support FlushPerf.
-	metrics     *trace.Registry
-	perfFlushed perfstat.Counters
+	metrics        *trace.Registry
+	perfFlushed    perfstat.Counters
+	sampleInterval time.Duration
 }
 
 // New assembles a rig.
@@ -179,7 +197,19 @@ func New(opts Options) (*Rig, error) {
 		jt.SetAudit(opts.Audit)
 	}
 
-	rig := &Rig{Engine: engine, Cluster: cl, FS: fs, JT: jt, Perf: perf, metrics: opts.Metrics}
+	rig := &Rig{
+		Engine: engine, Cluster: cl, FS: fs, JT: jt, Perf: perf,
+		TimeSeries: opts.TimeSeries, metrics: opts.Metrics,
+		sampleInterval: opts.SampleInterval,
+	}
+	if ts := opts.TimeSeries; ts != nil {
+		cl.SetTimeSeries(ts)
+		jt.SetTimeSeries(ts, "")
+		ts.ProbeCounter("sim.events", "", func() float64 { return float64(engine.Fired()) })
+		ts.Probe("sim.pending_events", "", func() float64 { return float64(engine.Pending()) })
+		ts.Probe("sim.freelist_events", "", func() float64 { return float64(engine.FreelistLen()) })
+		ts.Probe("sim.cancel_debt", "", func() float64 { return float64(engine.CancelDebt()) })
+	}
 	rig.PMs = cl.AddPMs("pm", opts.PMs)
 	cluster.StripeTopology(rig.PMs, opts.Racks, opts.PowerDomains)
 
@@ -321,6 +351,14 @@ func (r *Rig) RunJob(spec mapred.JobSpec) (JobResult, error) {
 // snapshot comparisons. RunJob/RunJobs flush automatically; drivers that
 // pump the engine directly (RunUntil loops) call this before snapshotting.
 func (r *Rig) FlushPerf() {
+	if r.metrics != nil {
+		// Engine occupancy gauges (satellite of the time-series work):
+		// pending events, freelist size and lazy-cancel debt, read only at
+		// flush boundaries so the event pump itself stays untouched.
+		r.metrics.Gauge("engine.pending_events").Set(float64(r.Engine.Pending()))
+		r.metrics.Gauge("engine.freelist_events").Set(float64(r.Engine.FreelistLen()))
+		r.metrics.Gauge("engine.cancel_debt").Set(float64(r.Engine.CancelDebt()))
+	}
 	if r.Perf == nil || r.metrics == nil {
 		return
 	}
@@ -329,6 +367,18 @@ func (r *Rig) FlushPerf() {
 	delta.Each(func(name string, v int64) {
 		r.metrics.Counter("perfstat." + name).Add(float64(v))
 	})
+}
+
+// NewRecorder builds a utilization/power recorder over the rig's cluster
+// at Options.SampleInterval (default 10s), wired to the rig's telemetry
+// collector when one was configured — each tick then also samples the
+// registered probes (engine depth, task queues) and the cluster gauges.
+// Stop it (typically from OnAllJobsDone) before draining the queue, or
+// give it a horizon.
+func (r *Rig) NewRecorder(horizon time.Duration) *metrics.Recorder {
+	rec := metrics.NewRecorder(r.Cluster, r.sampleInterval, horizon)
+	rec.SetTimeSeries(r.TimeSeries)
+	return rec
 }
 
 // RunJobs submits all jobs at once and drives the simulation until every

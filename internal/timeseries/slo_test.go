@@ -1,0 +1,192 @@
+package timeseries
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// feedLatency records n observations of v ms into each window of
+// [fromW, toW) for the given service label.
+func feedLatency(c *Collector, label string, fromW, toW, n int, v float64) {
+	for wi := fromW; wi < toW; wi++ {
+		ts := time.Duration(wi)*c.width + time.Second
+		for i := 0; i < n; i++ {
+			c.Observe("service.latency_ms", label, ts, v)
+		}
+	}
+}
+
+func TestSLOBurnRateAlerts(t *testing.T) {
+	c := New(10*time.Second, 240)
+	obj := Objective{
+		Name: "lat-p99", Series: "service.latency_ms", Label: "*",
+		Agg: "p99", Op: "le", Threshold: 100, Target: 0.99,
+		FastWindows: 3, FastBurn: 10, SlowWindows: 12, SlowBurn: 2,
+	}
+	// 20 healthy windows, then 5 windows fully violating, then recovery.
+	feedLatency(c, "svc", 0, 20, 50, 10)
+	feedLatency(c, "svc", 20, 25, 50, 5000)
+	feedLatency(c, "svc", 25, 40, 50, 10)
+
+	rep, rows := Evaluate(c, []Objective{obj})
+	if len(rep.Objectives) != 1 {
+		t.Fatalf("objectives = %d, want 1", len(rep.Objectives))
+	}
+	res := rep.Objectives[0]
+	if res.BadWindows != 5 {
+		t.Fatalf("bad windows = %d, want 5", res.BadWindows)
+	}
+	if res.FirstBreachS != 200 {
+		t.Fatalf("first breach = %gs, want 200", res.FirstBreachS)
+	}
+	// Five fully-bad windows burn 5/(40*0.01) = 12.5 budgets — missed.
+	if res.Met {
+		t.Fatal("objective reported met despite burning >1 budget")
+	}
+	if rep.Pages == 0 {
+		t.Fatal("a full-outage stretch did not page")
+	}
+	// The page episode covers the outage windows.
+	var page *Alert
+	for i := range res.Alerts {
+		if res.Alerts[i].Severity == "page" {
+			page = &res.Alerts[i]
+			break
+		}
+	}
+	if page == nil {
+		t.Fatal("no page episode in alerts")
+	}
+	if page.StartS < 200 || page.StartS > 220 {
+		t.Fatalf("page starts at %gs, want within the outage (200-220)", page.StartS)
+	}
+	if page.PeakBurn < 10 {
+		t.Fatalf("page peak burn = %g, want >= 10", page.PeakBurn)
+	}
+	// Rows cover every window, and the outage windows carry the alert.
+	if len(rows) != 40 {
+		t.Fatalf("rows = %d, want 40", len(rows))
+	}
+	if rows[22].Alert != "page" {
+		t.Fatalf("window 22 alert = %q, want page", rows[22].Alert)
+	}
+	if rows[5].Alert != "" || rows[5].GoodFrac != 1 {
+		t.Fatalf("healthy window flagged: %+v", rows[5])
+	}
+}
+
+func TestSLOHealthyRunIsMet(t *testing.T) {
+	c := New(10*time.Second, 240)
+	feedLatency(c, "svc", 0, 30, 20, 10)
+	rep, _ := Evaluate(c, []Objective{{
+		Name: "lat-p99", Series: "service.latency_ms", Label: "*",
+		Agg: "p99", Op: "le", Threshold: 100, Target: 0.99,
+	}})
+	res := rep.Objectives[0]
+	if !res.Met || res.BadWindows != 0 || res.BudgetConsumed != 0 {
+		t.Fatalf("healthy run not clean: %+v", res)
+	}
+	if res.FirstBreachS != -1 {
+		t.Fatalf("first breach = %g, want -1", res.FirstBreachS)
+	}
+	if rep.Pages != 0 || rep.Tickets != 0 {
+		t.Fatal("healthy run alerted")
+	}
+}
+
+// TestSLOPartialWindowBurn: histogram objectives grade per observation,
+// so a window where 20% of events violate burns 20% of that window — not
+// all-or-nothing.
+func TestSLOPartialWindowBurn(t *testing.T) {
+	c := New(10*time.Second, 240)
+	for wi := 0; wi < 10; wi++ {
+		ts := time.Duration(wi)*c.width + time.Second
+		for i := 0; i < 80; i++ {
+			c.Observe("service.latency_ms", "svc", ts, 10)
+		}
+		for i := 0; i < 20; i++ {
+			c.Observe("service.latency_ms", "svc", ts, 5000)
+		}
+	}
+	_, rows := Evaluate(c, []Objective{{
+		Name: "lat", Series: "service.latency_ms", Label: "svc",
+		Agg: "p99", Op: "le", Threshold: 100, Target: 0.99,
+	}})
+	for _, r := range rows {
+		if r.GoodFrac < 0.7 || r.GoodFrac > 0.9 {
+			t.Fatalf("window %d good frac = %g, want ~0.8", r.Window, r.GoodFrac)
+		}
+		if r.Events != 100 {
+			t.Fatalf("window %d events = %d, want 100", r.Window, r.Events)
+		}
+	}
+}
+
+func TestSLOGaugeAndCounterObjectives(t *testing.T) {
+	c := New(10*time.Second, 240)
+	for wi := 0; wi < 6; wi++ {
+		ts := time.Duration(wi)*c.width + time.Second
+		util := 0.5
+		if wi >= 3 {
+			util = 0.99
+		}
+		c.SetGauge("cluster.util.cpu", "", ts, util)
+		c.Add("errs", "", ts, float64(wi*10))
+	}
+	rep, rows := Evaluate(c, []Objective{
+		{Name: "cpu", Series: "cluster.util.cpu", Label: "", Agg: "mean", Op: "le", Threshold: 0.95, Target: 0.9},
+		{Name: "errs", Series: "errs", Label: "", Agg: "rate", Op: "le", Threshold: 2, Target: 0.9},
+	})
+	cpu := rep.Objectives[0]
+	if cpu.BadWindows != 3 {
+		t.Fatalf("cpu bad windows = %d, want 3", cpu.BadWindows)
+	}
+	// Counter rate: deltas 0,10,..,50 over 10s windows → rates 0..5;
+	// windows with rate > 2 (30,40,50 deltas) are bad.
+	errs := rep.Objectives[1]
+	if errs.BadWindows != 3 {
+		t.Fatalf("errs bad windows = %d, want 3", errs.BadWindows)
+	}
+	// Ungraded series windows report value as evaluated.
+	if rows[0].Value != 0.5 {
+		t.Fatalf("cpu window 0 value = %g, want 0.5", rows[0].Value)
+	}
+}
+
+// TestSLOOutputsByteDeterministic: both the JSONL rows and the SLO.json
+// summary serialize identically across repeated evaluations.
+func TestSLOOutputsByteDeterministic(t *testing.T) {
+	render := func() ([]byte, []byte) {
+		c := New(10*time.Second, 240)
+		feedLatency(c, "svc-a", 0, 15, 30, 10)
+		feedLatency(c, "svc-b", 0, 15, 30, 40)
+		feedLatency(c, "svc-a", 15, 18, 30, 9000)
+		rep, rows := Evaluate(c, DefaultObjectives())
+		var jl bytes.Buffer
+		if err := WriteSLOJSONL(&jl, rows); err != nil {
+			t.Fatal(err)
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jl.Bytes(), js
+	}
+	jl1, js1 := render()
+	jl2, js2 := render()
+	if !bytes.Equal(jl1, jl2) {
+		t.Fatal("SLO JSONL bytes differ across identical evaluations")
+	}
+	if !bytes.Equal(js1, js2) {
+		t.Fatal("SLO.json bytes differ across identical evaluations")
+	}
+	var rep SLOReport
+	if err := json.Unmarshal(js1, &rep); err != nil {
+		t.Fatalf("SLO.json does not round-trip: %v", err)
+	}
+	if rep.Schema != SLOSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, SLOSchema)
+	}
+}

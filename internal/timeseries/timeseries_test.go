@@ -1,0 +1,186 @@
+package timeseries
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestMemoryBoundedAtTenTimesHorizon is the acceptance test for the
+// fixed-memory claim: feed observations across more than 10x the default
+// horizon (240 x 10s = 40min; we run 8 hours at 1-second cadence) and
+// verify the buffer never exceeds MaxWindows cells per series — the
+// downsampler must absorb the overflow by doubling the width.
+func TestMemoryBoundedAtTenTimesHorizon(t *testing.T) {
+	c := New(0, 0) // defaults: 10s windows, 240 max
+	horizon := 8 * time.Hour
+	rng := rand.New(rand.NewSource(42))
+	for ts := time.Duration(0); ts < horizon; ts += time.Second {
+		c.Add("events", "", ts, 1)
+		c.SetGauge("depth", "", ts, float64(rng.Intn(100)))
+		c.Observe("lat", "svc", ts, rng.Float64()*100)
+	}
+	if c.Windows() > c.MaxWindows() {
+		t.Fatalf("windows = %d exceeds cap %d", c.Windows(), c.MaxWindows())
+	}
+	for _, s := range c.order {
+		if len(s.counters) > c.maxWindows || len(s.gauges) > c.maxWindows || len(s.hists) > c.maxWindows {
+			t.Fatalf("series %s buffer exceeds cap: %d/%d/%d",
+				s.name, len(s.counters), len(s.gauges), len(s.hists))
+		}
+	}
+	// The width must have doubled enough times to cover the horizon.
+	if got := time.Duration(c.MaxWindows()) * c.Window(); got < horizon {
+		t.Fatalf("window span %v does not cover horizon %v (width %v)", got, horizon, c.Window())
+	}
+	// No observations were lost: the counter total survives downsampling.
+	total := 0.0
+	for _, snap := range c.Snapshot() {
+		if snap.Name != "events" {
+			continue
+		}
+		for _, p := range snap.Points {
+			total += p.Delta
+		}
+	}
+	if want := horizon.Seconds(); total != want {
+		t.Fatalf("counter total after downsampling = %g, want %g", total, want)
+	}
+}
+
+// TestDownsampleDeterminism: the exported bytes are a pure function of
+// the observation stream — identical reruns produce identical JSONL,
+// including across the downsampling path.
+func TestDownsampleDeterminism(t *testing.T) {
+	render := func() []byte {
+		c := New(time.Second, 8)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 500; i++ {
+			ts := time.Duration(i) * 317 * time.Millisecond
+			c.Add("ctr", "a", ts, float64(rng.Intn(5)))
+			c.Observe("hist", "x", ts, rng.Float64()*1000)
+			c.Observe("hist", "y", ts, rng.Float64()*10)
+			c.SetGauge("g", "", ts, rng.Float64())
+		}
+		var buf bytes.Buffer
+		if err := c.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical observation streams rendered different JSONL bytes")
+	}
+}
+
+func TestCounterRatesAndGaugePooling(t *testing.T) {
+	c := New(10*time.Second, 100)
+	c.Add("jobs", "sort", 2*time.Second, 3)
+	c.Add("jobs", "sort", 8*time.Second, 2)
+	c.Add("jobs", "sort", 15*time.Second, 10)
+	c.SetGauge("depth", "", 3*time.Second, 4)
+	c.SetGauge("depth", "", 7*time.Second, 8)
+	snaps := c.Snapshot()
+	byName := map[string]SeriesSnapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	jobs := byName["jobs"]
+	if len(jobs.Points) != 2 {
+		t.Fatalf("jobs windows = %d, want 2", len(jobs.Points))
+	}
+	if jobs.Points[0].Delta != 5 || jobs.Points[0].Rate != 0.5 {
+		t.Fatalf("window 0 delta/rate = %g/%g, want 5/0.5", jobs.Points[0].Delta, jobs.Points[0].Rate)
+	}
+	if jobs.Points[1].Delta != 10 {
+		t.Fatalf("window 1 delta = %g, want 10", jobs.Points[1].Delta)
+	}
+	depth := byName["depth"]
+	if len(depth.Points) != 1 {
+		t.Fatalf("depth windows = %d, want 1", len(depth.Points))
+	}
+	if p := depth.Points[0]; p.Last != 8 || p.Mean != 6 || p.Samples != 2 {
+		t.Fatalf("gauge pool = last %g mean %g n %d, want 8/6/2", p.Last, p.Mean, p.Samples)
+	}
+}
+
+func TestProbeSampling(t *testing.T) {
+	c := New(10*time.Second, 100)
+	depth := 0.0
+	fired := 0.0
+	c.Probe("sim.pending", "", func() float64 { return depth })
+	c.ProbeCounter("sim.events", "", func() float64 { return fired })
+
+	depth, fired = 5, 100
+	c.SampleProbes(5 * time.Second)
+	depth, fired = 7, 250
+	c.SampleProbes(15 * time.Second)
+
+	byName := map[string]SeriesSnapshot{}
+	for _, s := range c.Snapshot() {
+		byName[s.Name] = s
+	}
+	pend := byName["sim.pending"]
+	if len(pend.Points) != 2 || pend.Points[0].Last != 5 || pend.Points[1].Last != 7 {
+		t.Fatalf("gauge probe points wrong: %+v", pend.Points)
+	}
+	ev := byName["sim.events"]
+	// First sample takes the whole cumulative value; second the delta.
+	if len(ev.Points) != 2 || ev.Points[0].Delta != 100 || ev.Points[1].Delta != 150 {
+		t.Fatalf("counter probe deltas wrong: %+v", ev.Points)
+	}
+}
+
+func TestNilCollectorNoOps(t *testing.T) {
+	var c *Collector
+	c.Add("a", "", 0, 1)
+	c.SetGauge("b", "", 0, 1)
+	c.Observe("c", "", 0, 1)
+	c.Probe("d", "", func() float64 { return 0 })
+	c.ProbeCounter("e", "", func() float64 { return 0 })
+	c.SampleProbes(0)
+	if c.Snapshot() != nil || c.Windows() != 0 || c.Window() != 0 || c.MaxWindows() != 0 {
+		t.Fatal("nil collector is not inert")
+	}
+	if err := c.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	rep, rows := Evaluate(nil, DefaultObjectives())
+	if len(rep.Objectives) != 0 || rows != nil {
+		t.Fatal("nil collector evaluation not empty")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("observing a counter series as a histogram did not panic")
+		}
+	}()
+	c := New(time.Second, 10)
+	c.Add("x", "", 0, 1)
+	c.Observe("x", "", 0, 1)
+}
+
+// TestWindowHistAggregateLabel: "*" merges all labels of a series
+// order-independently (the per-label digests go through MergeHistograms).
+func TestWindowHistAggregateLabel(t *testing.T) {
+	c := New(10*time.Second, 100)
+	c.Observe("lat", "svc-a", time.Second, 10)
+	c.Observe("lat", "svc-b", time.Second, 1000)
+	h := c.windowHist("lat", "*", 0)
+	if h == nil || h.Count() != 2 {
+		t.Fatalf("aggregate digest count = %v, want 2", h.Count())
+	}
+	if h.Min() != 10 || h.Max() != 1000 {
+		t.Fatalf("aggregate min/max = %g/%g", h.Min(), h.Max())
+	}
+	if got := c.windowHist("lat", "svc-a", 0); got == nil || got.Count() != 1 {
+		t.Fatal("single-label digest lookup failed")
+	}
+	if got := c.windowHist("lat", "missing", 0); got != nil {
+		t.Fatal("missing label returned a digest")
+	}
+}

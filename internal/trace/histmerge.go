@@ -1,0 +1,107 @@
+package trace
+
+import "sort"
+
+// Merge folds another histogram into h: counts, zero tallies and bucket
+// occupancies add, min/max extend, and sums add. A single pairwise merge
+// is exact; folding many histograms with repeated Merge calls is
+// float-associativity-sensitive in the sum — use MergeHistograms to
+// combine a batch bit-identically regardless of input order. A nil
+// receiver or argument (or an empty argument) is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil || other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.count == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.zero += other.zero
+	h.sum += other.sum
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
+// MergeHistograms combines a batch of histograms into a fresh one in a
+// value-deterministic way: bucket counts, zero tallies and min/max are
+// intrinsically order-independent, and the floating-point sums are added
+// in sorted numeric order, so the result is bit-identical no matter how
+// the slice is ordered. This is the merge the windowed time-series layer
+// uses to aggregate per-label digests, where the set of labels must not
+// leak an ordering into the output bytes. Nil and empty entries are
+// skipped.
+func MergeHistograms(hs []*Histogram) *Histogram {
+	out := &Histogram{}
+	sums := make([]float64, 0, len(hs))
+	for _, h := range hs {
+		if h == nil || h.count == 0 {
+			continue
+		}
+		if out.count == 0 || h.min < out.min {
+			out.min = h.min
+		}
+		if out.count == 0 || h.max > out.max {
+			out.max = h.max
+		}
+		out.count += h.count
+		out.zero += h.zero
+		for i := range out.buckets {
+			out.buckets[i] += h.buckets[i]
+		}
+		sums = append(sums, h.sum)
+	}
+	sort.Float64s(sums)
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	out.sum = total
+	return out
+}
+
+// FractionAtOrBelow estimates the fraction of observations that were at
+// or below v, from the bucket boundaries — the per-window "good event"
+// ratio an SLO with an upper-bound threshold needs. Like Quantile, the
+// estimate's resolution is one log bucket (~9%), with the observed
+// min/max giving exact answers at the extremes. An empty (or nil)
+// histogram reports 1: no observations means no violating observations.
+func (h *Histogram) FractionAtOrBelow(v float64) float64 {
+	if h == nil || h.count == 0 {
+		return 1
+	}
+	if v >= h.max {
+		return 1
+	}
+	if v < h.min {
+		return 0
+	}
+	cum := h.zero
+	if v > 0 {
+		idx := bucketIndex(v)
+		for i := 0; i <= idx; i++ {
+			cum += h.buckets[i]
+		}
+	}
+	frac := float64(cum) / float64(h.count)
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// Stats summarizes the histogram into its JSON-friendly snapshot shape.
+func (h *Histogram) Stats() HistogramStats {
+	return HistogramStats{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramMergePairwise(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for _, v := range []float64{1, 2, 4} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{0.5, 8, -1} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != 6 {
+		t.Fatalf("merged count = %d, want 6", a.Count())
+	}
+	if a.Min() != -1 || a.Max() != 8 {
+		t.Fatalf("merged min/max = %g/%g, want -1/8", a.Min(), a.Max())
+	}
+	if got, want := a.Sum(), 14.5; got != want {
+		t.Fatalf("merged sum = %g, want %g", got, want)
+	}
+	// Merging an empty or nil histogram changes nothing.
+	before := *a
+	a.Merge(&Histogram{})
+	a.Merge(nil)
+	if *a != before {
+		t.Fatal("merging empty/nil histograms mutated the receiver")
+	}
+	// Nil receiver is a no-op, not a panic.
+	var nilH *Histogram
+	nilH.Merge(b)
+}
+
+// TestMergeHistogramsOrderIndependent is the window-digest associativity
+// guarantee: merging the same set of per-label digests in any order must
+// produce bit-identical results — bucket counts, quantiles, and the
+// floating-point sum — because the merged bytes end up in deterministic
+// JSONL outputs compared across worker counts.
+func TestMergeHistogramsOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	hs := make([]*Histogram, 9)
+	for i := range hs {
+		hs[i] = &Histogram{}
+		for j := 0; j < 50+i; j++ {
+			// Spread magnitudes so naive summation order would visibly
+			// change the float result.
+			hs[i].Observe(math.Exp2(float64(rng.Intn(40) - 10)))
+		}
+	}
+	base := MergeHistograms(hs)
+	for trial := 0; trial < 10; trial++ {
+		perm := make([]*Histogram, len(hs))
+		for i, j := range rng.Perm(len(hs)) {
+			perm[i] = hs[j]
+		}
+		got := MergeHistograms(perm)
+		if got.Count() != base.Count() || got.zero != base.zero {
+			t.Fatalf("trial %d: count/zero differ", trial)
+		}
+		if math.Float64bits(got.Sum()) != math.Float64bits(base.Sum()) {
+			t.Fatalf("trial %d: sum bits differ: %x vs %x", trial,
+				math.Float64bits(got.Sum()), math.Float64bits(base.Sum()))
+		}
+		if math.Float64bits(got.Min()) != math.Float64bits(base.Min()) ||
+			math.Float64bits(got.Max()) != math.Float64bits(base.Max()) {
+			t.Fatalf("trial %d: min/max differ", trial)
+		}
+		if got.buckets != base.buckets {
+			t.Fatalf("trial %d: buckets differ", trial)
+		}
+		if got.Stats() != base.Stats() {
+			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, got.Stats(), base.Stats())
+		}
+	}
+	// Nil and empty entries are skipped, not merged or crashed on.
+	withNils := append([]*Histogram{nil, {}}, hs...)
+	if got := MergeHistograms(withNils); got.Stats() != base.Stats() {
+		t.Fatal("nil/empty entries changed the merge result")
+	}
+}
+
+func TestMergeAllEmptyRegistries(t *testing.T) {
+	dst := NewRegistry()
+	// Merging a batch of brand-new registries (no metrics at all) must be
+	// a no-op that leaves the destination usable.
+	dst.MergeAll([]*Registry{NewRegistry(), NewRegistry(), nil})
+	if s := dst.Snapshot(); len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("merging empty registries materialized metrics: %+v", s)
+	}
+	// A registry holding only empty (zero-count) histograms still
+	// materializes the names, so merged snapshots keep a stable key set.
+	src := NewRegistry()
+	src.Histogram("h.empty")
+	dst.MergeAll([]*Registry{src})
+	s := dst.Snapshot()
+	if _, ok := s.Histograms["h.empty"]; !ok {
+		t.Fatal("empty histogram name was not materialized by MergeAll")
+	}
+	if s.Histograms["h.empty"].Count != 0 {
+		t.Fatal("empty histogram gained observations")
+	}
+}
+
+func TestSingleObservationQuantiles(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(3.7)
+	// With one observation every quantile is that observation: the bucket
+	// estimate is clamped to the observed [min, max].
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 3.7 {
+			t.Fatalf("Quantile(%g) = %g, want 3.7", q, got)
+		}
+	}
+	// Same for a single non-positive observation (the zero bucket).
+	hz := &Histogram{}
+	hz.Observe(-2)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := hz.Quantile(q); got != -2 {
+			t.Fatalf("zero-bucket Quantile(%g) = %g, want -2", q, got)
+		}
+	}
+}
+
+func TestFractionAtOrBelow(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.FractionAtOrBelow(1); got != 1 {
+		t.Fatalf("nil FractionAtOrBelow = %g, want 1", got)
+	}
+	h := &Histogram{}
+	if got := h.FractionAtOrBelow(1); got != 1 {
+		t.Fatalf("empty FractionAtOrBelow = %g, want 1", got)
+	}
+	for _, v := range []float64{1, 2, 4, 8, 100} {
+		h.Observe(v)
+	}
+	if got := h.FractionAtOrBelow(0.5); got != 0 {
+		t.Fatalf("below-min fraction = %g, want 0", got)
+	}
+	if got := h.FractionAtOrBelow(100); got != 1 {
+		t.Fatalf("at-max fraction = %g, want 1", got)
+	}
+	if got := h.FractionAtOrBelow(9); got < 0.6 || got > 1 {
+		t.Fatalf("mid fraction = %g, want ~0.8 within bucket resolution", got)
+	}
+}
