@@ -83,7 +83,10 @@ import (
 	"repro/internal/fidelity"
 	"repro/internal/invariant"
 	"repro/internal/perfstat"
+	"repro/internal/policy"
+	"repro/internal/policysearch"
 	"repro/internal/progress"
+	"repro/internal/report"
 	"repro/internal/scalesweep"
 	"repro/internal/trace"
 )
@@ -133,6 +136,10 @@ type baselineFile struct {
 	// -scale-up -write-baseline, which leaves the sections above intact
 	// (and vice versa).
 	ScaleUp map[string]float64 `json:"scale_up,omitempty"`
+	// PolicySearch records the policy-search sweep's events/sec, guarded
+	// with the same baselineTolerance floor. Written by -policy-search
+	// -write-baseline, preserving every other section (and vice versa).
+	PolicySearch float64 `json:"policy_search,omitempty"`
 }
 
 const baselineTolerance = 3.0
@@ -201,6 +208,12 @@ func run(args []string, stdout io.Writer) error {
 	sweepSizes := fs.String("sweep-sizes", "", "comma-separated total-PM counts for -scale-sweep (default 24,96,384)")
 	sweepSeed := fs.Int64("sweep-seed", 1, "base seed for -scale-sweep")
 	perfOut := fs.String("perf-out", "PERF.json", "scale-sweep report path (with -scale-sweep)")
+	policySearch := fs.Bool("policy-search", false, "sweep the policy registry for the JCT/energy/SLA Pareto frontier instead of the figure experiments")
+	searchGrid := fs.String("search-grid", "smoke", "candidate grid for -policy-search: smoke, full or random")
+	searchSamples := fs.Int("search-samples", 24, "random-grid size (with -search-grid random)")
+	searchSeed := fs.Int64("search-seed", 11, "scenario seed for -policy-search; every candidate runs the same seed")
+	searchOut := fs.String("search-out", "SEARCH.json", "policy-search report path (with -policy-search)")
+	searchReport := fs.String("search-report", "", "also write a policy-search observatory HTML to this path (with -policy-search)")
 	scaleUp := fs.Bool("scale-up", false, "run the datacenter-scale operating points instead of the figure experiments")
 	scaleUpSizes := fs.String("scale-up-sizes", "", "comma-separated total-PM counts for -scale-up (default 2500,10000)")
 	scaleUpOut := fs.String("scale-up-out", "SCALEUP.json", "scale-up report path (with -scale-up)")
@@ -265,6 +278,12 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		if err := runScaleSweep(sizes, *sweepSeed, *perfOut, pr, stdout); err != nil {
+			return err
+		}
+		return stopProf()
+	}
+	if *policySearch {
+		if err := runPolicySearch(*searchGrid, *searchSamples, *searchSeed, *searchOut, *searchReport, *baselinePath, *writeBaseline, pr, stdout); err != nil {
 			return err
 		}
 		return stopProf()
@@ -544,6 +563,139 @@ func handleScaleUpBaseline(path string, write bool, measured map[string]float64,
 	if len(regressions) > 0 {
 		return fmt.Errorf("scale-up throughput regression:\n  %s", strings.Join(regressions, "\n  "))
 	}
+	return nil
+}
+
+// runPolicySearch sweeps a candidate grid across the worker pool, writes
+// the byte-deterministic SEARCH.json (whole-file deterministic — cmp the
+// -parallel 1 and -parallel 8 outputs directly), prints the scored
+// table, optionally renders a search observatory seeded with the
+// winner's audit trail, and guards the sweep's events/sec against the
+// baseline's policy_search floor.
+func runPolicySearch(gridName string, samples int, seed int64, outPath, reportPath, baselinePath string, writeBaseline bool, pr *progress.Reporter, stdout io.Writer) error {
+	var grid []policy.Spec
+	switch gridName {
+	case "smoke":
+		grid = policysearch.SmokeGrid()
+	case "full":
+		grid = policysearch.FullGrid()
+	case "random":
+		grid = policysearch.RandomGrid(samples, seed)
+	default:
+		return fmt.Errorf("unknown -search-grid %q (smoke, full or random)", gridName)
+	}
+	pr.SetTotal(int64(len(grid)))
+	start := time.Now()
+	f, winnerLog, err := policysearch.Run(policysearch.Options{
+		Grid: grid, Seed: seed,
+		OnPointDone: func() { pr.Add(1) },
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	data, err := f.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", outPath, err)
+	}
+	rep := f.Report
+	fmt.Fprintf(stdout, "Policy search over %d candidate(s) (%s grid, seed %d):\n", len(rep.Candidates), gridName, seed)
+	var events int64
+	for _, c := range rep.Candidates {
+		events += c.EventsFired
+		mark := " "
+		if c.Pareto {
+			mark = "*"
+		}
+		fmt.Fprintf(stdout, "  %s jct %7.1fs  energy %8.1f Wh  sla-viol %5.3f  %s\n",
+			mark, c.Objectives.MeanJCTSec, c.Objectives.EnergyWh, c.Objectives.SLAViolationRate, c.Policy)
+	}
+	fmt.Fprintf(stdout, "frontier: %d point(s); * marks Pareto-optimal candidates\n", len(rep.Frontier))
+	if rep.Winner != nil {
+		fmt.Fprintf(stdout, "winner (min energy on frontier): %s\n", rep.Winner.Policy)
+		fmt.Fprintf(stdout, "  %d audited decision(s) across %d (stage, action) pair(s)\n",
+			rep.Winner.Decisions, len(rep.Winner.ByStage))
+		if rep.Winner.FirstPlacement != "" {
+			fmt.Fprintf(stdout, "  first placement: %s\n", rep.Winner.FirstPlacement)
+		}
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", outPath)
+
+	if reportPath != "" {
+		points := make([]report.SearchPoint, 0, len(rep.Candidates))
+		for _, c := range rep.Candidates {
+			points = append(points, report.SearchPoint{
+				Policy:           c.Policy,
+				MeanJCTSec:       c.Objectives.MeanJCTSec,
+				EnergyWh:         c.Objectives.EnergyWh,
+				SLAViolationRate: c.Objectives.SLAViolationRate,
+				Pareto:           c.Pareto,
+				Winner:           rep.Winner != nil && c.Policy == rep.Winner.Policy,
+			})
+		}
+		d := report.Data{Title: "policy search (" + gridName + " grid)", Seed: seed, Search: points}
+		if winnerLog != nil {
+			d.Audit = winnerLog.Records()
+			d.AuditDropped = winnerLog.Dropped()
+		}
+		var buf strings.Builder
+		if err := report.Write(&buf, d); err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, []byte(buf.String()), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", reportPath, err)
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", reportPath)
+	}
+
+	eps := 0.0
+	if wall > 0 {
+		eps = float64(events) / wall
+	}
+	fmt.Fprintf(stdout, "search fired %d events in %.2fs wall time (%.0f events/sec)\n", events, wall, eps)
+	if baselinePath != "" {
+		return handlePolicySearchBaseline(baselinePath, writeBaseline, eps, stdout)
+	}
+	return nil
+}
+
+// handlePolicySearchBaseline records or checks the policy-search sweep's
+// events/sec floor, preserving every other baseline section.
+func handlePolicySearchBaseline(path string, write bool, eps float64, stdout io.Writer) error {
+	var base baselineFile
+	data, err := os.ReadFile(path)
+	if err == nil {
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", path, err)
+		}
+	} else if !write {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	if write {
+		base.PolicySearch = eps
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write baseline: %w", err)
+		}
+		fmt.Fprintf(stdout, "wrote policy-search floor (%.0f events/sec) to %s\n", eps, path)
+		return nil
+	}
+	if base.PolicySearch <= 0 {
+		return nil
+	}
+	floor := base.PolicySearch / baselineTolerance
+	if eps < floor {
+		return fmt.Errorf("policy-search throughput regression: %.0f events/sec, floor %.0f (baseline %.0f)",
+			eps, floor, base.PolicySearch)
+	}
+	fmt.Fprintf(stdout, "throughput policy-search: %.0f events/sec vs baseline %.0f (floor %.0f) ok\n",
+		eps, base.PolicySearch, floor)
 	return nil
 }
 

@@ -30,6 +30,8 @@
 //	hybridmr-sim -benchmark Sort -pms 24 -dom0        # Dom-0 mode
 //	hybridmr-sim -benchmark Sort -pms 24 -vms-per-pm 2 -split
 //	hybridmr-sim -benchmark Sort,Kmeans,Wcount -parallel 3
+//	hybridmr-sim -policy p2=fifo-p2,drm=static-split
+//	hybridmr-sim -benchmark Sort -pms 12 -vms-per-pm 2 -policy p2=locality-p2
 //	hybridmr-sim -scenario chaos -seed 7 -fault-seed 99
 //	hybridmr-sim -scenario chaos -faults pm-crash=4,block-loss=12,repair-sec=90
 //	hybridmr-sim -scenario scaleup -pms 10000
@@ -340,6 +342,7 @@ func run(args []string, out io.Writer) error {
 	split := fs.Bool("split", false, "split TaskTracker/DataNode architecture")
 	slotCaps := fs.Bool("slot-caps", false, "static Hadoop slot containers")
 	sched := fs.String("scheduler", "fair", "job scheduler: fair or fifo")
+	policyFlag := fs.String("policy", "", "policy selections as k=v pairs, e.g. p2=fifo-p2,drm=static-split,p1.overhead=0.5 (keys: p1, drm, ips, p2, p1.overhead, p2.slowdown)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	faults := fs.String("faults", "", "chaos profile, e.g. pm-crash=2,vm-crash=4,block-loss=6 (chaos scenario; default moderate profile)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault injection seed (0 = derive from -seed)")
@@ -359,18 +362,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	stopProfiles, err := perfstat.StartProfiles(*cpuProfile, *memProfile, *profileDir)
-	if err != nil {
-		return err
-	}
-
 	// An explicit -benchmark keeps the pre-scenario CLI working: it
 	// implies job mode unless the user also picked a scenario.
 	mode := *scenario
-	pmsSet := false
+	pmsSet, schedSet := false, false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "pms" {
 			pmsSet = true
+		}
+		if f.Name == "scheduler" {
+			schedSet = true
 		}
 		if f.Name == "benchmark" && mode == "" {
 			mode = "job"
@@ -378,6 +379,33 @@ func run(args []string, out io.Writer) error {
 	})
 	if mode == "" {
 		mode = "quickstart"
+	}
+	// Validate the scenario and any -policy selection before anything
+	// starts (profilers, progress reporters): a typo exits non-zero
+	// immediately with the registered names, instead of surfacing after
+	// setup already ran.
+	switch mode {
+	case "quickstart", "job", "chaos", "scaleup":
+	default:
+		return fmt.Errorf("unknown scenario %q (registered: quickstart, job, chaos, scaleup)", mode)
+	}
+	var policies *hybridmr.PolicySet
+	if *policyFlag != "" {
+		if mode == "scaleup" {
+			return fmt.Errorf("-policy does not apply to the scaleup scenario")
+		}
+		pspec, err := hybridmr.ParsePolicySpec(*policyFlag)
+		if err != nil {
+			return err
+		}
+		if policies, err = pspec.Resolve(); err != nil {
+			return err
+		}
+	}
+
+	stopProfiles, err := perfstat.StartProfiles(*cpuProfile, *memProfile, *profileDir)
+	if err != nil {
+		return err
 	}
 
 	cfg := obsConfig{
@@ -408,7 +436,7 @@ func run(args []string, out io.Writer) error {
 		switch mode {
 		case "quickstart":
 			obs := newRunObs(cfg, "", *seed)
-			if err := runQuickstart(*seed, obs, pr, out); err != nil {
+			if err := runQuickstart(*seed, policies, obs, pr, out); err != nil {
 				return err
 			}
 			pr.Stop()
@@ -417,10 +445,11 @@ func run(args []string, out io.Writer) error {
 			return runJobs(*bench, jobOptions{
 				dataGB: *dataGB, pms: *pms, vmsPerPM: *vmsPerPM,
 				dom0: *dom0, split: *split, slotCaps: *slotCaps, sched: *sched, seed: *seed,
+				policies: policies, schedSet: schedSet,
 			}, *parallel, cfg, throughput, out)
 		case "chaos":
 			obs := newRunObs(cfg, "", *seed)
-			if err := runChaos(*seed, *faultSeed, *faults, *invariants, obs, out); err != nil {
+			if err := runChaos(*seed, *faultSeed, *faults, *invariants, policies, obs, out); err != nil {
 				return err
 			}
 			pr.Stop()
@@ -432,7 +461,8 @@ func run(args []string, out io.Writer) error {
 			}
 			return runScaleUpPoint(size, *seed, out)
 		default:
-			return fmt.Errorf("unknown scenario %q (quickstart, job, chaos or scaleup)", mode)
+			// Unreachable: the mode was validated before setup.
+			return fmt.Errorf("unknown scenario %q (registered: quickstart, job, chaos, scaleup)", mode)
 		}
 	}()
 	// The profiles must cover the whole run, so they stop only after the
@@ -446,13 +476,14 @@ func run(args []string, out io.Writer) error {
 // runQuickstart exercises every traced subsystem: hybrid placement, task
 // execution with data locality, interactive-service SLA monitoring, live
 // VM migration and PM power management.
-func runQuickstart(seed int64, obs *runObs, pr *progress.Reporter, out io.Writer) error {
+func runQuickstart(seed int64, policies *hybridmr.PolicySet, obs *runObs, pr *progress.Reporter, out io.Writer) error {
 	obs.title = "quickstart"
 	dc, err := hybridmr.NewHybridCluster(hybridmr.ClusterSpec{
 		NativePMs:      4,
 		VirtualHostPMs: 4,
 		VMsPerHost:     2,
 		Seed:           seed,
+		Policies:       policies,
 		Tracer:         obs.tracer,
 		Metrics:        obs.reg,
 		Audit:          obs.log,
@@ -561,7 +592,7 @@ func runQuickstart(seed int64, obs *runObs, pr *progress.Reporter, out io.Writer
 // replication — and prints the seeds needed to replay the run. With
 // checkInvariants, the runtime safety-invariant checker additionally
 // observes every layer and the run fails on any violation.
-func runChaos(seed, faultSeed int64, profileSpec string, checkInvariants bool, obs *runObs, out io.Writer) error {
+func runChaos(seed, faultSeed int64, profileSpec string, checkInvariants bool, policies *hybridmr.PolicySet, obs *runObs, out io.Writer) error {
 	obs.title = "chaos"
 	profile := &fault.Profile{
 		VMCrashPerHour:     2,
@@ -588,6 +619,7 @@ func runChaos(seed, faultSeed int64, profileSpec string, checkInvariants bool, o
 		PMs:        8,
 		VMsPerPM:   2,
 		Seed:       seed,
+		Policies:   policies,
 		Tracer:     obs.tracer,
 		Metrics:    obs.reg,
 		Audit:      obs.log,
@@ -683,7 +715,11 @@ type jobOptions struct {
 	dom0, split   bool
 	slotCaps      bool
 	sched         string
-	seed          int64
+	// schedSet records whether -scheduler was passed explicitly; an
+	// explicit choice wins over the -policy set's Phase II scheduler.
+	schedSet bool
+	policies *hybridmr.PolicySet
+	seed     int64
 }
 
 // runJobs fans a comma-separated benchmark list across the experiment
@@ -750,14 +786,18 @@ func runJob(o jobOptions, obs *runObs, out io.Writer) error {
 		spec = spec.WithInputMB(o.dataGB * workload.GB)
 	}
 
+	// A -policy set picks the Phase II scheduler unless -scheduler was
+	// passed explicitly, which wins.
 	var scheduler mapred.Scheduler
-	switch o.sched {
-	case "fair":
-		scheduler = mapred.Fair{}
-	case "fifo":
-		scheduler = mapred.FIFO{}
-	default:
-		return fmt.Errorf("unknown scheduler %q", o.sched)
+	if o.policies == nil || o.schedSet {
+		switch o.sched {
+		case "fair":
+			scheduler = mapred.Fair{}
+		case "fifo":
+			scheduler = mapred.FIFO{}
+		default:
+			return fmt.Errorf("unknown scheduler %q", o.sched)
+		}
 	}
 	mrCfg := mapred.Config{}
 	if o.slotCaps {
@@ -769,6 +809,7 @@ func runJob(o jobOptions, obs *runObs, out io.Writer) error {
 		Dom0:         o.dom0,
 		Split:        o.split,
 		Seed:         o.seed,
+		Policies:     o.policies,
 		Scheduler:    scheduler,
 		MapredConfig: mrCfg,
 		Tracer:       obs.tracer,

@@ -41,6 +41,7 @@ import (
 	"repro/internal/mapred"
 	"repro/internal/metrics"
 	"repro/internal/perfstat"
+	"repro/internal/policy"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/testbed"
@@ -155,6 +156,30 @@ type (
 	SLOWindowEval = timeseries.WindowEval
 	// SLOAlert is one contiguous burn-rate alert episode.
 	SLOAlert = timeseries.Alert
+	// PolicySet is a resolved bundle of scheduling policies, one per
+	// seam (Phase I placement, DRM, IPS, Phase II slots+speculation);
+	// hand one to ClusterSpec.Policies or RigOptions.Policies.
+	PolicySet = policy.Set
+	// PolicySpec is the textual policy selection the -policy flag
+	// parses; Resolve it into a PolicySet.
+	PolicySpec = policy.Spec
+)
+
+// ParsePolicySpec parses the -policy command-line syntax (comma-
+// separated key=value pairs: p1, drm, ips, p2, p1.overhead,
+// p2.slowdown) into a PolicySpec, validating every policy name against
+// the registry.
+var ParsePolicySpec = policy.ParseSpec
+
+// DefaultPolicies returns the paper's policy set.
+var DefaultPolicies = policy.Default
+
+// Policy registry listings, one per seam.
+var (
+	Phase1PolicyNames = policy.Phase1Names
+	DRMPolicyNames    = policy.DRMNames
+	IPSPolicyNames    = policy.IPSNames
+	Phase2PolicyNames = policy.Phase2Names
 )
 
 // NewPerfStats builds an empty performance-attribution collector.
@@ -295,6 +320,12 @@ type ClusterSpec struct {
 	Seed int64
 	// Config tunes the HybridMR scheduler (zero = paper defaults).
 	Config SystemConfig
+	// Policies selects a controller implementation per seam — Phase I
+	// placement, DRM balancing, IPS arbitration, Phase II slot
+	// assignment and speculation. Nil (or Config.Policies when this is
+	// nil) takes the paper's defaults; resolve one from -policy syntax
+	// with ParsePolicySpec + Resolve.
+	Policies *PolicySet
 	// VanillaHadoop disables HybridMR's Phase II behaviours on the
 	// virtual partition (static slot containers remain), for baseline
 	// comparisons.
@@ -401,6 +432,7 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 				SlotCaps:      mapred.DefaultSlotCaps(),
 				CapacityAware: !spec.VanillaHadoop,
 			},
+			Policies:   spec.Policies,
 			Tracer:     spec.Tracer,
 			Metrics:    spec.Metrics,
 			Audit:      spec.Audit,
@@ -443,7 +475,15 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 		pms := cl.AddPMs("native", spec.NativePMs)
 		cluster.StripeTopology(pms, spec.Racks, spec.PowerDomains)
 		nativeFS := dfs.New(engine, dfs.Config{}, spec.Seed+13)
-		hc.NativeJT = mapred.NewJobTracker(engine, nativeFS, mapred.Config{}, mapred.Fair{})
+		nativeSched := mapred.Scheduler(mapred.Fair{})
+		nativeCfg := mapred.Config{}
+		if spec.Policies != nil {
+			nativeSched = spec.Policies.Phase2.NewScheduler()
+			sp := spec.Policies.Phase2.Speculation()
+			nativeCfg.DisableSpeculation = sp.Disable
+			nativeCfg.SpeculationSlowdown = sp.Slowdown
+		}
+		hc.NativeJT = mapred.NewJobTracker(engine, nativeFS, nativeCfg, nativeSched)
 		if spec.Tracer != nil || spec.Metrics != nil {
 			nativeFS.SetTrace(spec.Tracer, spec.Metrics)
 			hc.NativeJT.SetTrace(spec.Tracer, spec.Metrics)
@@ -464,6 +504,9 @@ func NewHybridCluster(spec ClusterSpec) (*HybridCluster, error) {
 	}
 
 	cfg := spec.Config
+	if spec.Policies != nil {
+		cfg.Policies = spec.Policies
+	}
 	if spec.VanillaHadoop {
 		cfg.DisableDRM = true
 		cfg.DisableIPS = true

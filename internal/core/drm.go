@@ -10,6 +10,7 @@ import (
 	"repro/internal/interference"
 	"repro/internal/mapred"
 	"repro/internal/perfstat"
+	"repro/internal/policy"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -60,10 +61,11 @@ type DRM struct {
 	estimators map[string]*interference.Predictor
 	// deferred tracks attempts swapped out by the memory balancer.
 	deferred map[*cluster.Consumer]bool
-	// DisableDeferral makes the memory balancer shrink every cap
-	// proportionally instead of swapping out the least-progressed tasks —
-	// the alternative policy the deferral ablation compares against.
-	DisableDeferral bool
+	// Policy holds the Performance Balancer's knobs: the paper's
+	// deferral discipline by default, the proportional static split (the
+	// deferral ablation's alternative) when policy.StaticSplitDRM is
+	// selected.
+	Policy policy.DRMParams
 	// Adjustments counts cap changes, for reporting.
 	Adjustments int
 
@@ -87,6 +89,7 @@ func NewDRM(engine *sim.Engine, jt *mapred.JobTracker, modes ResourceModes, epoc
 		engine:     engine,
 		estimators: make(map[string]*interference.Predictor),
 		deferred:   make(map[*cluster.Consumer]bool),
+		Policy:     policy.PaperDRM{}.Params(),
 	}
 }
 
@@ -222,11 +225,11 @@ func (d *DRM) balanceRate(node cluster.Node, attempts []*mapred.Attempt, kind re
 		used += c.Alloc().Get(kind)
 		demand := c.Demand.Get(kind)
 		capV := c.Cap.Get(kind)
-		if capV > 0 && capV > demand*1.5 {
+		if capV > 0 && capV > demand*d.Policy.HogTrimAbove {
 			// Hogging container: trim so the detector's headroom means
 			// something next epoch.
-			d.setCap(c, kind, demand*1.2)
-			capV = demand * 1.2
+			d.setCap(c, kind, demand*d.Policy.HogTrimTo)
+			capV = demand * d.Policy.HogTrimTo
 		}
 		if capV > 0 && capV < demand {
 			// Benefit estimate: time saved if the cap were lifted to
@@ -289,8 +292,8 @@ func (d *DRM) balanceMemory(attempts []*mapred.Attempt, capacityMB float64) {
 	if capacityMB <= 0 {
 		return
 	}
-	if d.DisableDeferral {
-		// Ablation policy: share the paging pain proportionally.
+	if !d.Policy.Deferral {
+		// Static-split policy: share the paging pain proportionally.
 		var total float64
 		for _, a := range attempts {
 			total += a.Consumer().Demand.Get(resource.Memory)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/interference"
 	"repro/internal/mapred"
 	"repro/internal/perfstat"
+	"repro/internal/policy"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/timeseries"
@@ -58,6 +59,14 @@ type IPS struct {
 	// MaxRelocationsPerEpoch bounds evictions per service per epoch
 	// (default 2).
 	MaxRelocationsPerEpoch int
+	// RelocateBelowProgress relocates only attempts below this progress
+	// (default 0.6): restarting nearly-finished work wastes it, so those
+	// are throttled instead. Zero never relocates (the throttle-first
+	// policy).
+	RelocateBelowProgress float64
+	// ThrottleFactor scales a throttled interferer's bottleneck cap
+	// (default 0.5).
+	ThrottleFactor float64
 }
 
 type ipsService struct {
@@ -78,7 +87,17 @@ func NewIPS(engine *sim.Engine, cl *cluster.Cluster, jt *mapred.JobTracker) *IPS
 		backoff:                make(map[*cluster.PM]*blacklistBackoff),
 		PauseStreak:            3,
 		MaxRelocationsPerEpoch: 2,
+		RelocateBelowProgress:  0.6,
+		ThrottleFactor:         0.5,
 	}
+}
+
+// ApplyPolicy installs an arbitration policy's knobs.
+func (p *IPS) ApplyPolicy(params policy.IPSParams) {
+	p.PauseStreak = params.PauseStreak
+	p.MaxRelocationsPerEpoch = params.MaxRelocationsPerEpoch
+	p.RelocateBelowProgress = params.RelocateBelowProgress
+	p.ThrottleFactor = params.ThrottleFactor
 }
 
 // SetTrace installs a tracer and metrics registry. Either may be nil;
@@ -261,7 +280,7 @@ func (p *IPS) arbitrate(st *ipsService) {
 		}
 		// Relocation restarts the attempt from scratch; nearly-finished
 		// tasks are throttled instead so their work is not wasted.
-		if a.Progress() < 0.6 {
+		if a.Progress() < p.RelocateBelowProgress {
 			if dst := p.bestFitTracker(a, svcPM); dst != nil {
 				if err := p.jt.Relocate(a, dst); err == nil {
 					relocated++
@@ -277,7 +296,7 @@ func (p *IPS) arbitrate(st *ipsService) {
 			cur = c.Alloc().Get(bottleneck)
 		}
 		if cur > 0 {
-			c.SetCap(c.Cap.Set(bottleneck, cur/2))
+			c.SetCap(c.Cap.Set(bottleneck, cur*p.ThrottleFactor))
 			p.log("throttle", st.svc.Spec().Name, c.Name)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/mapred"
 	"repro/internal/perfstat"
+	"repro/internal/policy"
 	"repro/internal/profiler"
 	"repro/internal/sim"
 	"repro/internal/testbed"
@@ -35,6 +36,12 @@ type Config struct {
 	// OverheadThreshold is Phase I's acceptable virtual JCT inflation
 	// for jobs without deadlines (default 0.25).
 	OverheadThreshold float64
+	// Policies selects the controller implementations for every seam
+	// (Phase I placement, DRM balancing, IPS arbitration); nil takes
+	// policy.Default(), the paper's set. The Phase II slot/speculation
+	// half of a policy set is consumed where the JobTrackers are built
+	// (testbed.Options / hybridmr.ClusterSpec).
+	Policies *policy.Set
 	// TrainingSeed parameterizes the Phase I training simulations.
 	TrainingSeed int64
 	// EventSink, when non-nil, accumulates fired-event totals from the
@@ -118,18 +125,25 @@ func NewSystem(engine *sim.Engine, cl *cluster.Cluster, nativeJT, virtualJT *map
 	if virtualJT != nil {
 		virtualNodes = len(virtualJT.Trackers())
 	}
-	s.Placer = &ProfilingPlacer{
+	pol := cfg.Policies
+	if pol == nil {
+		pol = policy.Default()
+	}
+	s.Placer = pol.Phase1.NewPlacer(policy.Phase1Env{
 		Profiler:          s.prof,
 		NativeNodes:       nativeNodes,
 		VirtualNodes:      virtualNodes,
 		OverheadThreshold: cfg.OverheadThreshold,
-	}
+		Seed:              cfg.TrainingSeed,
+	})
 	if virtualJT != nil {
 		if !cfg.DisableDRM {
 			s.drm = NewDRM(engine, virtualJT, cfg.Modes, cfg.Epoch)
+			s.drm.Policy = pol.DRM.Params()
 		}
 		if !cfg.DisableIPS {
 			s.ips = NewIPS(engine, cl, virtualJT)
+			s.ips.ApplyPolicy(pol.IPS.Params())
 		}
 	}
 	return s, nil

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/mapred"
+	"repro/internal/policy"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -403,7 +404,9 @@ func AblDeferral() (*Outcome, error) {
 			jobs = append(jobs, job)
 		}
 		drm := core.NewDRM(rig.Engine, rig.JT, core.ResourceModes{Memory: true}, 5*time.Second)
-		drm.DisableDeferral = disableDeferral
+		if disableDeferral {
+			drm.Policy = policy.StaticSplitDRM{}.Params()
+		}
 		drm.Start()
 		defer drm.Stop()
 		rig.Engine.Run()

@@ -1,6 +1,9 @@
 package mapred
 
-import "repro/internal/resource"
+import (
+	"repro/internal/dfs"
+	"repro/internal/resource"
+)
 
 // Scheduler picks the next task for a free slot. Implementations mirror
 // the two Hadoop schedulers used in the paper: plain FIFO (the default
@@ -72,6 +75,71 @@ func (Fair) NextTask(jt *JobTracker, tr *TaskTracker, kind TaskKind) *Task {
 		if best == nil || deficit > bestDeficit {
 			best = j
 			bestDeficit = deficit
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.pendingTask(kind, tr)
+}
+
+// LocalityGreedy serves whichever job can run a node-local map on the
+// requesting tracker, falling back to submission order when none can —
+// a delay-scheduling-flavoured alternative that trades fairness for
+// data-local reads.
+type LocalityGreedy struct{}
+
+var _ Scheduler = LocalityGreedy{}
+
+// Name returns "locality-greedy".
+func (LocalityGreedy) Name() string { return "locality-greedy" }
+
+// NextTask prefers, across all active jobs in submission order, the
+// first task whose input block is node-local to the tracker; reduces
+// (which have no input block) fall back to FIFO order.
+func (LocalityGreedy) NextTask(jt *JobTracker, tr *TaskTracker, kind TaskKind) *Task {
+	var fallback *Task
+	for _, j := range jt.activeJobs {
+		t := j.pendingTask(kind, tr)
+		if t == nil {
+			continue
+		}
+		if kind == MapTask && t.Block != nil &&
+			jt.fs.BlockLocality(t.Block, tr.Storage) == dfs.NodeLocal {
+			return t
+		}
+		if fallback == nil {
+			fallback = t
+		}
+	}
+	return fallback
+}
+
+// JobDriven serves the job closest to completion first, after the
+// job-driven slot assignment of Lee & Lin ("Hybrid Job-driven
+// Scheduling for Virtual MapReduce Clusters"): draining the smallest
+// remainder frees its slots and memory footprint for the jobs queued
+// behind it, shrinking the number of jobs resident at once.
+type JobDriven struct{}
+
+var _ Scheduler = JobDriven{}
+
+// Name returns "job-driven".
+func (JobDriven) Name() string { return "job-driven" }
+
+// NextTask picks the schedulable job with the fewest unscheduled tasks
+// left, ties broken by submission order.
+func (JobDriven) NextTask(jt *JobTracker, tr *TaskTracker, kind TaskKind) *Task {
+	var best *Job
+	bestLeft := 0
+	for _, j := range jt.activeJobs {
+		if !j.hasPending(kind) {
+			continue
+		}
+		left := j.pendingMaps + j.pendingReds
+		if best == nil || left < bestLeft {
+			best = j
+			bestLeft = left
 		}
 	}
 	if best == nil {

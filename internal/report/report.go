@@ -76,6 +76,23 @@ type Data struct {
 	// evaluations for the burn panel.
 	SLO     *timeseries.SLOReport
 	SLORows []timeseries.WindowEval
+	// Search holds policy-search candidates when the report accompanies a
+	// SEARCH.json sweep (hybridmr-bench -policy-search -search-report);
+	// the section is omitted entirely for ordinary runs. The winner's
+	// decision trail lands in Audit, so the frontier links back to the
+	// audit table below.
+	Search []SearchPoint
+}
+
+// SearchPoint is one policy-search candidate: the canonical policy
+// string, the three minimized objectives, and its frontier standing.
+type SearchPoint struct {
+	Policy           string
+	MeanJCTSec       float64
+	EnergyWh         float64
+	SLAViolationRate float64
+	Pareto           bool
+	Winner           bool
 }
 
 // Write renders the observatory to w as a single HTML document.
@@ -85,6 +102,7 @@ func Write(w io.Writer, d Data) error {
 	timeline(&b, d)
 	timeSeriesSection(&b, d)
 	sloSection(&b, d)
+	searchSection(&b, d)
 	swimlane(&b, d)
 	critPaths(&b, d)
 	perfSection(&b, d)
@@ -359,6 +377,80 @@ func sloSection(b *bytes.Buffer, d Data) {
 	}
 	b.WriteString("</svg>\n")
 	b.WriteString("<div class=\"legend\"><span><i style=\"background:#dfe9df\"></i>clean</span><span><i style=\"background:#e8d9a8\"></i>burning</span><span><i style=\"background:#d98f2b\"></i>ticket</span><span><i style=\"background:#c55a5a\"></i>page</span></div>\n")
+}
+
+// searchSection renders the policy-search sweep: an energy-vs-JCT
+// scatter with the Pareto frontier highlighted, and the candidate table.
+// Like faultSection it renders nothing at all for runs without a sweep —
+// ordinary simulation reports carry no search data.
+func searchSection(b *bytes.Buffer, d Data) {
+	if len(d.Search) == 0 {
+		return
+	}
+	b.WriteString("<h2>Policy search — Pareto frontier</h2>\n")
+	frontier := 0
+	for _, p := range d.Search {
+		if p.Pareto {
+			frontier++
+		}
+	}
+	fmt.Fprintf(b, "<p class=\"dim\">%d candidate(s), %d on the frontier; the winner's decision trail is in the audit table below</p>\n",
+		len(d.Search), frontier)
+
+	// Scatter: x = mean JCT, y = energy; both minimized, so better is
+	// down-left. SLA shows in the hover title.
+	minX, maxX := d.Search[0].MeanJCTSec, d.Search[0].MeanJCTSec
+	minY, maxY := d.Search[0].EnergyWh, d.Search[0].EnergyWh
+	for _, p := range d.Search {
+		minX, maxX = min(minX, p.MeanJCTSec), max(maxX, p.MeanJCTSec)
+		minY, maxY = min(minY, p.EnergyWh), max(maxY, p.EnergyWh)
+	}
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	const w, h, pad = 920.0, 220.0, 40.0
+	sx := func(v float64) float64 { return pad + (w-2*pad)*(v-minX)/(maxX-minX) }
+	sy := func(v float64) float64 { return h - pad - (h-2*pad)*(v-minY)/(maxY-minY) }
+	fmt.Fprintf(b, "<svg width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n", w, h, w, h)
+	fmt.Fprintf(b, "<rect x=\"%.0f\" y=\"%.0f\" width=\"%.0f\" height=\"%.0f\" fill=\"none\" stroke=\"#c9d0da\"/>\n",
+		pad, pad, w-2*pad, h-2*pad)
+	fmt.Fprintf(b, "<text x=\"%.0f\" y=\"%.0f\" font-size=\"10\" fill=\"#78818f\" text-anchor=\"middle\">mean JCT %.0f–%.0fs</text>\n",
+		w/2, h-8, minX, maxX)
+	fmt.Fprintf(b, "<text x=\"%.0f\" y=\"%.0f\" font-size=\"10\" fill=\"#78818f\">%.0f–%.0f Wh</text>\n",
+		2.0, pad+4, minY, maxY)
+	for _, p := range d.Search {
+		fill, r := "#a9b2bf", 4.0
+		if p.Pareto {
+			fill, r = palette[0], 5.0
+		}
+		title := fmt.Sprintf("%s: jct %.1fs, %.1f Wh, sla-viol %.3f", p.Policy, p.MeanJCTSec, p.EnergyWh, p.SLAViolationRate)
+		fmt.Fprintf(b, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.0f\" fill=\"%s\" fill-opacity=\"0.85\"><title>%s</title></circle>\n",
+			sx(p.MeanJCTSec), sy(p.EnergyWh), r, fill, esc(title))
+		if p.Winner {
+			fmt.Fprintf(b, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"9\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n",
+				sx(p.MeanJCTSec), sy(p.EnergyWh), palette[3])
+		}
+	}
+	b.WriteString("</svg>\n")
+	fmt.Fprintf(b, "<div class=\"legend\"><span><i style=\"background:%s\"></i>Pareto-optimal</span><span><i style=\"background:#a9b2bf\"></i>dominated</span><span><i style=\"background:%s\"></i>winner (ring)</span></div>\n",
+		palette[0], palette[3])
+
+	b.WriteString("<table><thead><tr><th>policy</th><th class=\"num\">mean JCT (s)</th><th class=\"num\">energy (Wh)</th><th class=\"num\">SLA violation</th><th>standing</th></tr></thead><tbody>\n")
+	for _, p := range d.Search {
+		standing := "<span class=\"dim\">dominated</span>"
+		switch {
+		case p.Winner:
+			standing = "<b>winner</b>"
+		case p.Pareto:
+			standing = "frontier"
+		}
+		fmt.Fprintf(b, "<tr><td class=\"mono\">%s</td><td class=\"num\">%.1f</td><td class=\"num\">%.1f</td><td class=\"num\">%.3f</td><td>%s</td></tr>\n",
+			esc(p.Policy), p.MeanJCTSec, p.EnergyWh, p.SLAViolationRate, standing)
+	}
+	b.WriteString("</tbody></table>\n")
 }
 
 // swimlane renders one lane per trace track (PMs, VMs, jobs, services):

@@ -19,6 +19,7 @@ import (
 	"repro/internal/mapred"
 	"repro/internal/metrics"
 	"repro/internal/perfstat"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/timeseries"
 	"repro/internal/trace"
@@ -63,6 +64,12 @@ type Options struct {
 	// Scheduler overrides the job scheduler (default mapred.Fair, as on
 	// the paper's testbed).
 	Scheduler mapred.Scheduler
+	// Policies, when non-nil, supplies the Phase II half of a policy
+	// set: its scheduler is used when Scheduler is nil, and its
+	// speculation knobs fill the zero MapredConfig speculation fields.
+	// (The Phase I/DRM/IPS halves are consumed by core.Config.Policies;
+	// a plain rig has no System.)
+	Policies *policy.Set
 	// Tracer, when non-nil, records structured events from every layer of
 	// the rig. Its clock is bound to the rig's engine.
 	Tracer *trace.Tracer
@@ -116,6 +123,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.VMCPUs <= 0 {
 		o.VMCPUs = 1
+	}
+	if o.Policies != nil {
+		if o.Scheduler == nil {
+			o.Scheduler = o.Policies.Phase2.NewScheduler()
+		}
+		sp := o.Policies.Phase2.Speculation()
+		if sp.Disable {
+			o.MapredConfig.DisableSpeculation = true
+		}
+		if sp.Slowdown > 0 && o.MapredConfig.SpeculationSlowdown == 0 {
+			o.MapredConfig.SpeculationSlowdown = sp.Slowdown
+		}
 	}
 	if o.Scheduler == nil {
 		o.Scheduler = mapred.Fair{}
